@@ -1,0 +1,93 @@
+//! AutoML (Hybrid-EM-Adapter) proxy.
+//!
+//! Paganelli et al. pipeline transformer-encoded EM features into AutoML
+//! systems (AutoSklearn / AutoGluon / H2O), whose job is model search over
+//! classical learners. The proxy reproduces that: the rich cross-feature
+//! set plays the encoder's role, and `wym-ml`'s ten-member classifier pool
+//! with validation-F1 selection plays the AutoML search.
+
+use crate::features;
+use crate::BaselineMatcher;
+use wym_core::pipeline::EmPredictor;
+use wym_data::{EmDataset, RecordPair, SplitIndices};
+use wym_embed::Embedder;
+use wym_linalg::Matrix;
+use wym_ml::{ClassifierPool, SelectedModel};
+use wym_tokenize::Tokenizer;
+
+/// The AutoML proxy.
+pub struct AutoMl {
+    embedder: Embedder,
+    tokenizer: Tokenizer,
+    seed: u64,
+    selected: Option<SelectedModel>,
+}
+
+impl AutoMl {
+    /// An AutoML proxy searching the full classical pool.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            embedder: Embedder::new_static(48, seed),
+            tokenizer: Tokenizer::default(),
+            seed,
+            selected: None,
+        }
+    }
+
+    /// The pool member the search selected (after `fit`).
+    pub fn selected_kind(&self) -> Option<wym_ml::ClassifierKind> {
+        self.selected.as_ref().map(|s| s.kind)
+    }
+
+    fn features_of(&self, pair: &RecordPair) -> Vec<f32> {
+        features::basic_cross_features(&self.embedder, &self.tokenizer, pair)
+    }
+}
+
+impl EmPredictor for AutoMl {
+    fn proba(&self, pair: &RecordPair) -> f32 {
+        let Some(selected) = &self.selected else { return 0.5 };
+        let mut x = Matrix::zeros(0, 0);
+        x.push_row(&self.features_of(pair));
+        selected.predict_proba(&x)[0]
+    }
+}
+
+impl BaselineMatcher for AutoMl {
+    fn name(&self) -> &'static str {
+        "AutoML"
+    }
+
+    fn fit(&mut self, dataset: &EmDataset, split: &SplitIndices) {
+        let build = |idx: &[usize]| {
+            let mut x = Matrix::zeros(0, 0);
+            let mut y = Vec::with_capacity(idx.len());
+            for &i in idx {
+                x.push_row(&self.features_of(&dataset.pairs[i]));
+                y.push(u8::from(dataset.pairs[i].label));
+            }
+            (x, y)
+        };
+        let (x_train, y_train) = build(&split.train);
+        let (x_val, y_val) = build(&split.val);
+        let pool = ClassifierPool { seed: self.seed, ..ClassifierPool::default() };
+        self.selected = Some(pool.fit_select(&x_train, &y_train, &x_val, &y_val));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::dataset_and_split;
+
+    #[test]
+    fn learns_and_reports_selected_kind() {
+        let (dataset, split, test) = dataset_and_split("S-DA", 300);
+        let mut m = AutoMl::new(0);
+        assert!(m.selected_kind().is_none());
+        m.fit(&dataset, &split);
+        assert!(m.selected_kind().is_some());
+        let f1 = m.f1_on(&test);
+        assert!(f1 > 0.75, "AutoML F1 {f1}");
+    }
+}

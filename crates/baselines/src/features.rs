@@ -1,0 +1,236 @@
+//! Shared pair-feature extraction for the baseline matchers.
+//!
+//! Three feature tiers, mirroring the growing capacity of the proxied
+//! systems:
+//!
+//! * [`attribute_features`] — 5 similarity summaries per schema attribute
+//!   (DM+ tier);
+//! * [`contrastive_features`] — shared-vs-unique token decomposition
+//!   (CorDEL tier);
+//! * [`cross_features`] — record-level and cross-attribute signals layered
+//!   on top (AutoML / DITTO tier).
+
+use wym_data::RecordPair;
+use wym_embed::Embedder;
+use wym_linalg::vector::{axpy, cosine, normalize};
+use wym_strsim::{jaccard_tokens, jaro_winkler, levenshtein_sim, looks_like_code, numeric_sim};
+use wym_tokenize::Tokenizer;
+
+/// Unit centroid of the hashed embeddings of a token list.
+fn centroid(embedder: &Embedder, tokens: &[String]) -> Vec<f32> {
+    let mut c = vec![0.0f32; embedder.dim()];
+    for t in tokens {
+        axpy(1.0, &embedder.embed_token_static(t), &mut c);
+    }
+    normalize(&mut c);
+    c
+}
+
+/// 5 similarity features for one aligned attribute pair:
+/// `[token jaccard, value jaro-winkler, value levenshtein, numeric
+/// similarity, embedding-centroid cosine]`.
+pub fn attribute_pair_features(
+    embedder: &Embedder,
+    tokenizer: &Tokenizer,
+    left: &str,
+    right: &str,
+) -> [f32; 5] {
+    let lt = tokenizer.tokenize(left);
+    let rt = tokenizer.tokenize(right);
+    let lrefs: Vec<&str> = lt.iter().map(String::as_str).collect();
+    let rrefs: Vec<&str> = rt.iter().map(String::as_str).collect();
+    [
+        jaccard_tokens(&lrefs, &rrefs),
+        jaro_winkler(left, right),
+        levenshtein_sim(left, right),
+        numeric_sim(left.trim(), right.trim()),
+        cosine(&centroid(embedder, &lt), &centroid(embedder, &rt)),
+    ]
+}
+
+/// DM+ tier: the 5 features for each schema attribute, concatenated.
+pub fn attribute_features(
+    embedder: &Embedder,
+    tokenizer: &Tokenizer,
+    pair: &RecordPair,
+) -> Vec<f32> {
+    let n = pair.left.values.len().max(pair.right.values.len());
+    let mut out = Vec::with_capacity(n * 5);
+    let empty = String::new();
+    for a in 0..n {
+        let l = pair.left.values.get(a).unwrap_or(&empty);
+        let r = pair.right.values.get(a).unwrap_or(&empty);
+        out.extend(attribute_pair_features(embedder, tokenizer, l, r));
+    }
+    out
+}
+
+/// CorDEL tier: contrastive decomposition of the full token sets —
+/// `[shared count, left-unique count, right-unique count, shared ratio,
+/// unique ratio, shared-centroid norm contribution, unique-centroid cosine,
+/// code agreement, code disagreement]`.
+pub fn contrastive_features(
+    embedder: &Embedder,
+    tokenizer: &Tokenizer,
+    pair: &RecordPair,
+) -> Vec<f32> {
+    let lt = tokenizer.tokenize(&pair.left.full_text());
+    let rt = tokenizer.tokenize(&pair.right.full_text());
+    let lset: std::collections::HashSet<&str> = lt.iter().map(String::as_str).collect();
+    let rset: std::collections::HashSet<&str> = rt.iter().map(String::as_str).collect();
+    let shared: Vec<String> =
+        lset.intersection(&rset).map(|s| s.to_string()).collect();
+    let l_unique: Vec<String> =
+        lset.difference(&rset).map(|s| s.to_string()).collect();
+    let r_unique: Vec<String> =
+        rset.difference(&lset).map(|s| s.to_string()).collect();
+    let total = (lset.len() + rset.len()).max(1) as f32;
+
+    // Code tokens are decisive in product data: count exact agreements and
+    // unmatched codes explicitly.
+    let code_agree = shared.iter().filter(|t| looks_like_code(t)).count() as f32;
+    let code_disagree = l_unique
+        .iter()
+        .chain(&r_unique)
+        .filter(|t| looks_like_code(t))
+        .count() as f32;
+
+    let unique_cos = cosine(&centroid(embedder, &l_unique), &centroid(embedder, &r_unique));
+    vec![
+        shared.len() as f32,
+        l_unique.len() as f32,
+        r_unique.len() as f32,
+        2.0 * shared.len() as f32 / total,
+        (l_unique.len() + r_unique.len()) as f32 / total,
+        shared.len() as f32 / lt.len().max(1).min(rt.len().max(1)) as f32,
+        unique_cos,
+        code_agree,
+        code_disagree,
+    ]
+}
+
+/// AutoML tier: attribute features plus record-level centroid cosine,
+/// full-text similarities, and length signals — but *not* the contrastive
+/// shared/unique/code block, which is CorDEL's and DITTO's distinguishing
+/// signal.
+pub fn basic_cross_features(
+    embedder: &Embedder,
+    tokenizer: &Tokenizer,
+    pair: &RecordPair,
+) -> Vec<f32> {
+    let mut out = attribute_features(embedder, tokenizer, pair);
+    append_record_level(&mut out, embedder, tokenizer, pair);
+    out
+}
+
+/// DITTO tier: attribute + contrastive features plus the record-level
+/// signals of [`basic_cross_features`].
+pub fn cross_features(
+    embedder: &Embedder,
+    tokenizer: &Tokenizer,
+    pair: &RecordPair,
+) -> Vec<f32> {
+    let mut out = attribute_features(embedder, tokenizer, pair);
+    out.extend(contrastive_features(embedder, tokenizer, pair));
+    append_record_level(&mut out, embedder, tokenizer, pair);
+    out
+}
+
+/// Record-level similarity and length signals shared by the upper tiers.
+fn append_record_level(
+    out: &mut Vec<f32>,
+    embedder: &Embedder,
+    tokenizer: &Tokenizer,
+    pair: &RecordPair,
+) {
+    let l_full = pair.left.full_text();
+    let r_full = pair.right.full_text();
+    let lt = tokenizer.tokenize(&l_full);
+    let rt = tokenizer.tokenize(&r_full);
+    out.push(cosine(&centroid(embedder, &lt), &centroid(embedder, &rt)));
+    out.push(jaro_winkler(&l_full, &r_full));
+    out.push(levenshtein_sim(&l_full, &r_full));
+    out.push(lt.len() as f32);
+    out.push(rt.len() as f32);
+    out.push((lt.len() as f32 - rt.len() as f32).abs());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wym_data::Entity;
+
+    fn embedder() -> Embedder {
+        Embedder::new_static(32, 0)
+    }
+
+    fn pair(l: Vec<&str>, r: Vec<&str>, label: bool) -> RecordPair {
+        RecordPair { id: 0, label, left: Entity::new(l), right: Entity::new(r) }
+    }
+
+    #[test]
+    fn identical_pairs_have_max_attribute_similarity() {
+        let e = embedder();
+        let t = Tokenizer::default();
+        let f = attribute_pair_features(&e, &t, "digital camera", "digital camera");
+        for v in f {
+            assert!(v > 0.99, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn attribute_features_width_is_5_per_attr() {
+        let e = embedder();
+        let t = Tokenizer::default();
+        let p = pair(vec!["a", "b", "c"], vec!["a", "b", "c"], true);
+        assert_eq!(attribute_features(&e, &t, &p).len(), 15);
+    }
+
+    #[test]
+    fn contrastive_separates_shared_and_unique() {
+        let e = embedder();
+        let t = Tokenizer::default();
+        let p = pair(vec!["camera zoom lens"], vec!["camera zoom filter"], true);
+        let f = contrastive_features(&e, &t, &p);
+        assert_eq!(f[0], 2.0); // shared: camera, zoom
+        assert_eq!(f[1], 1.0); // left unique: lens
+        assert_eq!(f[2], 1.0); // right unique: filter
+    }
+
+    #[test]
+    fn code_agreement_flags() {
+        let e = embedder();
+        let t = Tokenizer::default();
+        let same = pair(vec!["item 39400416"], vec!["item 39400416"], true);
+        let diff = pair(vec!["item 39400416"], vec!["item 39400417"], false);
+        let fs = contrastive_features(&e, &t, &same);
+        let fd = contrastive_features(&e, &t, &diff);
+        assert_eq!(fs[7], 1.0);
+        assert_eq!(fs[8], 0.0);
+        assert_eq!(fd[7], 0.0);
+        assert_eq!(fd[8], 2.0);
+    }
+
+    #[test]
+    fn match_features_dominate_non_match_features() {
+        let e = embedder();
+        let t = Tokenizer::default();
+        let m = pair(vec!["sony camera x100", "300"], vec!["sony camera x100", "305"], true);
+        let n = pair(vec!["sony camera x100", "300"], vec!["beer stout ale", "7"], false);
+        let fm = cross_features(&e, &t, &m);
+        let fn_ = cross_features(&e, &t, &n);
+        assert_eq!(fm.len(), fn_.len());
+        // The record-level centroid cosine (first cross feature after the
+        // attribute + contrastive blocks) must separate them.
+        let idx = 2 * 5 + 9;
+        assert!(fm[idx] > fn_[idx] + 0.3, "{} vs {}", fm[idx], fn_[idx]);
+    }
+
+    #[test]
+    fn ragged_attribute_counts_are_padded() {
+        let e = embedder();
+        let t = Tokenizer::default();
+        let p = pair(vec!["a", "b"], vec!["a"], false);
+        assert_eq!(attribute_features(&e, &t, &p).len(), 10);
+    }
+}

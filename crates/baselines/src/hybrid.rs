@@ -1,0 +1,166 @@
+//! Hybrid matcher — the paper's second §6 future-work direction:
+//! "experiment if decision units can be effectively used to train DL-based
+//! EM systems".
+//!
+//! [`HybridUnits`] extends the DITTO proxy's feature set with summaries of
+//! WYM's decision units (paired/unpaired counts and similarity statistics
+//! from a self-contained cosine-scored unit pipeline). The `hybrid_units`
+//! experiment binary compares it against the plain DITTO proxy.
+
+use crate::features;
+use crate::BaselineMatcher;
+use wym_core::algorithm1::{discover_units, DiscoveryConfig};
+use wym_core::pipeline::EmPredictor;
+use wym_core::{DecisionUnit, TokenizedRecord};
+use wym_data::{EmDataset, RecordPair, SplitIndices};
+use wym_embed::Embedder;
+use wym_linalg::vector::{mean, median};
+use wym_linalg::Matrix;
+use wym_ml::{ClassifierPool, SelectedModel};
+use wym_tokenize::Tokenizer;
+
+/// Unit-summary feature block: `[n_paired, n_unpaired_left,
+/// n_unpaired_right, paired_ratio, mean sim, median sim, min sim, max sim,
+/// mean attr-crossing]`.
+pub fn unit_summary_features(record: &TokenizedRecord, units: &[DecisionUnit]) -> Vec<f32> {
+    let paired: Vec<&DecisionUnit> = units.iter().filter(|u| u.is_paired()).collect();
+    let unpaired_left = units
+        .iter()
+        .filter(|u| {
+            matches!(u, DecisionUnit::Unpaired { side: wym_core::Side::Left, .. })
+        })
+        .count();
+    let unpaired_right = units
+        .iter()
+        .filter(|u| {
+            matches!(u, DecisionUnit::Unpaired { side: wym_core::Side::Right, .. })
+        })
+        .count();
+    let sims: Vec<f32> = paired.iter().map(|u| u.similarity()).collect();
+    let crossing = paired
+        .iter()
+        .filter(|u| match u {
+            DecisionUnit::Paired { left, right, .. } => left.attr != right.attr,
+            _ => false,
+        })
+        .count();
+    let total = units.len().max(1) as f32;
+    let _ = record;
+    vec![
+        paired.len() as f32,
+        unpaired_left as f32,
+        unpaired_right as f32,
+        paired.len() as f32 / total,
+        mean(&sims),
+        median(&sims),
+        sims.iter().copied().fold(f32::INFINITY, f32::min).min(1.0).max(-1.0),
+        sims.iter().copied().fold(f32::NEG_INFINITY, f32::max).clamp(-1.0, 1.0),
+        crossing as f32 / paired.len().max(1) as f32,
+    ]
+}
+
+/// DITTO-proxy features extended with the decision-unit summary block.
+pub struct HybridUnits {
+    embedder: Embedder,
+    tokenizer: Tokenizer,
+    discovery: DiscoveryConfig,
+    seed: u64,
+    selected: Option<SelectedModel>,
+}
+
+impl HybridUnits {
+    /// A hybrid matcher with the paper's default discovery thresholds.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            embedder: Embedder::new_static(48, seed),
+            tokenizer: Tokenizer::default(),
+            discovery: DiscoveryConfig::default(),
+            seed,
+            selected: None,
+        }
+    }
+
+    fn features_of(&self, pair: &RecordPair) -> Vec<f32> {
+        let mut f = features::cross_features(&self.embedder, &self.tokenizer, pair);
+        let record = TokenizedRecord::from_pair(pair, &self.tokenizer, &self.embedder);
+        let units = discover_units(&record, &self.discovery);
+        f.extend(unit_summary_features(&record, &units));
+        f
+    }
+}
+
+impl EmPredictor for HybridUnits {
+    fn proba(&self, pair: &RecordPair) -> f32 {
+        let Some(selected) = &self.selected else { return 0.5 };
+        let mut x = Matrix::zeros(0, 0);
+        x.push_row(&self.features_of(pair));
+        selected.predict_proba(&x)[0]
+    }
+}
+
+impl BaselineMatcher for HybridUnits {
+    fn name(&self) -> &'static str {
+        "DITTO+units"
+    }
+
+    fn fit(&mut self, dataset: &EmDataset, split: &SplitIndices) {
+        let build = |idx: &[usize]| {
+            let mut x = Matrix::zeros(0, 0);
+            let mut y = Vec::with_capacity(idx.len());
+            for &i in idx {
+                x.push_row(&self.features_of(&dataset.pairs[i]));
+                y.push(u8::from(dataset.pairs[i].label));
+            }
+            (x, y)
+        };
+        let (x_train, y_train) = build(&split.train);
+        let (x_val, y_val) = build(&split.val);
+        let pool = ClassifierPool { seed: self.seed, ..ClassifierPool::default() };
+        self.selected = Some(pool.fit_select(&x_train, &y_train, &x_val, &y_val));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::dataset_and_split;
+
+    #[test]
+    fn unit_summary_has_fixed_width() {
+        let (dataset, _, _) = dataset_and_split("S-FZ", 40);
+        let tokenizer = Tokenizer::default();
+        let embedder = Embedder::new_static(32, 0);
+        for pair in dataset.pairs.iter().take(5) {
+            let record = TokenizedRecord::from_pair(pair, &tokenizer, &embedder);
+            let units = discover_units(&record, &DiscoveryConfig::default());
+            assert_eq!(unit_summary_features(&record, &units).len(), 9);
+        }
+    }
+
+    #[test]
+    fn unit_summary_separates_match_from_non_match() {
+        let (dataset, _, _) = dataset_and_split("S-FZ", 200);
+        let tokenizer = Tokenizer::default();
+        let embedder = Embedder::new_static(32, 0);
+        let ratio = |label: bool| {
+            let pairs: Vec<_> = dataset.pairs.iter().filter(|p| p.label == label).collect();
+            let mut sum = 0.0f32;
+            for p in &pairs {
+                let rec = TokenizedRecord::from_pair(p, &tokenizer, &embedder);
+                let units = discover_units(&rec, &DiscoveryConfig::default());
+                sum += unit_summary_features(&rec, &units)[3]; // paired ratio
+            }
+            sum / pairs.len() as f32
+        };
+        assert!(ratio(true) > ratio(false) + 0.2, "{} vs {}", ratio(true), ratio(false));
+    }
+
+    #[test]
+    fn hybrid_learns() {
+        let (dataset, split, test) = dataset_and_split("S-WA", 300);
+        let mut h = HybridUnits::new(0);
+        h.fit(&dataset, &split);
+        let f1 = h.f1_on(&test);
+        assert!(f1 > 0.7, "hybrid F1 {f1}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Component microbenches (§5.3's breakdown at the operation level):
+//! stable marriage, relevance scoring, feature engineering, impacts, and
+//! the substrate hot loops (matmul, cosine, Jaro–Winkler, tokenizer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wym_bench::{bench_dataset_hard, fitted_model};
+use wym_core::features::{featurize, full_specs};
+use wym_core::pairing::{get_sm_pairs, PairingSim};
+use wym_core::TokenizedRecord;
+use wym_embed::Embedder;
+use wym_linalg::vector::cosine;
+use wym_linalg::{Matrix, Rng64};
+use wym_strsim::jaro_winkler;
+use wym_tokenize::Tokenizer;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = Rng64::new(0);
+
+    // Substrate hot loops.
+    {
+        let a = Matrix::randn(64, 128, 1.0, &mut rng);
+        let b = Matrix::randn(128, 300, 1.0, &mut rng);
+        c.bench_function("linalg_matmul_64x128x300", |bch| bch.iter(|| a.matmul(&b)));
+        let va: Vec<f32> = (0..64).map(|_| rng.normal() as f32).collect();
+        let vb: Vec<f32> = (0..64).map(|_| rng.normal() as f32).collect();
+        c.bench_function("vector_cosine_64", |bch| bch.iter(|| cosine(&va, &vb)));
+        c.bench_function("strsim_jaro_winkler", |bch| {
+            bch.iter(|| jaro_winkler("exchange server external", "exch srvr external"))
+        });
+        let tok = Tokenizer::default();
+        c.bench_function("tokenize_product_title", |bch| {
+            bch.iter(|| tok.tokenize("sony digital camera with lens kit dslra200w 37.63"))
+        });
+        let emb = Embedder::new_static(64, 0);
+        c.bench_function("embed_token", |bch| bch.iter(|| emb.embed_token_static("dslra200w")));
+    }
+
+    // Stable marriage on a realistic record.
+    {
+        let dataset = bench_dataset_hard(10);
+        let tok = Tokenizer::default();
+        let emb = Embedder::new_static(64, 0);
+        let rec = TokenizedRecord::from_pair(&dataset.pairs[0], &tok, &emb);
+        let left = rec.left.all_refs();
+        let right = rec.right.all_refs();
+        c.bench_function("pairing_stable_marriage", |bch| {
+            bch.iter(|| get_sm_pairs(&rec, &left, &right, 0.6, PairingSim::Embedding, false))
+        });
+    }
+
+    // Scoring + featurization + impacts on a fitted model.
+    {
+        let (model, _d, _s, test) = fitted_model(150);
+        let proc = model.process(&test[0]);
+        c.bench_function("scorer_score_units", |bch| {
+            bch.iter(|| model.scorer().score_units(&proc.record, &proc.units))
+        });
+        let specs = full_specs(5);
+        c.bench_function("features_featurize", |bch| {
+            bch.iter(|| featurize(&specs, &proc.units, &proc.relevances))
+        });
+        c.bench_function("matcher_impacts", |bch| {
+            bch.iter(|| model.matcher().impacts(&proc.units, &proc.relevances))
+        });
+        c.bench_function("pipeline_process_one", |bch| bch.iter(|| model.process(&test[0])));
+        c.bench_function("pipeline_explain_one", |bch| bch.iter(|| model.explain(&test[0])));
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 4 bench — decision-unit discovery (Algorithm 1) throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wym_bench::{bench_dataset, bench_dataset_hard};
+use wym_core::{discover_units, DiscoveryConfig, TokenizedRecord};
+use wym_embed::Embedder;
+use wym_tokenize::Tokenizer;
+
+fn bench(c: &mut Criterion) {
+    let tokenizer = Tokenizer::default();
+    let embedder = Embedder::new_static(64, 0);
+    let cfg = DiscoveryConfig::default();
+
+    let mut g = c.benchmark_group("figure4_unit_discovery");
+    for (label, dataset) in
+        [("restaurants", bench_dataset(100)), ("electronics", bench_dataset_hard(100))]
+    {
+        let records: Vec<TokenizedRecord> = dataset
+            .pairs
+            .iter()
+            .map(|p| TokenizedRecord::from_pair(p, &tokenizer, &embedder))
+            .collect();
+        g.bench_function(format!("discover_100_{label}"), |b| {
+            b.iter(|| {
+                records
+                    .iter()
+                    .map(|r| discover_units(r, &cfg).len())
+                    .sum::<usize>()
+            })
+        });
+        g.bench_function(format!("tokenize_embed_100_{label}"), |b| {
+            b.iter(|| {
+                dataset
+                    .pairs
+                    .iter()
+                    .map(|p| TokenizedRecord::from_pair(p, &tokenizer, &embedder).left.token_count())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

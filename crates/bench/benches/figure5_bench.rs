@@ -1,0 +1,26 @@
+//! Figure 5 bench — how training cost scales with the training-set size
+//! (the learning-curve sweep's unit of work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wym_bench::{bench_config, bench_dataset};
+use wym_core::WymModel;
+use wym_data::split::paper_split;
+
+fn bench(c: &mut Criterion) {
+    let dataset = bench_dataset(400);
+    let split = paper_split(&dataset, 0);
+
+    let mut g = c.benchmark_group("figure5_learning_curve");
+    g.sample_size(10);
+    for n in [60usize, 120, 240] {
+        let mut sub = split.clone();
+        sub.train.truncate(n);
+        g.bench_function(format!("fit_train_{n}"), |b| {
+            b.iter(|| WymModel::fit(&dataset, &sub, bench_config()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

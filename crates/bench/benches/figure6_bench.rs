@@ -1,0 +1,32 @@
+//! Figure 6 bench — explanation generation and Pareto-conciseness analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wym_bench::fitted_model;
+use wym_explain::pareto::{cumulative_impact_curve, mean_shares};
+
+fn bench(c: &mut Criterion) {
+    let (model, _dataset, _split, test) = fitted_model(200);
+    let sample: Vec<_> = test.iter().take(30).cloned().collect();
+
+    let mut g = c.benchmark_group("figure6_conciseness");
+    g.sample_size(10);
+    g.bench_function("explain_30_records", |b| {
+        b.iter(|| sample.iter().map(|p| model.explain(p).units.len()).sum::<usize>())
+    });
+    let explanations: Vec<_> = sample.iter().map(|p| model.explain(p)).collect();
+    g.bench_function("pareto_curves_30", |b| {
+        b.iter(|| {
+            explanations
+                .iter()
+                .map(|e| cumulative_impact_curve(e).len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("mean_shares", |b| {
+        b.iter(|| mean_shares(&explanations, &[0.03, 0.05, 0.1, 0.2, 0.5]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

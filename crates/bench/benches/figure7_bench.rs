@@ -1,0 +1,28 @@
+//! Figure 7 bench — sufficiency evaluation cost (keep-top-v re-prediction)
+//! and the LIME surrogate it is compared against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wym_bench::fitted_model;
+use wym_explain::sufficiency::{post_hoc_accuracy_tokens, post_hoc_accuracy_wym};
+use wym_explain::LimeText;
+
+fn bench(c: &mut Criterion) {
+    let (model, _dataset, _split, test) = fitted_model(150);
+    let sample: Vec<_> = test.iter().take(5).cloned().collect();
+    let lime = LimeText { n_samples: 30, ..LimeText::default() };
+
+    let mut g = c.benchmark_group("figure7_sufficiency");
+    g.sample_size(10);
+    g.bench_function("posthoc_wym_v3_5recs", |b| {
+        b.iter(|| post_hoc_accuracy_wym(&model, &sample, 3))
+    });
+    g.bench_function("posthoc_lime_v3_5recs", |b| {
+        b.iter(|| {
+            post_hoc_accuracy_tokens(&model, &sample, 3, |p| lime.explain(&model, p))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 8 bench — MoRF/LeRF/Random unit-removal perturbation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wym_bench::fitted_model;
+use wym_explain::perturb::{f1_after_removal, perturb_record, RemovalStrategy};
+
+fn bench(c: &mut Criterion) {
+    let (model, _dataset, _split, test) = fitted_model(150);
+    let sample: Vec<_> = test.iter().take(10).cloned().collect();
+
+    let mut g = c.benchmark_group("figure8_perturbation");
+    g.sample_size(10);
+    for strategy in [RemovalStrategy::MoRF, RemovalStrategy::LeRF, RemovalStrategy::Random] {
+        g.bench_function(format!("perturb_one_{}", strategy.as_str()), |b| {
+            b.iter(|| perturb_record(&model, &sample[0], 3, strategy, 0))
+        });
+    }
+    g.bench_function("f1_after_removal_10recs", |b| {
+        b.iter(|| f1_after_removal(&model, &sample, 3, RemovalStrategy::MoRF, 0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

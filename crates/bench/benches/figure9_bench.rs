@@ -1,0 +1,27 @@
+//! Figure 9 bench — Landmark explanation generation and WYM-impact
+//! correlation cost per record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wym_bench::fitted_model;
+use wym_explain::correlation::unit_correlation;
+use wym_explain::Landmark;
+
+fn bench(c: &mut Criterion) {
+    let (model, _dataset, _split, test) = fitted_model(150);
+    let pair = test[0].clone();
+    let landmark = Landmark { n_perturbations: 25, ..Landmark::default() };
+
+    let mut g = c.benchmark_group("figure9_landmark");
+    g.sample_size(10);
+    g.bench_function("landmark_explain_one", |b| {
+        b.iter(|| landmark.explain(&model, &pair).len())
+    });
+    let atts = landmark.explain(&model, &pair);
+    g.bench_function("unit_correlation_one", |b| {
+        b.iter(|| unit_correlation(&model, &pair, &atts))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

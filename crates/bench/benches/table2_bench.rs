@@ -1,0 +1,26 @@
+//! Table 2 bench — synthetic Magellan dataset generation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wym_data::magellan;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_generation");
+    g.sample_size(10);
+    for name in ["S-FZ", "S-BR"] {
+        g.bench_function(format!("generate_{name}"), |b| {
+            b.iter(|| magellan::generate_by_name(name, 42).unwrap())
+        });
+    }
+    // Large dataset generated once then subsampled (the harness pattern).
+    g.bench_function("generate_subsample_S-WA_800", |b| {
+        b.iter_batched(
+            || (),
+            |_| magellan::generate_by_name("S-WA", 42).unwrap().subsample(800, 0),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

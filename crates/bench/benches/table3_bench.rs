@@ -1,0 +1,33 @@
+//! Table 3 bench — end-to-end fit and evaluation cost of WYM and the
+//! strongest comparator proxy on a small dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wym_baselines::{BaselineMatcher, Ditto};
+use wym_bench::{bench_config, bench_dataset};
+use wym_core::WymModel;
+use wym_data::split::paper_split;
+
+fn bench(c: &mut Criterion) {
+    let dataset = bench_dataset(150);
+    let split = paper_split(&dataset, 0);
+    let test: Vec<_> = split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+
+    let mut g = c.benchmark_group("table3_matchers");
+    g.sample_size(10);
+    g.bench_function("wym_fit_150", |b| {
+        b.iter(|| WymModel::fit(&dataset, &split, bench_config()))
+    });
+    g.bench_function("ditto_fit_150", |b| {
+        b.iter(|| {
+            let mut d = Ditto::new(0);
+            d.fit(&dataset, &split);
+            d
+        })
+    });
+    let model = WymModel::fit(&dataset, &split, bench_config());
+    g.bench_function("wym_f1_eval", |b| b.iter(|| model.f1_on(&test)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 4 bench — cost of the ablation variants of the decision-unit
+//! generator and the scorer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wym_bench::{bench_config, bench_dataset};
+use wym_core::pairing::PairingSim;
+use wym_core::scorer::ScorerKind;
+use wym_core::WymModel;
+use wym_data::split::paper_split;
+
+fn bench(c: &mut Criterion) {
+    let dataset = bench_dataset(150);
+    let split = paper_split(&dataset, 0);
+
+    let mut g = c.benchmark_group("table4_ablations");
+    g.sample_size(10);
+    g.bench_function("generator_jaro_winkler", |b| {
+        b.iter(|| {
+            let mut cfg = bench_config();
+            cfg.discovery.sim = PairingSim::JaroWinkler;
+            cfg.discovery.theta = 0.84;
+            WymModel::fit(&dataset, &split, cfg)
+        })
+    });
+    g.bench_function("scorer_binary", |b| {
+        b.iter(|| {
+            let mut cfg = bench_config();
+            cfg.scorer.kind = ScorerKind::Binary;
+            WymModel::fit(&dataset, &split, cfg)
+        })
+    });
+    g.bench_function("matcher_simplified_features", |b| {
+        b.iter(|| {
+            let mut cfg = bench_config();
+            cfg.matcher.simplified_features = true;
+            WymModel::fit(&dataset, &split, cfg)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 5 bench — per-classifier training cost on WYM's engineered
+//! feature matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wym_bench::fitted_model;
+use wym_core::features::featurize;
+use wym_linalg::Matrix;
+use wym_ml::{ClassifierKind, StandardScaler};
+
+fn bench(c: &mut Criterion) {
+    let (model, dataset, split, _) = fitted_model(150);
+    let specs = model.matcher().specs().to_vec();
+    let mut x = Matrix::zeros(0, specs.len());
+    let mut y: Vec<u8> = Vec::new();
+    for &i in split.train.iter().chain(&split.val) {
+        let proc = model.process(&dataset.pairs[i]);
+        x.push_row(&featurize(&specs, &proc.units, &proc.relevances));
+        y.push(u8::from(dataset.pairs[i].label));
+    }
+    let (_, xs) = StandardScaler::fit_transform(&x);
+
+    let mut g = c.benchmark_group("table5_classifiers");
+    g.sample_size(10);
+    for kind in [
+        ClassifierKind::LogisticRegression,
+        ClassifierKind::DecisionTree,
+        ClassifierKind::RandomForest,
+        ClassifierKind::GradientBoosting,
+        ClassifierKind::Knn,
+    ] {
+        g.bench_function(format!("fit_{}", kind.short_name()), |b| {
+            b.iter(|| {
+                let mut m = kind.build(0);
+                m.fit(&xs, &y);
+                m.predict(&xs)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

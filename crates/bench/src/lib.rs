@@ -1,0 +1,43 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Every paper table/figure has a bench target (`benches/<id>_bench.rs`)
+//! that measures the core computation behind it on a scaled-down workload,
+//! so `cargo bench` both exercises the full pipeline and tracks performance
+//! regressions. The full-scale numbers come from the `wym-experiments`
+//! binaries, not from these benches.
+
+use wym_core::{WymConfig, WymModel};
+use wym_data::{magellan, split::paper_split, EmDataset, RecordPair, SplitIndices};
+use wym_embed::EmbedderKind;
+use wym_ml::ClassifierKind;
+use wym_nn::TrainConfig;
+
+/// A small benchmark dataset (S-FZ subsampled).
+pub fn bench_dataset(n: usize) -> EmDataset {
+    magellan::generate_by_name("S-FZ", 42).expect("known dataset").subsample(n, 0)
+}
+
+/// A harder benchmark dataset (S-WA subsampled), for unit-heavy workloads.
+pub fn bench_dataset_hard(n: usize) -> EmDataset {
+    magellan::generate_by_name("S-WA", 42).expect("known dataset").subsample(n, 0)
+}
+
+/// A fast WYM configuration for fit benchmarks.
+pub fn bench_config() -> WymConfig {
+    let mut cfg =
+        WymConfig { embed_dim: 32, embedder_kind: EmbedderKind::Static, ..WymConfig::default() };
+    cfg.scorer.train =
+        TrainConfig { epochs: 4, batch_size: 128, lr: 2e-3, ..TrainConfig::default() };
+    cfg.matcher.kinds =
+        vec![ClassifierKind::LogisticRegression, ClassifierKind::GradientBoosting];
+    cfg
+}
+
+/// A fitted model plus its split and test pairs, ready to be benchmarked.
+pub fn fitted_model(n: usize) -> (WymModel, EmDataset, SplitIndices, Vec<RecordPair>) {
+    let dataset = bench_dataset(n);
+    let split = paper_split(&dataset, 0);
+    let model = WymModel::fit(&dataset, &split, bench_config());
+    let test = split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+    (model, dataset, split, test)
+}

@@ -1,0 +1,337 @@
+//! Algorithm 1 — `DecisionUnitDiscovery` (paper §4.1.2).
+//!
+//! Three successively broader search spaces, with increasing thresholds:
+//!
+//! 1. **Intra-attribute** (`θ`): tokens of matching attributes only — "the
+//!    dataset structure guarantees that the found intra-attribute
+//!    correspondences describe the same entity property";
+//! 2. **Inter-attribute** (`η`): the tokens left unpaired by phase 1, across
+//!    all attributes — handles dirty / misaligned data (challenge R2);
+//! 3. **One-to-many** (`ε`): remaining unpaired tokens against the
+//!    *already paired* tokens of the other entity — builds the chains that
+//!    represent repetitions and periphrasis.
+//!
+//! The output satisfies the §3.1.1 constraints: every token belongs to at
+//! least one decision unit, and a token in an unpaired unit belongs to no
+//! paired unit.
+
+use crate::pairing::{get_sm_pairs, PairingSim};
+use crate::record::{Side, TokenRef, TokenizedRecord};
+use crate::units::DecisionUnit;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Thresholds and options of the decision unit generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiscoveryConfig {
+    /// Intra-attribute similarity threshold (paper setting: 0.6).
+    pub theta: f32,
+    /// Inter-attribute similarity threshold (paper setting: 0.65).
+    pub eta: f32,
+    /// One-to-many similarity threshold (paper setting: 0.7).
+    pub epsilon: f32,
+    /// Preference measure (embedding cosine vs Jaro–Winkler ablation).
+    pub sim: PairingSim,
+    /// Product-code domain heuristic (§5.1.1 error analysis).
+    pub code_heuristic: bool,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        Self {
+            theta: 0.6,
+            eta: 0.65,
+            epsilon: 0.7,
+            sim: PairingSim::Embedding,
+            code_heuristic: false,
+        }
+    }
+}
+
+/// Runs Algorithm 1 on a tokenized record, returning paired units followed
+/// by unpaired units.
+pub fn discover_units(record: &TokenizedRecord, config: &DiscoveryConfig) -> Vec<DecisionUnit> {
+    let mut paired: Vec<DecisionUnit> = Vec::new();
+    let mut nx: Vec<TokenRef> = Vec::new();
+    let mut ny: Vec<TokenRef> = Vec::new();
+
+    // Phase 1 — intra-attribute correspondences (lines 4-8).
+    let attrs = record.left.attr_count().min(record.right.attr_count());
+    for a in 0..attrs {
+        let ex = record.left.attr_refs(a);
+        let ey = record.right.attr_refs(a);
+        let m = get_sm_pairs(record, &ex, &ey, config.theta, config.sim, config.code_heuristic);
+        let used_l: HashSet<TokenRef> = m.iter().map(|(l, _, _)| *l).collect();
+        let used_r: HashSet<TokenRef> = m.iter().map(|(_, r, _)| *r).collect();
+        nx.extend(ex.into_iter().filter(|t| !used_l.contains(t)));
+        ny.extend(ey.into_iter().filter(|t| !used_r.contains(t)));
+        paired.extend(m.into_iter().map(|(left, right, similarity)| DecisionUnit::Paired {
+            left,
+            right,
+            similarity,
+        }));
+    }
+    // Attributes present on only one side (ragged schemas) go straight to
+    // the unpaired pools.
+    for a in attrs..record.left.attr_count() {
+        nx.extend(record.left.attr_refs(a));
+    }
+    for a in attrs..record.right.attr_count() {
+        ny.extend(record.right.attr_refs(a));
+    }
+
+    // Phase 2 — inter-attribute correspondences (lines 9-12).
+    let m = get_sm_pairs(record, &nx, &ny, config.eta, config.sim, config.code_heuristic);
+    let used_l: HashSet<TokenRef> = m.iter().map(|(l, _, _)| *l).collect();
+    let used_r: HashSet<TokenRef> = m.iter().map(|(_, r, _)| *r).collect();
+    nx.retain(|t| !used_l.contains(t));
+    ny.retain(|t| !used_r.contains(t));
+    paired.extend(m.into_iter().map(|(left, right, similarity)| DecisionUnit::Paired {
+        left,
+        right,
+        similarity,
+    }));
+
+    // Phase 3 — one-to-many correspondences with already paired tokens
+    // (lines 13-17).
+    let paired_right: Vec<TokenRef> = paired
+        .iter()
+        .filter_map(|u| match u {
+            DecisionUnit::Paired { right, .. } => Some(*right),
+            _ => None,
+        })
+        .collect();
+    let paired_left: Vec<TokenRef> = paired
+        .iter()
+        .filter_map(|u| match u {
+            DecisionUnit::Paired { left, .. } => Some(*left),
+            _ => None,
+        })
+        .collect();
+    let mx =
+        get_sm_pairs(record, &nx, &paired_right, config.epsilon, config.sim, config.code_heuristic);
+    let used_l: HashSet<TokenRef> = mx.iter().map(|(l, _, _)| *l).collect();
+    nx.retain(|t| !used_l.contains(t));
+
+    // Symmetric call: unmatched right tokens propose to paired left tokens.
+    // `get_sm_pairs` is left→right directional, so swap roles by probing
+    // with reversed similarity (similarity is symmetric for both measures).
+    let my: Vec<(TokenRef, TokenRef, f32)> = {
+        // Build a temporary reversed view by calling with sides swapped:
+        // candidates are (paired_left as "right side of proposals").
+        let reversed = get_sm_pairs_reversed(
+            record,
+            &ny,
+            &paired_left,
+            config.epsilon,
+            config.sim,
+            config.code_heuristic,
+        );
+        let used_r: HashSet<TokenRef> = reversed.iter().map(|(r, _, _)| *r).collect();
+        ny.retain(|t| !used_r.contains(t));
+        reversed.into_iter().map(|(r, l, s)| (l, r, s)).collect()
+    };
+    paired.extend(mx.into_iter().map(|(left, right, similarity)| DecisionUnit::Paired {
+        left,
+        right,
+        similarity,
+    }));
+    paired.extend(my.into_iter().map(|(left, right, similarity)| DecisionUnit::Paired {
+        left,
+        right,
+        similarity,
+    }));
+
+    // N_r = N_x ∪ N_y (line 18).
+    let mut units = paired;
+    units.extend(nx.into_iter().map(|token| DecisionUnit::Unpaired { token, side: Side::Left }));
+    units.extend(ny.into_iter().map(|token| DecisionUnit::Unpaired { token, side: Side::Right }));
+    units
+}
+
+/// Stable marriage with proposers on the *right* side; returns
+/// `(right_token, left_token, sim)` triples.
+fn get_sm_pairs_reversed(
+    record: &TokenizedRecord,
+    right_proposers: &[TokenRef],
+    left_candidates: &[TokenRef],
+    threshold: f32,
+    sim: PairingSim,
+    code_heuristic: bool,
+) -> Vec<(TokenRef, TokenRef, f32)> {
+    // token_similarity(l, r) is symmetric in the measure, so reuse the
+    // forward implementation with arguments swapped at the probe site.
+    if right_proposers.is_empty() || left_candidates.is_empty() {
+        return Vec::new();
+    }
+    let fwd = get_sm_pairs(record, left_candidates, right_proposers, threshold, sim, code_heuristic);
+    fwd.into_iter().map(|(l, r, s)| (r, l, s)).collect()
+}
+
+/// Verifies the §3.1.1 decision-unit constraints; used by tests and the
+/// property suite.
+pub fn check_constraints(record: &TokenizedRecord, units: &[DecisionUnit]) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut seen: HashMap<(Side, TokenRef), (bool, bool)> = HashMap::new(); // (in_paired, in_unpaired)
+    for u in units {
+        match u {
+            DecisionUnit::Paired { left, right, .. } => {
+                seen.entry((Side::Left, *left)).or_default().0 = true;
+                seen.entry((Side::Right, *right)).or_default().0 = true;
+            }
+            DecisionUnit::Unpaired { token, side } => {
+                seen.entry((*side, *token)).or_default().1 = true;
+            }
+        }
+    }
+    for side in [Side::Left, Side::Right] {
+        for t in record.view(side).all_refs() {
+            match seen.get(&(side, t)) {
+                None => {
+                    return Err(format!(
+                        "token {side:?} {t:?} ({}) belongs to no unit",
+                        record.text(side, t)
+                    ))
+                }
+                Some((true, true)) => {
+                    return Err(format!(
+                        "token {side:?} {t:?} ({}) is both paired and unpaired",
+                        record.text(side, t)
+                    ))
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wym_data::{Entity, RecordPair};
+    use wym_embed::Embedder;
+    use wym_tokenize::Tokenizer;
+
+    fn record(left: Vec<&str>, right: Vec<&str>) -> TokenizedRecord {
+        let pair = RecordPair {
+            id: 0,
+            label: true,
+            left: Entity::new(left),
+            right: Entity::new(right),
+        };
+        TokenizedRecord::from_pair(&pair, &Tokenizer::default(), &Embedder::new_static(48, 0))
+    }
+
+    #[test]
+    fn constraints_hold_on_running_example() {
+        let rec = record(
+            vec!["exch srvr external sa eng 39400416", "microsoft licenses", "42166"],
+            vec!["39400416 exch svr external sa", "microsoft licenses", "22575"],
+        );
+        let units = discover_units(&rec, &DiscoveryConfig::default());
+        check_constraints(&rec, &units).unwrap();
+        let paired = units.iter().filter(|u| u.is_paired()).count();
+        assert!(paired >= 4, "expected several paired units, got {paired}");
+    }
+
+    #[test]
+    fn identical_descriptions_pair_everything() {
+        let rec = record(vec!["digital camera kit", "sony"], vec!["digital camera kit", "sony"]);
+        let units = discover_units(&rec, &DiscoveryConfig::default());
+        check_constraints(&rec, &units).unwrap();
+        assert!(units.iter().all(DecisionUnit::is_paired), "{units:?}");
+        assert_eq!(units.len(), 4);
+    }
+
+    #[test]
+    fn disjoint_descriptions_pair_nothing() {
+        let rec = record(vec!["zzzz qqqq"], vec!["wwww kkkk"]);
+        let units = discover_units(&rec, &DiscoveryConfig::default());
+        check_constraints(&rec, &units).unwrap();
+        assert!(units.iter().all(|u| !u.is_paired()));
+        assert_eq!(units.len(), 4);
+    }
+
+    #[test]
+    fn inter_attribute_phase_pairs_misaligned_values() {
+        // "sony" sits in the title on the left but in the brand attribute on
+        // the right: only phase 2 can pair it.
+        let rec = record(vec!["sony camera", ""], vec!["camera", "sony"]);
+        let units = discover_units(&rec, &DiscoveryConfig::default());
+        check_constraints(&rec, &units).unwrap();
+        let cross = units.iter().any(|u| match u {
+            DecisionUnit::Paired { left, right, .. } => left.attr != right.attr,
+            _ => false,
+        });
+        assert!(cross, "expected a cross-attribute pair: {units:?}");
+    }
+
+    #[test]
+    fn one_to_many_phase_attaches_repetitions() {
+        // Left repeats "camera" twice; right has it once. Phase 1 pairs one
+        // occurrence; phase 3 should attach the second to the already-paired
+        // right token.
+        let rec = record(vec!["camera camera"], vec!["camera"]);
+        let units = discover_units(&rec, &DiscoveryConfig::default());
+        check_constraints(&rec, &units).unwrap();
+        let paired = units.iter().filter(|u| u.is_paired()).count();
+        assert_eq!(paired, 2, "{units:?}");
+        assert_eq!(units.len(), 2);
+    }
+
+    #[test]
+    fn empty_sides_are_all_unpaired() {
+        let rec = record(vec![""], vec!["camera case"]);
+        let units = discover_units(&rec, &DiscoveryConfig::default());
+        check_constraints(&rec, &units).unwrap();
+        assert_eq!(units.len(), 2);
+        assert!(units.iter().all(|u| !u.is_paired()));
+    }
+
+    #[test]
+    fn thresholds_monotonicity_more_units_paired_with_lower_theta() {
+        let rec = record(
+            vec!["digtal camra lens kit bundle"],
+            vec!["digital camera lens pack"],
+        );
+        let loose = DiscoveryConfig { theta: 0.3, eta: 0.35, epsilon: 0.4, ..Default::default() };
+        let strict = DiscoveryConfig { theta: 0.95, eta: 0.95, epsilon: 0.95, ..Default::default() };
+        let n_loose =
+            discover_units(&rec, &loose).iter().filter(|u| u.is_paired()).count();
+        let n_strict =
+            discover_units(&rec, &strict).iter().filter(|u| u.is_paired()).count();
+        assert!(n_loose >= n_strict, "loose {n_loose} vs strict {n_strict}");
+        assert!(n_loose >= 2);
+    }
+
+    #[test]
+    fn jaro_winkler_generator_variant_works() {
+        let rec = record(vec!["exchange server"], vec!["exchang servr"]);
+        let cfg = DiscoveryConfig {
+            sim: PairingSim::JaroWinkler,
+            theta: 0.85,
+            eta: 0.9,
+            epsilon: 0.92,
+            ..Default::default()
+        };
+        let units = discover_units(&rec, &cfg);
+        check_constraints(&rec, &units).unwrap();
+        assert_eq!(units.iter().filter(|u| u.is_paired()).count(), 2);
+    }
+
+    #[test]
+    fn ragged_attribute_counts_are_tolerated() {
+        // Right entity has fewer attributes than left.
+        let pair = RecordPair {
+            id: 0,
+            label: false,
+            left: Entity::new(vec!["camera", "sony"]),
+            right: Entity::new(vec!["camera"]),
+        };
+        let rec =
+            TokenizedRecord::from_pair(&pair, &Tokenizer::default(), &Embedder::new_static(48, 0));
+        let units = discover_units(&rec, &DiscoveryConfig::default());
+        check_constraints(&rec, &units).unwrap();
+    }
+}

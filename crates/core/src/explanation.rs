@@ -1,0 +1,262 @@
+//! User-facing explanations: decision units with relevance and impact.
+
+use crate::record::TokenizedRecord;
+use crate::units::{DecisionUnit, UNP};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One decision unit of an explanation, resolved to surface forms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplainedUnit {
+    /// Left surface form ([`UNP`] when the unit is unpaired on the right).
+    pub left: String,
+    /// Right surface form ([`UNP`] when the unit is unpaired on the left).
+    pub right: String,
+    /// Attribute name the unit is assigned to.
+    pub attribute: String,
+    /// Whether the unit is paired.
+    pub paired: bool,
+    /// Relevance score (the unit's contribution in isolation, §4.2).
+    pub relevance: f32,
+    /// Impact score (the unit's contribution to this prediction, §4.3).
+    /// Positive pushes toward *match*, negative toward *non-match*.
+    pub impact: f32,
+}
+
+impl ExplainedUnit {
+    /// `(a,b)` display form, e.g. `(exch,exch)` or `(eng)` for unpaired.
+    pub fn display_pair(&self) -> String {
+        if self.left == UNP {
+            format!("({})", self.right)
+        } else if self.right == UNP {
+            format!("({})", self.left)
+        } else {
+            format!("({},{})", self.left, self.right)
+        }
+    }
+}
+
+/// The explanation of one EM prediction: `EX(r) = {(d_r, i_r)}` plus the
+/// prediction itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Record id.
+    pub record_id: u32,
+    /// Predicted label (`true` = match).
+    pub prediction: bool,
+    /// Match probability.
+    pub probability: f32,
+    /// Explained units, sorted by descending |impact|.
+    pub units: Vec<ExplainedUnit>,
+}
+
+impl Explanation {
+    /// Assembles an explanation from pipeline outputs.
+    pub fn build(
+        record: &TokenizedRecord,
+        attr_names: &[String],
+        units: &[DecisionUnit],
+        relevances: &[f32],
+        impacts: &[f32],
+        prediction: bool,
+        probability: f32,
+    ) -> Explanation {
+        let mut out: Vec<ExplainedUnit> = units
+            .iter()
+            .zip(relevances)
+            .zip(impacts)
+            .map(|((u, &relevance), &impact)| {
+                let (l, r) = u.texts(record);
+                let attr = u.attribute();
+                ExplainedUnit {
+                    left: l.to_string(),
+                    right: r.to_string(),
+                    attribute: attr_names
+                        .get(attr)
+                        .cloned()
+                        .unwrap_or_else(|| format!("attr{attr}")),
+                    paired: u.is_paired(),
+                    relevance,
+                    impact,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| b.impact.abs().total_cmp(&a.impact.abs()));
+        Explanation { record_id: record.id, prediction, probability, units: out }
+    }
+
+    /// The `k` units with the largest absolute impact.
+    pub fn top_units(&self, k: usize) -> &[ExplainedUnit] {
+        &self.units[..k.min(self.units.len())]
+    }
+
+    /// Sum of positive impacts (evidence for match).
+    pub fn match_evidence(&self) -> f32 {
+        self.units.iter().map(|u| u.impact.max(0.0)).sum()
+    }
+
+    /// Sum of negative impacts (evidence for non-match), as a negative number.
+    pub fn non_match_evidence(&self) -> f32 {
+        self.units.iter().map(|u| u.impact.min(0.0)).sum()
+    }
+
+    /// Attribute-level view of the explanation (the granularity CERTA uses,
+    /// per the paper's related work): total impact, unit count, and
+    /// paired-unit count per attribute, sorted by descending |impact|.
+    pub fn by_attribute(&self) -> Vec<AttributeImpact> {
+        let mut map: std::collections::HashMap<&str, AttributeImpact> =
+            std::collections::HashMap::new();
+        for u in &self.units {
+            let entry = map.entry(u.attribute.as_str()).or_insert_with(|| AttributeImpact {
+                attribute: u.attribute.clone(),
+                impact: 0.0,
+                units: 0,
+                paired_units: 0,
+            });
+            entry.impact += u.impact;
+            entry.units += 1;
+            entry.paired_units += usize::from(u.paired);
+        }
+        let mut out: Vec<AttributeImpact> = map.into_values().collect();
+        out.sort_by(|a, b| b.impact.abs().total_cmp(&a.impact.abs()));
+        out
+    }
+}
+
+/// Aggregated impact of one schema attribute (see [`Explanation::by_attribute`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributeImpact {
+    /// Attribute name.
+    pub attribute: String,
+    /// Summed impact of the attribute's units (signed).
+    pub impact: f32,
+    /// Number of decision units assigned to the attribute.
+    pub units: usize,
+    /// How many of them are paired.
+    pub paired_units: usize,
+}
+
+impl fmt::Display for Explanation {
+    /// Renders the Figure 3-style bar chart in ASCII.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "record {} → {} (p = {:.3})",
+            self.record_id,
+            if self.prediction { "MATCH" } else { "NO MATCH" },
+            self.probability
+        )?;
+        let max = self
+            .units
+            .iter()
+            .map(|u| u.impact.abs())
+            .fold(0.0f32, f32::max)
+            .max(1e-6);
+        for u in &self.units {
+            let width = ((u.impact.abs() / max) * 30.0).round() as usize;
+            let bar: String =
+                std::iter::repeat_n(if u.impact >= 0.0 { '+' } else { '-' }, width).collect();
+            writeln!(
+                f,
+                "  {:>30} [{:^12}] {:+.4} {}",
+                u.display_pair(),
+                u.attribute,
+                u.impact,
+                bar
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Side, TokenRef};
+    use wym_data::{Entity, RecordPair};
+    use wym_embed::Embedder;
+    use wym_tokenize::Tokenizer;
+
+    fn record() -> TokenizedRecord {
+        let pair = RecordPair {
+            id: 3,
+            label: true,
+            left: Entity::new(vec!["exch eng"]),
+            right: Entity::new(vec!["exch"]),
+        };
+        TokenizedRecord::from_pair(&pair, &Tokenizer::default(), &Embedder::new_static(32, 0))
+    }
+
+    fn sample() -> Explanation {
+        let rec = record();
+        let units = vec![
+            DecisionUnit::Paired {
+                left: TokenRef::new(0, 0),
+                right: TokenRef::new(0, 0),
+                similarity: 0.95,
+            },
+            DecisionUnit::Unpaired { token: TokenRef::new(0, 1), side: Side::Left },
+        ];
+        Explanation::build(
+            &rec,
+            &["name".to_string()],
+            &units,
+            &[0.9, -0.5],
+            &[0.4, -0.7],
+            true,
+            0.8,
+        )
+    }
+
+    #[test]
+    fn units_sorted_by_absolute_impact() {
+        let ex = sample();
+        assert_eq!(ex.units.len(), 2);
+        assert!(ex.units[0].impact.abs() >= ex.units[1].impact.abs());
+        assert_eq!(ex.units[0].display_pair(), "(eng)");
+        assert_eq!(ex.units[1].display_pair(), "(exch,exch)");
+    }
+
+    #[test]
+    fn evidence_sums() {
+        let ex = sample();
+        assert!((ex.match_evidence() - 0.4).abs() < 1e-6);
+        assert!((ex.non_match_evidence() + 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_units_clamps() {
+        let ex = sample();
+        assert_eq!(ex.top_units(1).len(), 1);
+        assert_eq!(ex.top_units(10).len(), 2);
+    }
+
+    #[test]
+    fn display_renders_bars() {
+        let ex = sample();
+        let s = ex.to_string();
+        assert!(s.contains("MATCH"));
+        assert!(s.contains("(exch,exch)"));
+        assert!(s.contains('-'), "negative bar expected");
+    }
+
+    #[test]
+    fn attribute_aggregation_sums_impacts() {
+        let ex = sample();
+        let attrs = ex.by_attribute();
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].attribute, "name");
+        assert!((attrs[0].impact - (0.4 - 0.7)).abs() < 1e-6);
+        assert_eq!(attrs[0].units, 2);
+        assert_eq!(attrs[0].paired_units, 1);
+    }
+
+    #[test]
+    fn unknown_attribute_name_falls_back() {
+        let rec = record();
+        let units =
+            vec![DecisionUnit::Unpaired { token: TokenRef::new(0, 0), side: Side::Left }];
+        let ex = Explanation::build(&rec, &[], &units, &[0.0], &[0.0], false, 0.1);
+        assert_eq!(ex.units[0].attribute, "attr0");
+    }
+}

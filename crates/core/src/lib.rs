@@ -1,0 +1,39 @@
+//! The WYM system core — the paper's primary contribution.
+//!
+//! This crate implements the three-component architecture template of
+//! *"An Intrinsically Interpretable Entity Matching System"* (EDBT 2023):
+//!
+//! 1. **Decision unit generator** ([`pairing`], [`algorithm1`]) — tokenizes
+//!    and embeds both entity descriptions, then pairs semantically similar
+//!    tokens with a relaxed Gale–Shapley stable marriage run over three
+//!    search spaces (intra-attribute θ, inter-attribute η, one-to-many ε).
+//! 2. **Decision unit relevance scorer** ([`scorer`]) — a feed-forward
+//!    network regressing each unit's isolated contribution in `[-1, 1]`
+//!    from symmetric embedding features, trained on the label-mismatch-
+//!    corrected targets of Eq. 2/3.
+//! 3. **Explainable matcher** ([`features`], [`matcher`]) — feature
+//!    engineering over relevance scores (per attribute / entity / record),
+//!    a pool of ten interpretable classifiers, and the inverse feature
+//!    transformation that turns fitted coefficients into per-unit *impact
+//!    scores*.
+//!
+//! [`pipeline::WymModel`] ties the components into the end-to-end system;
+//! [`explanation::Explanation`] is what users consume.
+
+pub mod algorithm1;
+pub mod explanation;
+pub mod features;
+pub mod matcher;
+pub mod pairing;
+pub mod pipeline;
+pub mod record;
+pub mod rules;
+pub mod scorer;
+pub mod units;
+
+pub use algorithm1::{discover_units, DiscoveryConfig};
+pub use explanation::{ExplainedUnit, Explanation};
+pub use pipeline::{Prediction, ProcessedRecord, WymConfig, WymModel};
+pub use record::{Side, TokenRef, TokenizedRecord};
+pub use rules::UnitRule;
+pub use units::{DecisionUnit, UnitKey};

@@ -1,0 +1,300 @@
+//! `GetSMPairs` — relaxed Gale–Shapley stable marriage over token
+//! similarities (paper §4.1.2).
+//!
+//! Each token is associated with "a preference list defined by the closest
+//! embeddings in the BERT embedding space (according to a threshold applied
+//! to their cosine similarity)"; with respect to the original problem the
+//! lists have variable length and continuous preferences. Left tokens
+//! propose, right tokens hold their best proposal — the classic
+//! deferred-acceptance algorithm, O(n²) as the paper notes.
+
+use crate::record::{Side, TokenRef, TokenizedRecord};
+use serde::{Deserialize, Serialize};
+use wym_linalg::vector::cosine;
+use wym_strsim::{jaro_winkler, looks_like_code};
+
+/// Which similarity drives the preference lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairingSim {
+    /// Cosine similarity of contextual token embeddings (WYM default).
+    Embedding,
+    /// Jaro–Winkler over surface forms (Table 4's "j-w dist." ablation).
+    JaroWinkler,
+}
+
+/// Similarity of a left/right token pair under the chosen measure, with the
+/// optional product-code domain heuristic from §5.1.1 (codes only pair when
+/// their surface forms are identical).
+pub fn token_similarity(
+    record: &TokenizedRecord,
+    l: TokenRef,
+    r: TokenRef,
+    sim: PairingSim,
+    code_heuristic: bool,
+) -> f32 {
+    let lt = record.text(Side::Left, l);
+    let rt = record.text(Side::Right, r);
+    if code_heuristic && (looks_like_code(lt) || looks_like_code(rt)) && lt != rt {
+        return 0.0;
+    }
+    match sim {
+        PairingSim::Embedding => cosine(record.embed(Side::Left, l), record.embed(Side::Right, r)),
+        PairingSim::JaroWinkler => jaro_winkler(lt, rt),
+    }
+}
+
+/// One stable assignment `(left, right, similarity)`.
+pub type SmPair = (TokenRef, TokenRef, f32);
+
+/// Stable marriage between two token sets: pairs with similarity ≥
+/// `threshold`, stable w.r.t. the continuous preferences.
+///
+/// Returns pairs sorted by descending similarity (deterministic given the
+/// inputs). Either side may be larger; leftover tokens simply stay single.
+pub fn get_sm_pairs(
+    record: &TokenizedRecord,
+    left: &[TokenRef],
+    right: &[TokenRef],
+    threshold: f32,
+    sim: PairingSim,
+    code_heuristic: bool,
+) -> Vec<SmPair> {
+    if left.is_empty() || right.is_empty() {
+        return Vec::new();
+    }
+    // Preference lists: candidates above threshold, best first.
+    let mut prefs: Vec<Vec<(usize, f32)>> = Vec::with_capacity(left.len());
+    for &l in left {
+        let mut row: Vec<(usize, f32)> = right
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &r)| {
+                let s = token_similarity(record, l, r, sim, code_heuristic);
+                (s >= threshold).then_some((j, s))
+            })
+            .collect();
+        row.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        prefs.push(row);
+    }
+
+    // Deferred acceptance: left proposes in preference order.
+    let mut next: Vec<usize> = vec![0; left.len()];
+    let mut engaged_to: Vec<Option<(usize, f32)>> = vec![None; right.len()];
+    let mut free: Vec<usize> = (0..left.len()).rev().collect();
+    while let Some(i) = free.pop() {
+        while next[i] < prefs[i].len() {
+            let (j, s) = prefs[i][next[i]];
+            next[i] += 1;
+            match engaged_to[j] {
+                None => {
+                    engaged_to[j] = Some((i, s));
+                    break;
+                }
+                Some((other, other_s)) => {
+                    // The right token prefers the higher similarity; ties go
+                    // to the earlier proposer for determinism.
+                    if s > other_s {
+                        engaged_to[j] = Some((i, s));
+                        free.push(other);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<SmPair> = engaged_to
+        .into_iter()
+        .enumerate()
+        .filter_map(|(j, e)| e.map(|(i, s)| (left[i], right[j], s)))
+        .collect();
+    out.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.attr.cmp(&b.0.attr)).then(a.0.pos.cmp(&b.0.pos)));
+    out
+}
+
+/// Checks stability of a matching: no unmatched pair `(l, r)` with
+/// similarity above threshold prefers each other to their assigned partners.
+/// Exposed for tests and property checks.
+pub fn is_stable(
+    record: &TokenizedRecord,
+    left: &[TokenRef],
+    right: &[TokenRef],
+    pairs: &[SmPair],
+    threshold: f32,
+    sim: PairingSim,
+) -> bool {
+    let partner_sim_l = |l: &TokenRef| {
+        pairs.iter().find(|(pl, _, _)| pl == l).map(|(_, _, s)| *s)
+    };
+    let partner_sim_r = |r: &TokenRef| {
+        pairs.iter().find(|(_, pr, _)| pr == r).map(|(_, _, s)| *s)
+    };
+    for &l in left {
+        for &r in right {
+            let s = token_similarity(record, l, r, sim, false);
+            if s < threshold {
+                continue;
+            }
+            if pairs.iter().any(|(pl, pr, _)| *pl == l && *pr == r) {
+                continue;
+            }
+            let l_better = partner_sim_l(&l).is_none_or(|cur| s > cur + 1e-6);
+            let r_better = partner_sim_r(&r).is_none_or(|cur| s > cur + 1e-6);
+            if l_better && r_better {
+                return false; // blocking pair
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wym_data::{Entity, RecordPair};
+    use wym_embed::Embedder;
+    use wym_tokenize::Tokenizer;
+
+    fn record(left: &str, right: &str) -> TokenizedRecord {
+        let pair = RecordPair {
+            id: 0,
+            label: true,
+            left: Entity::new(vec![left.to_string()]),
+            right: Entity::new(vec![right.to_string()]),
+        };
+        TokenizedRecord::from_pair(&pair, &Tokenizer::default(), &Embedder::new_static(48, 0))
+    }
+
+    #[test]
+    fn identical_tokens_pair_with_top_similarity() {
+        let rec = record("digital camera", "camera case");
+        let pairs = get_sm_pairs(
+            &rec,
+            &rec.left.all_refs(),
+            &rec.right.all_refs(),
+            0.6,
+            PairingSim::Embedding,
+            false,
+        );
+        assert_eq!(pairs.len(), 1);
+        let (l, r, s) = pairs[0];
+        assert_eq!(rec.text(Side::Left, l), "camera");
+        assert_eq!(rec.text(Side::Right, r), "camera");
+        assert!(s > 0.9);
+    }
+
+    #[test]
+    fn threshold_filters_pairs() {
+        let rec = record("sony", "panasonic");
+        let pairs = get_sm_pairs(
+            &rec,
+            &rec.left.all_refs(),
+            &rec.right.all_refs(),
+            0.9,
+            PairingSim::Embedding,
+            false,
+        );
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn one_to_one_within_a_call() {
+        // Two identical left tokens compete for one right token: only one wins.
+        let rec = record("camera camera", "camera");
+        let pairs = get_sm_pairs(
+            &rec,
+            &rec.left.all_refs(),
+            &rec.right.all_refs(),
+            0.5,
+            PairingSim::Embedding,
+            false,
+        );
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn matching_is_stable() {
+        let rec = record("exch srvr external sa eng", "exch svr external sa");
+        let left = rec.left.all_refs();
+        let right = rec.right.all_refs();
+        let pairs = get_sm_pairs(&rec, &left, &right, 0.5, PairingSim::Embedding, false);
+        assert!(is_stable(&rec, &left, &right, &pairs, 0.5, PairingSim::Embedding));
+        assert!(!pairs.is_empty());
+    }
+
+    #[test]
+    fn jaro_winkler_mode_pairs_surface_variants() {
+        let rec = record("exchange server", "exchang srver");
+        let pairs = get_sm_pairs(
+            &rec,
+            &rec.left.all_refs(),
+            &rec.right.all_refs(),
+            0.8,
+            PairingSim::JaroWinkler,
+            false,
+        );
+        assert_eq!(pairs.len(), 2, "{pairs:?}");
+    }
+
+    #[test]
+    fn code_heuristic_blocks_unequal_codes() {
+        let rec = record("39400416", "39400417");
+        let without = get_sm_pairs(
+            &rec,
+            &rec.left.all_refs(),
+            &rec.right.all_refs(),
+            0.5,
+            PairingSim::Embedding,
+            false,
+        );
+        assert_eq!(without.len(), 1, "similar codes pair without the heuristic");
+        let with = get_sm_pairs(
+            &rec,
+            &rec.left.all_refs(),
+            &rec.right.all_refs(),
+            0.5,
+            PairingSim::Embedding,
+            true,
+        );
+        assert!(with.is_empty(), "the heuristic must block unequal codes");
+    }
+
+    #[test]
+    fn code_heuristic_allows_equal_codes() {
+        let rec = record("39400416", "39400416");
+        let pairs = get_sm_pairs(
+            &rec,
+            &rec.left.all_refs(),
+            &rec.right.all_refs(),
+            0.5,
+            PairingSim::Embedding,
+            true,
+        );
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn empty_sides_yield_no_pairs() {
+        let rec = record("a b", "c");
+        assert!(get_sm_pairs(&rec, &[], &rec.right.all_refs(), 0.1, PairingSim::Embedding, false)
+            .is_empty());
+        assert!(get_sm_pairs(&rec, &rec.left.all_refs(), &[], 0.1, PairingSim::Embedding, false)
+            .is_empty());
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let rec = record("digital camera lens kit", "camera digital kit lens");
+        let run = || {
+            get_sm_pairs(
+                &rec,
+                &rec.left.all_refs(),
+                &rec.right.all_refs(),
+                0.3,
+                PairingSim::Embedding,
+                false,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

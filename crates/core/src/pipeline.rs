@@ -1,0 +1,476 @@
+//! End-to-end WYM pipeline: fit on a dataset split, predict, explain.
+
+use crate::algorithm1::{discover_units, DiscoveryConfig};
+use crate::explanation::Explanation;
+use crate::matcher::{ExplainableMatcher, MatcherConfig, SavedMatcher};
+use crate::record::TokenizedRecord;
+use crate::rules::{apply_rules, UnitRule};
+use crate::scorer::{RelevanceScorer, ScorerConfig};
+use crate::units::DecisionUnit;
+use serde::{Deserialize, Serialize};
+use wym_data::{EmDataset, RecordPair, SplitIndices};
+use wym_embed::{Embedder, EmbedderKind};
+use wym_ml::{f1_score, ClassifierKind};
+use wym_tokenize::Tokenizer;
+
+/// Full configuration of a WYM model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WymConfig {
+    /// Embedding variant (Table 4 generator axis; Siamese ≈ SBERT default).
+    pub embedder_kind: EmbedderKind,
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// Decision-unit generator thresholds and options.
+    pub discovery: DiscoveryConfig,
+    /// Relevance-scorer configuration.
+    pub scorer: ScorerConfig,
+    /// Explainable-matcher configuration.
+    pub matcher: MatcherConfig,
+    /// Cap on the records used to fit the trained embedder variants.
+    pub max_embed_train_records: usize,
+    /// Domain-knowledge rules applied to relevance scores after the scorer
+    /// (the paper's §6 "rules on decision units" future-work direction).
+    pub rules: Vec<UnitRule>,
+    /// Global seed.
+    pub seed: u64,
+}
+
+impl Default for WymConfig {
+    fn default() -> Self {
+        Self {
+            embedder_kind: EmbedderKind::Siamese,
+            embed_dim: 64,
+            discovery: DiscoveryConfig::default(),
+            scorer: ScorerConfig::default(),
+            matcher: MatcherConfig::default(),
+            max_embed_train_records: 400,
+            rules: Vec::new(),
+            seed: 0,
+        }
+    }
+}
+
+impl WymConfig {
+    /// Propagates the global seed into every component seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.scorer.seed = seed;
+        self.matcher.seed = seed;
+        self
+    }
+}
+
+/// A record carried through tokenization, unit discovery and scoring.
+#[derive(Debug, Clone)]
+pub struct ProcessedRecord {
+    /// Tokenized + embedded record.
+    pub record: TokenizedRecord,
+    /// Discovered decision units.
+    pub units: Vec<DecisionUnit>,
+    /// Relevance score per unit.
+    pub relevances: Vec<f32>,
+}
+
+/// A match prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// `true` = match.
+    pub label: bool,
+    /// Match probability.
+    pub probability: f32,
+}
+
+/// Anything that scores a record pair — WYM itself, or one of the baseline
+/// matchers. Post-hoc explainers (LIME / Landmark / LEMON) and the
+/// evaluation harness are generic over this trait.
+pub trait EmPredictor {
+    /// Match probability of a record pair.
+    fn proba(&self, pair: &RecordPair) -> f32;
+
+    /// Hard prediction at the 0.5 threshold.
+    fn predict_label(&self, pair: &RecordPair) -> bool {
+        self.proba(pair) >= 0.5
+    }
+}
+
+impl EmPredictor for WymModel {
+    fn proba(&self, pair: &RecordPair) -> f32 {
+        self.predict(pair).probability
+    }
+}
+
+/// Serializable form of a fitted [`WymModel`]; produced by
+/// [`WymModel::to_saved`] and consumed by [`WymModel::from_saved`].
+#[derive(Serialize, Deserialize)]
+pub struct SavedWymModel {
+    /// Model configuration.
+    pub config: WymConfig,
+    /// The tokenizer.
+    pub tokenizer: Tokenizer,
+    /// The fitted embedder (including any trained projection).
+    pub embedder: Embedder,
+    /// The fitted relevance scorer (including the trained network).
+    pub scorer: RelevanceScorer,
+    /// The fitted matcher snapshot.
+    pub matcher: SavedMatcher,
+    /// Schema attribute names.
+    pub attr_names: Vec<String>,
+}
+
+/// A fitted WYM model.
+pub struct WymModel {
+    config: WymConfig,
+    tokenizer: Tokenizer,
+    embedder: Embedder,
+    scorer: RelevanceScorer,
+    matcher: ExplainableMatcher,
+    attr_names: Vec<String>,
+}
+
+impl WymModel {
+    /// Fits the full pipeline on the train/validation parts of `split`.
+    ///
+    /// ```no_run
+    /// use wym_core::pipeline::{WymConfig, WymModel};
+    /// use wym_data::{magellan, split::paper_split};
+    ///
+    /// let dataset = magellan::generate_by_name("S-FZ", 42).unwrap();
+    /// let split = paper_split(&dataset, 0);
+    /// let model = WymModel::fit(&dataset, &split, WymConfig::default());
+    /// let explanation = model.explain(&dataset.pairs[split.test[0]]);
+    /// println!("{explanation}");
+    /// ```
+    ///
+    /// # Panics
+    /// Panics when the training split is empty.
+    pub fn fit(dataset: &EmDataset, split: &SplitIndices, config: WymConfig) -> WymModel {
+        assert!(!split.train.is_empty(), "training split is empty");
+        let tokenizer = Tokenizer::default();
+
+        // 1. Embedder (trained variants see a capped slice of train records).
+        let embed_train: Vec<_> = split
+            .train
+            .iter()
+            .take(config.max_embed_train_records)
+            .map(|&i| {
+                let p = &dataset.pairs[i];
+                (
+                    tokenizer.tokenize_attributes(&p.left.values),
+                    tokenizer.tokenize_attributes(&p.right.values),
+                    p.label,
+                )
+            })
+            .collect();
+        let embedder =
+            Embedder::fit(config.embedder_kind, config.embed_dim, config.seed, &embed_train);
+
+        // 2. Tokenize + discover units for train and validation records.
+        let process = |idx: &[usize]| -> Vec<(TokenizedRecord, Vec<DecisionUnit>)> {
+            idx.iter()
+                .map(|&i| {
+                    let rec =
+                        TokenizedRecord::from_pair(&dataset.pairs[i], &tokenizer, &embedder);
+                    let units = discover_units(&rec, &config.discovery);
+                    (rec, units)
+                })
+                .collect()
+        };
+        let train_proc = process(&split.train);
+        let val_proc = process(&split.val);
+
+        // 3. Relevance scorer.
+        let scorer_input: Vec<(&TokenizedRecord, &[DecisionUnit])> =
+            train_proc.iter().map(|(r, u)| (r, u.as_slice())).collect();
+        let mut scorer_cfg = config.scorer.clone();
+        scorer_cfg.seed = config.seed;
+        let scorer = RelevanceScorer::fit(scorer_cfg, &scorer_input);
+
+        // 4. Score units, 5. fit the matcher.
+        let score_all = |proc: &[(TokenizedRecord, Vec<DecisionUnit>)]| -> Vec<Vec<f32>> {
+            proc.iter()
+                .map(|(r, u)| {
+                    let raw = scorer.score_units(r, u);
+                    apply_rules(&config.rules, r, u, &raw)
+                })
+                .collect()
+        };
+        let train_scores = score_all(&train_proc);
+        let val_scores = score_all(&val_proc);
+        fn rows<'a>(
+            proc: &'a [(TokenizedRecord, Vec<DecisionUnit>)],
+            scores: &'a [Vec<f32>],
+        ) -> Vec<(&'a [DecisionUnit], &'a [f32], bool)> {
+            proc.iter()
+                .zip(scores)
+                .map(|((r, u), s)| (u.as_slice(), s.as_slice(), r.label.unwrap_or(false)))
+                .collect()
+        }
+        let train_rows = rows(&train_proc, &train_scores);
+        let val_rows = rows(&val_proc, &val_scores);
+        let matcher = ExplainableMatcher::fit(
+            &config.matcher,
+            dataset.schema.len(),
+            &train_rows,
+            &val_rows,
+        );
+
+        WymModel {
+            config,
+            tokenizer,
+            embedder,
+            scorer,
+            matcher,
+            attr_names: dataset.schema.attributes.clone(),
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &WymConfig {
+        &self.config
+    }
+
+    /// The fitted embedder.
+    pub fn embedder(&self) -> &Embedder {
+        &self.embedder
+    }
+
+    /// The fitted relevance scorer.
+    pub fn scorer(&self) -> &RelevanceScorer {
+        &self.scorer
+    }
+
+    /// The fitted explainable matcher.
+    pub fn matcher(&self) -> &ExplainableMatcher {
+        &self.matcher
+    }
+
+    /// The winning pool classifier.
+    pub fn classifier(&self) -> ClassifierKind {
+        self.matcher.classifier()
+    }
+
+    /// Attribute names of the fitted schema.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Tokenize → embed → discover → score one record pair.
+    pub fn process(&self, pair: &RecordPair) -> ProcessedRecord {
+        let record = TokenizedRecord::from_pair(pair, &self.tokenizer, &self.embedder);
+        let units = discover_units(&record, &self.config.discovery);
+        let raw = self.scorer.score_units(&record, &units);
+        let relevances = apply_rules(&self.config.rules, &record, &units, &raw);
+        ProcessedRecord { record, units, relevances }
+    }
+
+    /// Processes many record pairs.
+    pub fn process_many(&self, pairs: &[RecordPair]) -> Vec<ProcessedRecord> {
+        pairs.iter().map(|p| self.process(p)).collect()
+    }
+
+    /// Processes many record pairs on `n_threads` worker threads.
+    ///
+    /// Results are returned in input order; each record's processing is
+    /// independent and deterministic, so the output is identical to
+    /// [`WymModel::process_many`].
+    pub fn process_many_parallel(
+        &self,
+        pairs: &[RecordPair],
+        n_threads: usize,
+    ) -> Vec<ProcessedRecord> {
+        let n_threads = n_threads.max(1);
+        if n_threads == 1 || pairs.len() < 2 * n_threads {
+            return self.process_many(pairs);
+        }
+        let chunk = pairs.len().div_ceil(n_threads);
+        let mut out: Vec<Option<ProcessedRecord>> = Vec::new();
+        out.resize_with(pairs.len(), || None);
+        crossbeam::thread::scope(|scope| {
+            for (slot_chunk, pair_chunk) in
+                out.chunks_mut(chunk).zip(pairs.chunks(chunk))
+            {
+                scope.spawn(move |_| {
+                    for (slot, pair) in slot_chunk.iter_mut().zip(pair_chunk) {
+                        *slot = Some(self.process(pair));
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        out.into_iter().map(|o| o.expect("every slot filled")).collect()
+    }
+
+    /// Predicts from an already processed record.
+    pub fn predict_processed(&self, proc: &ProcessedRecord) -> Prediction {
+        let probability = self.matcher.predict_proba(&proc.units, &proc.relevances);
+        Prediction { label: probability >= 0.5, probability }
+    }
+
+    /// End-to-end prediction of one record pair.
+    pub fn predict(&self, pair: &RecordPair) -> Prediction {
+        self.predict_processed(&self.process(pair))
+    }
+
+    /// Explains an already processed record.
+    pub fn explain_processed(&self, proc: &ProcessedRecord) -> Explanation {
+        let prediction = self.predict_processed(proc);
+        let impacts = self.matcher.impacts(&proc.units, &proc.relevances);
+        Explanation::build(
+            &proc.record,
+            &self.attr_names,
+            &proc.units,
+            &proc.relevances,
+            &impacts,
+            prediction.label,
+            prediction.probability,
+        )
+    }
+
+    /// End-to-end prediction + explanation of one record pair.
+    pub fn explain(&self, pair: &RecordPair) -> Explanation {
+        self.explain_processed(&self.process(pair))
+    }
+
+    /// A serializable snapshot of the fitted model.
+    pub fn to_saved(&self) -> SavedWymModel {
+        SavedWymModel {
+            config: self.config.clone(),
+            tokenizer: self.tokenizer.clone(),
+            embedder: self.embedder.clone(),
+            scorer: self.scorer.clone(),
+            matcher: self.matcher.to_saved(),
+            attr_names: self.attr_names.clone(),
+        }
+    }
+
+    /// Rehydrates a snapshot into a working model.
+    pub fn from_saved(saved: SavedWymModel) -> WymModel {
+        WymModel {
+            config: saved.config,
+            tokenizer: saved.tokenizer,
+            embedder: saved.embedder,
+            scorer: saved.scorer,
+            matcher: ExplainableMatcher::from_saved(saved.matcher),
+            attr_names: saved.attr_names,
+        }
+    }
+
+    /// F1 of the match class over a set of labeled pairs.
+    pub fn f1_on(&self, pairs: &[RecordPair]) -> f32 {
+        let proc = self.process_many(pairs);
+        let rows: Vec<(&[DecisionUnit], &[f32])> =
+            proc.iter().map(|p| (p.units.as_slice(), p.relevances.as_slice())).collect();
+        let probas = self.matcher.predict_proba_batch(&rows);
+        let preds: Vec<u8> = probas.iter().map(|&p| u8::from(p >= 0.5)).collect();
+        let gold: Vec<u8> = pairs.iter().map(|p| u8::from(p.label)).collect();
+        f1_score(&preds, &gold)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::scorer::ScorerKind;
+    use wym_data::{magellan, split::paper_split};
+    use wym_nn::TrainConfig;
+
+    /// A fast config for tests: small embeddings, few scorer epochs, and a
+    /// three-member classifier pool.
+    fn fast_config() -> WymConfig {
+        let mut cfg = WymConfig::default();
+        cfg.embed_dim = 32;
+        cfg.embedder_kind = EmbedderKind::Static;
+        cfg.scorer.train = TrainConfig { epochs: 8, batch_size: 128, lr: 2e-3, ..Default::default() };
+        cfg.matcher.kinds = vec![
+            ClassifierKind::LogisticRegression,
+            ClassifierKind::RandomForest,
+            ClassifierKind::GradientBoosting,
+        ];
+        cfg
+    }
+
+    fn beer_subset() -> EmDataset {
+        magellan::generate_by_name("S-BR", 42).unwrap().subsample(200, 0)
+    }
+
+    #[test]
+    fn fit_predict_explain_end_to_end() {
+        let dataset = beer_subset();
+        let split = paper_split(&dataset, 0);
+        let model = WymModel::fit(&dataset, &split, fast_config());
+
+        let test_pairs: Vec<RecordPair> =
+            split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+        let f1 = model.f1_on(&test_pairs);
+        assert!(f1 > 0.5, "test F1 {f1} with {:?}", model.classifier());
+
+        // Explanations are structurally sound.
+        let ex = model.explain(&test_pairs[0]);
+        assert_eq!(ex.units.len(), model.process(&test_pairs[0]).units.len());
+        assert!(ex.probability >= 0.0 && ex.probability <= 1.0);
+    }
+
+    #[test]
+    fn matching_records_lean_on_paired_units() {
+        let dataset = beer_subset();
+        let split = paper_split(&dataset, 0);
+        let model = WymModel::fit(&dataset, &split, fast_config());
+        // Aggregate over all test matches: positive impact should come
+        // mostly from paired units.
+        let mut paired_pos = 0.0f32;
+        let mut unpaired_pos = 0.0f32;
+        for &i in &split.test {
+            let pair = &dataset.pairs[i];
+            if !pair.label {
+                continue;
+            }
+            let ex = model.explain(pair);
+            for u in &ex.units {
+                if u.impact > 0.0 {
+                    if u.paired {
+                        paired_pos += u.impact;
+                    } else {
+                        unpaired_pos += u.impact;
+                    }
+                }
+            }
+        }
+        assert!(
+            paired_pos > unpaired_pos,
+            "paired {paired_pos} vs unpaired {unpaired_pos} positive impact"
+        );
+    }
+
+    #[test]
+    fn binary_scorer_variant_runs() {
+        let dataset = beer_subset();
+        let split = paper_split(&dataset, 0);
+        let mut cfg = fast_config();
+        cfg.scorer.kind = ScorerKind::Binary;
+        let model = WymModel::fit(&dataset, &split, cfg);
+        let test_pairs: Vec<RecordPair> =
+            split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+        let f1 = model.f1_on(&test_pairs);
+        assert!(f1 > 0.3, "binary-scorer F1 {f1}");
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let dataset = beer_subset();
+        let split = paper_split(&dataset, 0);
+        let model = WymModel::fit(&dataset, &split, fast_config());
+        let pair = &dataset.pairs[split.test[0]];
+        let a = model.predict(pair);
+        let b = model.predict(pair);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "training split is empty")]
+    fn rejects_empty_train_split() {
+        let dataset = beer_subset();
+        let split = SplitIndices { train: vec![], val: vec![0], test: vec![1] };
+        let _ = WymModel::fit(&dataset, &split, fast_config());
+    }
+}

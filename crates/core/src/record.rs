@@ -1,0 +1,182 @@
+//! Tokenized + embedded view of an EM record.
+
+use serde::{Deserialize, Serialize};
+use wym_data::RecordPair;
+use wym_embed::Embedder;
+use wym_tokenize::Tokenizer;
+
+/// Which entity description of the record a token belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The first (left) entity description.
+    Left,
+    /// The second (right) entity description.
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// Position of a token within one entity description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TokenRef {
+    /// Attribute index in the schema.
+    pub attr: u16,
+    /// Token index within the attribute's token list.
+    pub pos: u16,
+}
+
+impl TokenRef {
+    /// Constructs a reference (convenience for tests).
+    pub fn new(attr: usize, pos: usize) -> Self {
+        Self { attr: attr as u16, pos: pos as u16 }
+    }
+}
+
+/// One entity description after tokenization and embedding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EntityView {
+    /// `tokens[attr][pos]` — surface forms.
+    pub tokens: Vec<Vec<String>>,
+    /// `embeds[attr][pos]` — contextual unit vectors, same shape as `tokens`.
+    pub embeds: Vec<Vec<Vec<f32>>>,
+}
+
+impl EntityView {
+    /// Surface form of a token.
+    pub fn text(&self, t: TokenRef) -> &str {
+        &self.tokens[t.attr as usize][t.pos as usize]
+    }
+
+    /// Contextual embedding of a token.
+    pub fn embed(&self, t: TokenRef) -> &[f32] {
+        &self.embeds[t.attr as usize][t.pos as usize]
+    }
+
+    /// All token references of one attribute.
+    pub fn attr_refs(&self, attr: usize) -> Vec<TokenRef> {
+        (0..self.tokens[attr].len()).map(|pos| TokenRef::new(attr, pos)).collect()
+    }
+
+    /// All token references of the entity.
+    pub fn all_refs(&self) -> Vec<TokenRef> {
+        (0..self.tokens.len()).flat_map(|a| self.attr_refs(a)).collect()
+    }
+
+    /// Total token count.
+    pub fn token_count(&self) -> usize {
+        self.tokens.iter().map(Vec::len).sum()
+    }
+
+    /// Number of attributes.
+    pub fn attr_count(&self) -> usize {
+        self.tokens.len()
+    }
+}
+
+/// A record pair ready for decision-unit discovery.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenizedRecord {
+    /// Record id from the dataset.
+    pub id: u32,
+    /// Left entity view.
+    pub left: EntityView,
+    /// Right entity view.
+    pub right: EntityView,
+    /// Gold label when known.
+    pub label: Option<bool>,
+}
+
+impl TokenizedRecord {
+    /// Tokenizes and embeds a record pair.
+    pub fn from_pair(pair: &RecordPair, tokenizer: &Tokenizer, embedder: &Embedder) -> Self {
+        let lt = tokenizer.tokenize_attributes(&pair.left.values);
+        let rt = tokenizer.tokenize_attributes(&pair.right.values);
+        let le = embedder.embed_entity(&lt);
+        let re = embedder.embed_entity(&rt);
+        Self {
+            id: pair.id,
+            left: EntityView { tokens: lt, embeds: le },
+            right: EntityView { tokens: rt, embeds: re },
+            label: Some(pair.label),
+        }
+    }
+
+    /// The entity view of a side.
+    pub fn view(&self, side: Side) -> &EntityView {
+        match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        }
+    }
+
+    /// Surface form of a token on a side.
+    pub fn text(&self, side: Side, t: TokenRef) -> &str {
+        self.view(side).text(t)
+    }
+
+    /// Embedding of a token on a side.
+    pub fn embed(&self, side: Side, t: TokenRef) -> &[f32] {
+        self.view(side).embed(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wym_data::Entity;
+
+    fn pair() -> RecordPair {
+        RecordPair {
+            id: 7,
+            label: true,
+            left: Entity::new(vec!["Digital Camera", "37.63"]),
+            right: Entity::new(vec!["digital camera kit", "36"]),
+        }
+    }
+
+    #[test]
+    fn from_pair_shapes() {
+        let tok = Tokenizer::default();
+        let emb = Embedder::new_static(32, 1);
+        let rec = TokenizedRecord::from_pair(&pair(), &tok, &emb);
+        assert_eq!(rec.left.tokens[0], vec!["digital", "camera"]);
+        assert_eq!(rec.right.tokens[0], vec!["digital", "camera", "kit"]);
+        assert_eq!(rec.left.embeds[0].len(), 2);
+        assert_eq!(rec.left.embeds[0][0].len(), 32);
+        assert_eq!(rec.label, Some(true));
+    }
+
+    #[test]
+    fn token_lookup() {
+        let tok = Tokenizer::default();
+        let emb = Embedder::new_static(32, 1);
+        let rec = TokenizedRecord::from_pair(&pair(), &tok, &emb);
+        let t = TokenRef::new(0, 1);
+        assert_eq!(rec.text(Side::Left, t), "camera");
+        assert_eq!(rec.text(Side::Right, t), "camera");
+        assert_eq!(rec.embed(Side::Left, t).len(), 32);
+    }
+
+    #[test]
+    fn refs_enumerate_all_tokens() {
+        let tok = Tokenizer::default();
+        let emb = Embedder::new_static(32, 1);
+        let rec = TokenizedRecord::from_pair(&pair(), &tok, &emb);
+        assert_eq!(rec.left.all_refs().len(), rec.left.token_count());
+        assert_eq!(rec.right.token_count(), 4);
+    }
+
+    #[test]
+    fn side_other_flips() {
+        assert_eq!(Side::Left.other(), Side::Right);
+        assert_eq!(Side::Right.other(), Side::Left);
+    }
+}

@@ -1,0 +1,225 @@
+//! Rules on decision units — the paper's §6 future-work direction
+//! ("the introduction of external knowledge in the approach … in the form
+//! of … rules on decision units"), implemented as a post-scoring hook.
+//!
+//! A [`UnitRule`] inspects a scored decision unit and may override or bound
+//! its relevance before the explainable matcher sees it. Rules make domain
+//! knowledge explicit *and visible in the explanation*: a unit whose score
+//! was forced by a rule still appears in the explanation with its adjusted
+//! relevance, so the system stays intrinsically interpretable.
+
+use crate::record::TokenizedRecord;
+use crate::units::DecisionUnit;
+use serde::{Deserialize, Serialize};
+use wym_strsim::looks_like_code;
+
+/// A declarative adjustment of a unit's relevance score.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum UnitRule {
+    /// Paired units with *identical* code-like surfaces are decisive match
+    /// evidence: force their relevance to `score` (e.g. 1.0). The §5.1.1
+    /// error analysis motivates this: "insertion of domain knowledge that
+    /// allows only equal product codes to belong to the same paired
+    /// decision units" lifted T-AB from 0.645 to 0.754.
+    EqualCodesAreMatches {
+        /// Relevance assigned to equal-code paired units.
+        score: f32,
+    },
+    /// Unpaired code-like tokens are decisive *non-match* evidence: force
+    /// their relevance to `score` (e.g. −1.0).
+    UnpairedCodesAreNonMatches {
+        /// Relevance assigned to unpaired code units.
+        score: f32,
+    },
+    /// Scales the relevance of every unit assigned to one attribute —
+    /// encoding "the attribute Name matters more than the address" (§1).
+    AttributeWeight {
+        /// Attribute index in the schema.
+        attr: usize,
+        /// Multiplicative weight (applied then clamped to `[-1, 1]`).
+        weight: f32,
+    },
+    /// Forces the relevance of paired units whose two surfaces are exactly
+    /// equal to at least `min_score` (exact agreement can never argue
+    /// *against* a match).
+    ExactPairsScoreAtLeast {
+        /// Lower bound for exact-equal paired units.
+        min_score: f32,
+    },
+}
+
+impl UnitRule {
+    /// Applies the rule to one unit, returning the adjusted relevance.
+    pub fn apply(&self, record: &TokenizedRecord, unit: &DecisionUnit, relevance: f32) -> f32 {
+        let (l, r) = unit.texts(record);
+        match *self {
+            UnitRule::EqualCodesAreMatches { score } => {
+                if unit.is_paired() && l == r && looks_like_code(l) {
+                    score
+                } else {
+                    relevance
+                }
+            }
+            UnitRule::UnpairedCodesAreNonMatches { score } => {
+                if !unit.is_paired() {
+                    let token = if l == crate::units::UNP { r } else { l };
+                    if looks_like_code(token) {
+                        return score;
+                    }
+                }
+                relevance
+            }
+            UnitRule::AttributeWeight { attr, weight } => {
+                if unit.attribute() == attr {
+                    (relevance * weight).clamp(-1.0, 1.0)
+                } else {
+                    relevance
+                }
+            }
+            UnitRule::ExactPairsScoreAtLeast { min_score } => {
+                if unit.is_paired() && l == r {
+                    relevance.max(min_score)
+                } else {
+                    relevance
+                }
+            }
+        }
+    }
+}
+
+/// Applies a rule list in order to every unit's relevance.
+pub fn apply_rules(
+    rules: &[UnitRule],
+    record: &TokenizedRecord,
+    units: &[DecisionUnit],
+    relevances: &[f32],
+) -> Vec<f32> {
+    debug_assert_eq!(units.len(), relevances.len());
+    units
+        .iter()
+        .zip(relevances)
+        .map(|(u, &r)| rules.iter().fold(r, |acc, rule| rule.apply(record, u, acc)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Side, TokenRef};
+    use wym_data::{Entity, RecordPair};
+    use wym_embed::Embedder;
+    use wym_tokenize::Tokenizer;
+
+    fn record() -> TokenizedRecord {
+        let pair = RecordPair {
+            id: 0,
+            label: true,
+            left: Entity::new(vec!["camera 39400416", "sony"]),
+            right: Entity::new(vec!["camera 39400416", "nikon"]),
+        };
+        TokenizedRecord::from_pair(&pair, &Tokenizer::default(), &Embedder::new_static(32, 0))
+    }
+
+    fn units() -> Vec<DecisionUnit> {
+        vec![
+            // (camera, camera) — plain paired word.
+            DecisionUnit::Paired {
+                left: TokenRef::new(0, 0),
+                right: TokenRef::new(0, 0),
+                similarity: 0.9,
+            },
+            // (39400416, 39400416) — equal codes.
+            DecisionUnit::Paired {
+                left: TokenRef::new(0, 1),
+                right: TokenRef::new(0, 1),
+                similarity: 0.95,
+            },
+            // (sony) — unpaired word.
+            DecisionUnit::Unpaired { token: TokenRef::new(1, 0), side: Side::Left },
+        ]
+    }
+
+    #[test]
+    fn equal_codes_rule_targets_only_code_pairs() {
+        let rec = record();
+        let us = units();
+        let out = apply_rules(
+            &[UnitRule::EqualCodesAreMatches { score: 1.0 }],
+            &rec,
+            &us,
+            &[0.1, 0.1, -0.5],
+        );
+        assert_eq!(out, vec![0.1, 1.0, -0.5]);
+    }
+
+    #[test]
+    fn unpaired_code_rule_ignores_plain_words() {
+        let rec = record();
+        let us = units();
+        let out = apply_rules(
+            &[UnitRule::UnpairedCodesAreNonMatches { score: -1.0 }],
+            &rec,
+            &us,
+            &[0.1, 0.2, -0.3],
+        );
+        // "sony" is not a code: untouched.
+        assert_eq!(out, vec![0.1, 0.2, -0.3]);
+    }
+
+    #[test]
+    fn attribute_weight_scales_and_clamps() {
+        let rec = record();
+        let us = units();
+        let out = apply_rules(
+            &[UnitRule::AttributeWeight { attr: 0, weight: 3.0 }],
+            &rec,
+            &us,
+            &[0.5, -0.2, -0.4],
+        );
+        assert_eq!(out[0], 1.0, "0.5 × 3 clamps to 1");
+        assert!((out[1] + 0.6).abs() < 1e-6);
+        assert_eq!(out[2], -0.4, "attr 1 untouched");
+    }
+
+    #[test]
+    fn exact_pairs_floor() {
+        let rec = record();
+        let us = units();
+        let out = apply_rules(
+            &[UnitRule::ExactPairsScoreAtLeast { min_score: 0.3 }],
+            &rec,
+            &us,
+            &[-0.9, 0.8, -0.5],
+        );
+        assert_eq!(out[0], 0.3, "negative exact pair floored");
+        assert_eq!(out[1], 0.8, "already above the floor");
+        assert_eq!(out[2], -0.5, "unpaired untouched");
+    }
+
+    #[test]
+    fn rules_compose_in_order() {
+        let rec = record();
+        let us = units();
+        let out = apply_rules(
+            &[
+                UnitRule::ExactPairsScoreAtLeast { min_score: 0.2 },
+                UnitRule::AttributeWeight { attr: 0, weight: 0.5 },
+            ],
+            &rec,
+            &us,
+            &[-1.0, -1.0, -1.0],
+        );
+        // Floored to 0.2, then halved.
+        assert!((out[0] - 0.1).abs() < 1e-6);
+        assert!((out[1] - 0.1).abs() < 1e-6);
+        assert_eq!(out[2], -1.0);
+    }
+
+    #[test]
+    fn empty_rule_list_is_identity() {
+        let rec = record();
+        let us = units();
+        let rels = vec![0.3, -0.7, 0.0];
+        assert_eq!(apply_rules(&[], &rec, &us, &rels), rels);
+    }
+}

@@ -1,0 +1,184 @@
+//! Decision units — "the basic, atomic information content of a record of
+//! an EM dataset" (paper §1).
+
+use crate::record::{Side, TokenRef, TokenizedRecord};
+use serde::{Deserialize, Serialize};
+
+/// Marker used as the missing side of an unpaired unit (paper §4.2: "we
+/// consider unpaired decision units as paired with the special element
+/// `[UNP]`, … associated with a zero embedding").
+pub const UNP: &str = "[UNP]";
+
+/// A decision unit of a record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DecisionUnit {
+    /// A pair of semantically similar tokens, one per entity description.
+    Paired {
+        /// Token in the left description.
+        left: TokenRef,
+        /// Token in the right description.
+        right: TokenRef,
+        /// Cosine similarity (or syntactic similarity in the Jaro–Winkler
+        /// ablation) that formed the pair.
+        similarity: f32,
+    },
+    /// A token with no counterpart in the other description.
+    Unpaired {
+        /// The isolated token.
+        token: TokenRef,
+        /// Which description it belongs to.
+        side: Side,
+    },
+}
+
+impl DecisionUnit {
+    /// True for paired units.
+    pub fn is_paired(&self) -> bool {
+        matches!(self, DecisionUnit::Paired { .. })
+    }
+
+    /// The similarity that formed the unit (0 for unpaired units, matching
+    /// the zero `[UNP]` embedding convention).
+    pub fn similarity(&self) -> f32 {
+        match self {
+            DecisionUnit::Paired { similarity, .. } => *similarity,
+            DecisionUnit::Unpaired { .. } => 0.0,
+        }
+    }
+
+    /// Surface forms `(left_text, right_text)`; the missing side of an
+    /// unpaired unit is [`UNP`].
+    pub fn texts<'a>(&self, record: &'a TokenizedRecord) -> (&'a str, &'a str) {
+        match self {
+            DecisionUnit::Paired { left, right, .. } => {
+                (record.text(Side::Left, *left), record.text(Side::Right, *right))
+            }
+            DecisionUnit::Unpaired { token, side } => match side {
+                Side::Left => (record.text(Side::Left, *token), UNP),
+                Side::Right => (UNP, record.text(Side::Right, *token)),
+            },
+        }
+    }
+
+    /// The attribute the unit is assigned to for the structural feature
+    /// engineering: the left token's attribute for paired units, the token's
+    /// own attribute for unpaired ones.
+    pub fn attribute(&self) -> usize {
+        match self {
+            DecisionUnit::Paired { left, .. } => left.attr as usize,
+            DecisionUnit::Unpaired { token, .. } => token.attr as usize,
+        }
+    }
+
+    /// Provenance-invariant aggregation key (challenge R3: the relevance of
+    /// `(a, b)` must equal that of `(b, a)`).
+    pub fn key(&self, record: &TokenizedRecord) -> UnitKey {
+        let (l, r) = self.texts(record);
+        UnitKey::new(l, r)
+    }
+
+    /// Token references with their sides (one for unpaired, two for paired).
+    pub fn members(&self) -> Vec<(Side, TokenRef)> {
+        match self {
+            DecisionUnit::Paired { left, right, .. } => {
+                vec![(Side::Left, *left), (Side::Right, *right)]
+            }
+            DecisionUnit::Unpaired { token, side } => vec![(*side, *token)],
+        }
+    }
+}
+
+/// Order-invariant surface-form key of a decision unit, used to aggregate
+/// relevance targets across the dataset (Eq. 3 averages over "all its
+/// occurrences").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UnitKey {
+    /// Lexicographically smaller surface form.
+    pub a: String,
+    /// Lexicographically larger surface form (or [`UNP`]).
+    pub b: String,
+}
+
+impl UnitKey {
+    /// Builds the symmetric key.
+    pub fn new(l: &str, r: &str) -> Self {
+        if l <= r {
+            Self { a: l.to_string(), b: r.to_string() }
+        } else {
+            Self { a: r.to_string(), b: l.to_string() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wym_data::{Entity, RecordPair};
+    use wym_embed::Embedder;
+    use wym_tokenize::Tokenizer;
+
+    fn record() -> TokenizedRecord {
+        let pair = RecordPair {
+            id: 0,
+            label: true,
+            left: Entity::new(vec!["digital camera"]),
+            right: Entity::new(vec!["camera case"]),
+        };
+        TokenizedRecord::from_pair(&pair, &Tokenizer::default(), &Embedder::new_static(32, 0))
+    }
+
+    #[test]
+    fn unit_key_is_symmetric() {
+        assert_eq!(UnitKey::new("a", "b"), UnitKey::new("b", "a"));
+        assert_ne!(UnitKey::new("a", "b"), UnitKey::new("a", "c"));
+    }
+
+    #[test]
+    fn paired_texts_and_attribute() {
+        let rec = record();
+        let unit = DecisionUnit::Paired {
+            left: TokenRef::new(0, 1),
+            right: TokenRef::new(0, 0),
+            similarity: 0.9,
+        };
+        assert_eq!(unit.texts(&rec), ("camera", "camera"));
+        assert_eq!(unit.attribute(), 0);
+        assert!(unit.is_paired());
+        assert_eq!(unit.similarity(), 0.9);
+    }
+
+    #[test]
+    fn unpaired_uses_unp_marker() {
+        let rec = record();
+        let unit = DecisionUnit::Unpaired { token: TokenRef::new(0, 0), side: Side::Left };
+        assert_eq!(unit.texts(&rec), ("digital", UNP));
+        assert_eq!(unit.similarity(), 0.0);
+        let right = DecisionUnit::Unpaired { token: TokenRef::new(0, 1), side: Side::Right };
+        assert_eq!(right.texts(&rec), (UNP, "case"));
+    }
+
+    #[test]
+    fn key_invariant_under_side_swap() {
+        let rec = record();
+        let u1 = DecisionUnit::Paired {
+            left: TokenRef::new(0, 0),
+            right: TokenRef::new(0, 1),
+            similarity: 0.5,
+        };
+        // digital/case vs a hypothetical case/digital — same key.
+        let k1 = u1.key(&rec);
+        assert_eq!(k1, UnitKey::new("case", "digital"));
+    }
+
+    #[test]
+    fn members_counts() {
+        let p = DecisionUnit::Paired {
+            left: TokenRef::new(0, 0),
+            right: TokenRef::new(0, 0),
+            similarity: 1.0,
+        };
+        assert_eq!(p.members().len(), 2);
+        let u = DecisionUnit::Unpaired { token: TokenRef::new(0, 0), side: Side::Right };
+        assert_eq!(u.members(), vec![(Side::Right, TokenRef::new(0, 0))]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Blocking — candidate-pair generation from two entity tables.
+//!
+//! The paper (like most EM work) evaluates on pre-blocked labeled pairs,
+//! but a deployable matcher needs the step before: given two tables of
+//! entities, produce the candidate pairs worth scoring. This module
+//! implements standard token-overlap blocking with an inverted index:
+//! entities sharing at least `min_shared_tokens` (rare-ish) tokens become
+//! candidates, capped per left entity by descending overlap.
+
+use crate::model::Entity;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use wym_tokenize::Tokenizer;
+
+/// Blocking configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockingConfig {
+    /// Minimum shared tokens for a candidate.
+    pub min_shared_tokens: usize,
+    /// Maximum candidates kept per left entity (best-overlap first).
+    pub max_candidates_per_entity: usize,
+    /// Tokens appearing in more than this fraction of right entities are
+    /// ignored as blocking keys (stop-token suppression).
+    pub max_token_frequency: f32,
+}
+
+impl Default for BlockingConfig {
+    fn default() -> Self {
+        Self {
+            min_shared_tokens: 1,
+            max_candidates_per_entity: 10,
+            max_token_frequency: 0.1,
+        }
+    }
+}
+
+/// Generates candidate `(left_index, right_index)` pairs between two entity
+/// tables via token-overlap blocking.
+pub fn block_candidates(
+    left: &[Entity],
+    right: &[Entity],
+    config: &BlockingConfig,
+) -> Vec<(usize, usize)> {
+    let tokenizer = Tokenizer::default();
+    // Inverted index over the right table.
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for (j, entity) in right.iter().enumerate() {
+        let mut tokens = tokenizer.tokenize(&entity.full_text());
+        tokens.sort();
+        tokens.dedup();
+        for t in tokens {
+            index.entry(t).or_default().push(j);
+        }
+    }
+    // Drop high-frequency tokens: they produce quadratic candidate blowup
+    // without discriminating anything.
+    let cutoff =
+        ((right.len() as f32) * config.max_token_frequency).ceil().max(1.0) as usize;
+    index.retain(|_, postings| postings.len() <= cutoff);
+
+    let mut out = Vec::new();
+    let mut overlap: HashMap<usize, usize> = HashMap::new();
+    for (i, entity) in left.iter().enumerate() {
+        overlap.clear();
+        let mut tokens = tokenizer.tokenize(&entity.full_text());
+        tokens.sort();
+        tokens.dedup();
+        for t in &tokens {
+            if let Some(postings) = index.get(t) {
+                for &j in postings {
+                    *overlap.entry(j).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut candidates: Vec<(usize, usize)> = overlap
+            .iter()
+            .filter(|(_, &c)| c >= config.min_shared_tokens)
+            .map(|(&j, &c)| (j, c))
+            .collect();
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        candidates.truncate(config.max_candidates_per_entity);
+        out.extend(candidates.into_iter().map(|(j, _)| (i, j)));
+    }
+    out
+}
+
+/// Recall of a blocking run against gold matches: the fraction of gold
+/// `(left, right)` pairs that survived blocking.
+pub fn blocking_recall(candidates: &[(usize, usize)], gold: &[(usize, usize)]) -> f32 {
+    if gold.is_empty() {
+        return 1.0;
+    }
+    let set: std::collections::HashSet<&(usize, usize)> = candidates.iter().collect();
+    gold.iter().filter(|g| set.contains(g)).count() as f32 / gold.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entities(values: &[&str]) -> Vec<Entity> {
+        values.iter().map(|v| Entity::new(vec![v.to_string()])).collect()
+    }
+
+    #[test]
+    fn overlapping_entities_become_candidates() {
+        let left = entities(&["sony camera dslr", "stone brewing ale"]);
+        let right = entities(&["sony camera kit", "router modem", "stone ale ipa"]);
+        let cands = block_candidates(&left, &right, &BlockingConfig::default());
+        assert!(cands.contains(&(0, 0)), "{cands:?}");
+        assert!(cands.contains(&(1, 2)), "{cands:?}");
+        assert!(!cands.contains(&(0, 1)), "no shared tokens: {cands:?}");
+    }
+
+    #[test]
+    fn frequent_tokens_do_not_block() {
+        // "camera" appears in every right entity: with a tight frequency
+        // cutoff it must not generate candidates on its own.
+        let left = entities(&["camera alpha"]);
+        let right = entities(&[
+            "camera one",
+            "camera two",
+            "camera three",
+            "camera four",
+            "camera five",
+            "camera six",
+            "camera seven",
+            "camera eight",
+            "camera nine",
+            "camera alpha",
+        ]);
+        let cfg = BlockingConfig { max_token_frequency: 0.15, ..Default::default() };
+        let cands = block_candidates(&left, &right, &cfg);
+        assert_eq!(cands, vec![(0, 9)], "only the alpha overlap survives");
+    }
+
+    #[test]
+    fn candidate_cap_keeps_best_overlap() {
+        let left = entities(&["a b c d"]);
+        let right = entities(&["a b c d", "a b", "a", "a b c"]);
+        let cfg = BlockingConfig {
+            max_candidates_per_entity: 2,
+            max_token_frequency: 1.0,
+            ..Default::default()
+        };
+        let cands = block_candidates(&left, &right, &cfg);
+        assert_eq!(cands.len(), 2);
+        assert!(cands.contains(&(0, 0)), "full overlap kept: {cands:?}");
+        assert!(cands.contains(&(0, 3)), "next-best kept: {cands:?}");
+    }
+
+    #[test]
+    fn min_shared_tokens_threshold() {
+        let left = entities(&["alpha beta"]);
+        let right = entities(&["alpha gamma", "alpha beta delta"]);
+        let cfg = BlockingConfig {
+            min_shared_tokens: 2,
+            max_token_frequency: 1.0,
+            ..Default::default()
+        };
+        let cands = block_candidates(&left, &right, &cfg);
+        assert_eq!(cands, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn recall_measurement() {
+        let candidates = vec![(0, 0), (1, 2)];
+        assert_eq!(blocking_recall(&candidates, &[(0, 0), (1, 2)]), 1.0);
+        assert_eq!(blocking_recall(&candidates, &[(0, 0), (5, 5)]), 0.5);
+        assert_eq!(blocking_recall(&candidates, &[]), 1.0);
+    }
+
+    #[test]
+    fn empty_tables() {
+        let cands = block_candidates(&[], &[], &BlockingConfig::default());
+        assert!(cands.is_empty());
+    }
+}

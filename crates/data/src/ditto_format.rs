@@ -1,0 +1,218 @@
+//! Interop with the DITTO serialization format.
+//!
+//! The DITTO reference implementation (and several EM benchmark dumps)
+//! stores record pairs as TSV lines:
+//!
+//! ```text
+//! COL title VAL sony camera COL price VAL 37.63 \t COL title VAL sony cam COL price VAL 36 \t 1
+//! ```
+//!
+//! Supporting this format lets WYM run directly on existing benchmark
+//! files, which is how a practitioner would compare against published
+//! numbers.
+
+use crate::model::{DatasetType, EmDataset, Entity, RecordPair, Schema};
+
+/// Errors while parsing DITTO-format text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DittoParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DittoParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DittoParseError {}
+
+/// Parses one `COL a VAL x COL b VAL y` entity serialization into
+/// `(attributes, values)` pairs, in order of appearance.
+fn parse_entity(s: &str) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i] == "COL" && i + 1 < tokens.len() {
+            let attr = tokens[i + 1].to_string();
+            i += 2;
+            // Expect VAL; tolerate a missing one by treating the rest as value.
+            if tokens.get(i) == Some(&"VAL") {
+                i += 1;
+            }
+            let mut value = Vec::new();
+            while i < tokens.len() && tokens[i] != "COL" {
+                value.push(tokens[i]);
+                i += 1;
+            }
+            out.push((attr, value.join(" ")));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses DITTO-format text into a dataset.
+///
+/// The schema is the union of attribute names in order of first
+/// appearance; entities missing an attribute get an empty value.
+pub fn from_ditto_string(
+    text: &str,
+    name: &str,
+    dataset_type: DatasetType,
+) -> Result<EmDataset, DittoParseError> {
+    let mut attributes: Vec<String> = Vec::new();
+    let mut raw: Vec<(Vec<(String, String)>, Vec<(String, String)>, bool)> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('\t').collect();
+        if parts.len() != 3 {
+            return Err(DittoParseError {
+                line: ln + 1,
+                message: format!("expected 3 tab-separated fields, got {}", parts.len()),
+            });
+        }
+        let label = match parts[2].trim() {
+            "1" => true,
+            "0" => false,
+            other => {
+                return Err(DittoParseError {
+                    line: ln + 1,
+                    message: format!("label must be 0 or 1, got {other:?}"),
+                })
+            }
+        };
+        let left = parse_entity(parts[0]);
+        let right = parse_entity(parts[1]);
+        if left.is_empty() && right.is_empty() {
+            return Err(DittoParseError {
+                line: ln + 1,
+                message: "no COL/VAL structure found".to_string(),
+            });
+        }
+        for (attr, _) in left.iter().chain(&right) {
+            if !attributes.contains(attr) {
+                attributes.push(attr.clone());
+            }
+        }
+        raw.push((left, right, label));
+    }
+
+    let align = |kv: &[(String, String)]| -> Entity {
+        Entity {
+            values: attributes
+                .iter()
+                .map(|a| {
+                    kv.iter()
+                        .find(|(k, _)| k == a)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_default()
+                })
+                .collect(),
+        }
+    };
+    let pairs = raw
+        .into_iter()
+        .enumerate()
+        .map(|(id, (l, r, label))| RecordPair {
+            id: id as u32,
+            label,
+            left: align(&l),
+            right: align(&r),
+        })
+        .collect();
+    Ok(EmDataset {
+        name: name.to_string(),
+        dataset_type,
+        schema: Schema { attributes },
+        pairs,
+    })
+}
+
+/// Serializes a dataset to DITTO-format text.
+pub fn to_ditto_string(dataset: &EmDataset) -> String {
+    let mut out = String::new();
+    let serialize = |entity: &Entity| -> String {
+        dataset
+            .schema
+            .attributes
+            .iter()
+            .zip(&entity.values)
+            .map(|(a, v)| format!("COL {a} VAL {v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    for pair in &dataset.pairs {
+        out.push_str(&serialize(&pair.left));
+        out.push('\t');
+        out.push_str(&serialize(&pair.right));
+        out.push('\t');
+        out.push(if pair.label { '1' } else { '0' });
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::magellan;
+
+    #[test]
+    fn parses_the_canonical_example() {
+        let text = "COL title VAL sony camera COL price VAL 37.63\t\
+                    COL title VAL sony cam COL price VAL 36\t1\n";
+        let d = from_ditto_string(text, "t", DatasetType::Structured).unwrap();
+        assert_eq!(d.schema.attributes, vec!["title", "price"]);
+        assert_eq!(d.pairs.len(), 1);
+        assert!(d.pairs[0].label);
+        assert_eq!(d.pairs[0].left.values, vec!["sony camera", "37.63"]);
+        assert_eq!(d.pairs[0].right.values, vec!["sony cam", "36"]);
+    }
+
+    #[test]
+    fn roundtrip_via_ditto_format() {
+        let original = magellan::generate_by_name("S-FZ", 1).unwrap().subsample(40, 0);
+        let text = to_ditto_string(&original);
+        let back = from_ditto_string(&text, "S-FZ", DatasetType::Structured).unwrap();
+        assert_eq!(back.len(), original.len());
+        assert_eq!(back.schema, original.schema);
+        for (a, b) in original.pairs.iter().zip(&back.pairs) {
+            assert_eq!(a.label, b.label);
+            // Values survive modulo whitespace normalization.
+            for (va, vb) in a.left.values.iter().zip(&b.left.values) {
+                assert_eq!(va.split_whitespace().collect::<Vec<_>>().join(" "), *vb);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_attributes_become_empty_values() {
+        let text = "COL a VAL x COL b VAL y\tCOL a VAL z\t0\n";
+        let d = from_ditto_string(text, "t", DatasetType::Structured).unwrap();
+        assert_eq!(d.pairs[0].right.values, vec!["z", ""]);
+    }
+
+    #[test]
+    fn rejects_bad_label_and_bad_shape() {
+        let bad_label = "COL a VAL x\tCOL a VAL y\tmaybe\n";
+        assert!(from_ditto_string(bad_label, "t", DatasetType::Structured).is_err());
+        let bad_fields = "COL a VAL x\t1\n";
+        let err = from_ditto_string(bad_fields, "t", DatasetType::Structured).unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "\nCOL a VAL x\tCOL a VAL y\t1\n\n";
+        let d = from_ditto_string(text, "t", DatasetType::Structured).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+}

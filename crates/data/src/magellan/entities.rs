@@ -1,0 +1,343 @@
+//! Per-domain base-entity factories.
+//!
+//! A *base* is the canonical ground-truth entity; the generator derives the
+//! two catalog views of a matching pair from one base, and hard negatives
+//! from a sibling base that shares its discriminating context (brand, venue,
+//! artist, …) but not its identity.
+
+use super::vocab::*;
+use wym_linalg::Rng64;
+
+/// The entity domain behind each benchmark dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Domain {
+    /// DBLP / GoogleScholar / ACM citations.
+    Bibliography,
+    /// Amazon-Google software products.
+    Software,
+    /// Walmart-Amazon electronics.
+    Electronics,
+    /// BeerAdvo-RateBeer.
+    Beer,
+    /// iTunes-Amazon songs.
+    Music,
+    /// Fodors-Zagats restaurants.
+    Restaurant,
+    /// Abt-Buy long textual product descriptions.
+    TextualProduct,
+}
+
+impl Domain {
+    /// The dataset schema of this domain.
+    pub fn schema(self) -> Vec<&'static str> {
+        match self {
+            Domain::Bibliography => vec!["title", "authors", "venue", "year"],
+            Domain::Software => vec!["title", "manufacturer", "price"],
+            Domain::Electronics => vec!["title", "category", "brand", "modelno", "price"],
+            Domain::Beer => vec!["beer_name", "brewery", "style", "abv"],
+            Domain::Music => vec!["song_name", "artist", "album", "genre", "price", "released"],
+            Domain::Restaurant => vec!["name", "address", "city", "phone", "type"],
+            Domain::TextualProduct => vec!["name", "description", "price"],
+        }
+    }
+}
+
+fn pick<'a>(pool: &'a [&'a str], rng: &mut Rng64) -> &'a str {
+    pool[rng.gen_range(pool.len())]
+}
+
+fn pick_n(pool: &[&str], n: usize, rng: &mut Rng64) -> Vec<String> {
+    let idx = rng.sample_indices(pool.len(), n);
+    idx.into_iter().map(|i| pool[i].to_string()).collect()
+}
+
+/// A random digit code of the given length.
+fn digit_code(len: usize, rng: &mut Rng64) -> String {
+    (0..len).map(|_| char::from(b'0' + rng.gen_range(10) as u8)).collect()
+}
+
+/// A model code like `dslra200w`.
+fn model_code(rng: &mut Rng64) -> String {
+    let letters: String =
+        (0..2 + rng.gen_range(3)).map(|_| char::from(b'a' + rng.gen_range(26) as u8)).collect();
+    let digits = digit_code(2 + rng.gen_range(3), rng);
+    let suffix = if rng.gen_bool(0.5) {
+        char::from(b'a' + rng.gen_range(26) as u8).to_string()
+    } else {
+        String::new()
+    };
+    format!("{letters}{digits}{suffix}")
+}
+
+/// Attribute values of one base entity.
+pub fn make_base(domain: Domain, rng: &mut Rng64) -> Vec<String> {
+    match domain {
+        Domain::Bibliography => {
+            let title = pick_n(TITLE_WORDS, 4 + rng.gen_range(4), rng).join(" ");
+            let n_auth = 1 + rng.gen_range(3);
+            let authors: Vec<String> = (0..n_auth)
+                .map(|_| format!("{} {}", pick(FIRST_NAMES, rng), pick(LAST_NAMES, rng)))
+                .collect();
+            let venue = pick(VENUES, rng).to_string();
+            let year = (1992 + rng.gen_range(24)).to_string();
+            vec![title, authors.join(", "), venue, year]
+        }
+        Domain::Software => {
+            let vendor = pick(SOFTWARE_VENDORS, rng).to_string();
+            let product = pick_n(SOFTWARE_PRODUCTS, 1 + rng.gen_range(2), rng).join(" ");
+            let edition = pick_n(SOFTWARE_EDITIONS, 1 + rng.gen_range(2), rng).join(" ");
+            let version = format!("{}.{}", 1 + rng.gen_range(12), rng.gen_range(10));
+            let code = digit_code(8, rng);
+            let title = format!("{product} {edition} {version} {code}");
+            let price = format!("{:.2}", 20.0 + rng.gen_f64() * 480.0);
+            vec![title, vendor, price]
+        }
+        Domain::Electronics => {
+            let brand = pick(BRANDS, rng).to_string();
+            let category = pick(CATEGORIES, rng).to_string();
+            let modelno = model_code(rng);
+            let noun = pick(PRODUCT_NOUNS, rng);
+            let mods = pick_n(MODIFIERS, 1 + rng.gen_range(3), rng).join(" ");
+            let title = format!("{brand} {mods} {noun} {modelno}");
+            let price = format!("{:.2}", 10.0 + rng.gen_f64() * 990.0);
+            vec![title, category, brand, modelno, price]
+        }
+        Domain::Beer => {
+            let name = format!("{} {}", pick(BEER_ADJECTIVES, rng), pick(BEER_NOUNS, rng));
+            let brewery = format!("{} brewing", pick(BREWERIES, rng));
+            let style = pick(BEER_STYLES, rng).to_string();
+            let abv = format!("{:.1}", 4.0 + rng.gen_f64() * 8.0);
+            vec![name, brewery, style, abv]
+        }
+        Domain::Music => {
+            let song = pick_n(SONG_WORDS, 2 + rng.gen_range(3), rng).join(" ");
+            let artist = format!("{} {}", pick(ARTIST_WORDS, rng), pick(ARTIST_WORDS, rng));
+            let album = pick_n(SONG_WORDS, 2, rng).join(" ");
+            let genre = pick(GENRES, rng).to_string();
+            let price = format!("{:.2}", 0.69 + rng.gen_f64() * 1.3);
+            let released = format!(
+                "{}-{:02}-{:02}",
+                2000 + rng.gen_range(16),
+                1 + rng.gen_range(12),
+                1 + rng.gen_range(28)
+            );
+            vec![song, artist, album, genre, price, released]
+        }
+        Domain::Restaurant => {
+            let name =
+                format!("{} {}", pick(RESTAURANT_WORDS, rng), pick(RESTAURANT_WORDS, rng));
+            let address = format!("{} {}", 10 + rng.gen_range(990), pick(STREETS, rng));
+            let city = pick(CITIES, rng).to_string();
+            let phone = format!(
+                "{}-{}-{}",
+                200 + rng.gen_range(700),
+                digit_code(3, rng),
+                digit_code(4, rng)
+            );
+            let cuisine = pick(CUISINES, rng).to_string();
+            vec![name, address, city, phone, cuisine]
+        }
+        Domain::TextualProduct => {
+            let brand = pick(BRANDS, rng).to_string();
+            let noun = pick(PRODUCT_NOUNS, rng).to_string();
+            let code = model_code(rng);
+            let name = format!("{brand} {noun} {code}");
+            let features = pick_n(MODIFIERS, 4 + rng.gen_range(3), rng);
+            let fillers = pick_n(FILLERS, 5 + rng.gen_range(4), rng);
+            // Interleave features with filler prose.
+            let mut description = Vec::new();
+            for (i, f) in fillers.iter().enumerate() {
+                description.push(f.clone());
+                if i < features.len() {
+                    description.push(features[i].clone());
+                }
+            }
+            description.push(noun);
+            description.push(brand);
+            let price = format!("{:.2}", 15.0 + rng.gen_f64() * 600.0);
+            vec![name, description.join(" "), price]
+        }
+    }
+}
+
+/// A *sibling* base: a **near-duplicate** of `base` that is nevertheless a
+/// different real-world entity — only the identity-bearing fields change
+/// (model number, software version, track name, street number…). These
+/// drive the hard negatives of challenge R1: most tokens pair, yet the
+/// label is non-match, so the matcher must learn that a handful of
+/// decision units (codes, versions) dominate the decision.
+pub fn make_sibling(domain: Domain, base: &[String], rng: &mut Rng64) -> Vec<String> {
+    let mut out: Vec<String> = base.to_vec();
+    match domain {
+        Domain::Bibliography => {
+            // Same venue and year; the title shares most words but swaps a
+            // couple (a sibling paper from the same group / session); one
+            // author is replaced.
+            let mut words: Vec<String> =
+                base[0].split_whitespace().map(str::to_string).collect();
+            let n_swap = 1 + rng.gen_range(2.min(words.len()));
+            for _ in 0..n_swap {
+                let i = rng.gen_range(words.len());
+                words[i] = pick(TITLE_WORDS, rng).to_string();
+            }
+            out[0] = words.join(" ");
+            let mut authors: Vec<String> =
+                base[1].split(", ").map(str::to_string).collect();
+            let i = rng.gen_range(authors.len());
+            authors[i] = format!("{} {}", pick(FIRST_NAMES, rng), pick(LAST_NAMES, rng));
+            out[1] = authors.join(", ");
+        }
+        Domain::Software => {
+            // Same vendor, same product family and edition; only the
+            // version and the license code change (plus the price).
+            let new_version = format!("{}.{}", 1 + rng.gen_range(12), rng.gen_range(10));
+            let new_code = digit_code(8, rng);
+            let words: Vec<String> = base[0]
+                .split_whitespace()
+                .map(|w| {
+                    if w.contains('.') && w.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                        new_version.clone()
+                    } else if w.len() == 8 && w.chars().all(|c| c.is_ascii_digit()) {
+                        new_code.clone()
+                    } else {
+                        w.to_string()
+                    }
+                })
+                .collect();
+            out[0] = words.join(" ");
+            if rng.gen_bool(0.5) {
+                out[2] = format!("{:.2}", 20.0 + rng.gen_f64() * 480.0);
+            }
+        }
+        Domain::Electronics => {
+            // Identical product line, different model number; half the time
+            // even the price matches (same price point of a product family).
+            let new_model = model_code(rng);
+            out[0] = base[0].replace(base[3].as_str(), &new_model);
+            out[3] = new_model;
+            if rng.gen_bool(0.5) {
+                out[4] = format!("{:.2}", 10.0 + rng.gen_f64() * 990.0);
+            }
+            // Occasionally a different variant word too.
+            if rng.gen_bool(0.4) {
+                out[0] = format!("{} {}", out[0], pick(MODIFIERS, rng));
+            }
+        }
+        Domain::Beer => {
+            // Same brewery and style family; the beer name shares one word.
+            let keep_adj = rng.gen_bool(0.5);
+            let parts: Vec<&str> = base[0].split_whitespace().collect();
+            out[0] = if keep_adj && !parts.is_empty() {
+                format!("{} {}", parts[0], pick(BEER_NOUNS, rng))
+            } else {
+                format!("{} {}", pick(BEER_ADJECTIVES, rng), parts.last().unwrap_or(&"ale"))
+            };
+            out[3] = format!("{:.1}", 4.0 + rng.gen_f64() * 8.0);
+        }
+        Domain::Music => {
+            // Same artist, album, genre — a different track of the album.
+            out[0] = pick_n(SONG_WORDS, 2 + rng.gen_range(3), rng).join(" ");
+            out[4] = format!("{:.2}", 0.69 + rng.gen_f64() * 1.3);
+        }
+        Domain::Restaurant => {
+            // Same city and cuisine; a nearby competitor sharing a name word.
+            let parts: Vec<&str> = base[0].split_whitespace().collect();
+            out[0] = format!(
+                "{} {}",
+                parts.first().unwrap_or(&"golden"),
+                pick(RESTAURANT_WORDS, rng)
+            );
+            out[1] = format!("{} {}", 10 + rng.gen_range(990), pick(STREETS, rng));
+            out[3] = format!(
+                "{}-{}-{}",
+                200 + rng.gen_range(700),
+                digit_code(3, rng),
+                digit_code(4, rng)
+            );
+        }
+        Domain::TextualProduct => {
+            // Same brand and product noun, different code; the prose shares
+            // most feature words.
+            let new_code = model_code(rng);
+            let parts: Vec<&str> = base[0].split_whitespace().collect();
+            if parts.len() >= 3 {
+                out[0] = format!("{} {} {new_code}", parts[0], parts[1]);
+            }
+            let mut words: Vec<String> =
+                base[1].split_whitespace().map(str::to_string).collect();
+            for _ in 0..2 + rng.gen_range(3) {
+                if words.is_empty() {
+                    break;
+                }
+                let i = rng.gen_range(words.len());
+                words[i] = pick(MODIFIERS, rng).to_string();
+            }
+            out[1] = words.join(" ");
+            out[2] = format!("{:.2}", 15.0 + rng.gen_f64() * 600.0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_matches_schema_width() {
+        let mut rng = Rng64::new(1);
+        for d in [
+            Domain::Bibliography,
+            Domain::Software,
+            Domain::Electronics,
+            Domain::Beer,
+            Domain::Music,
+            Domain::Restaurant,
+            Domain::TextualProduct,
+        ] {
+            let base = make_base(d, &mut rng);
+            assert_eq!(base.len(), d.schema().len(), "{d:?}");
+            assert!(base.iter().all(|v| !v.is_empty()), "{d:?}: {base:?}");
+        }
+    }
+
+    #[test]
+    fn siblings_share_context_but_differ() {
+        let mut rng = Rng64::new(2);
+        for _ in 0..20 {
+            let base = make_base(Domain::Electronics, &mut rng);
+            let sib = make_sibling(Domain::Electronics, &base, &mut rng);
+            assert_eq!(base[2], sib[2], "brand must be shared");
+            assert_eq!(base[1], sib[1], "category must be shared");
+            assert_ne!(base[3], sib[3], "model numbers must differ");
+        }
+    }
+
+    #[test]
+    fn music_siblings_are_same_album_different_song() {
+        let mut rng = Rng64::new(3);
+        let base = make_base(Domain::Music, &mut rng);
+        let sib = make_sibling(Domain::Music, &base, &mut rng);
+        assert_eq!(base[1], sib[1]);
+        assert_eq!(base[2], sib[2]);
+        assert_ne!(base[0], sib[0]);
+    }
+
+    #[test]
+    fn textual_descriptions_are_long() {
+        let mut rng = Rng64::new(4);
+        let base = make_base(Domain::TextualProduct, &mut rng);
+        assert!(
+            base[1].split_whitespace().count() >= 8,
+            "description should be prose: {}",
+            base[1]
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = make_base(Domain::Beer, &mut Rng64::new(9));
+        let b = make_base(Domain::Beer, &mut Rng64::new(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,226 @@
+//! Value perturbations — how the same real-world entity ends up with two
+//! different descriptions in two catalogs.
+//!
+//! The operations mirror the noise visible in the paper's Table 1 fragment:
+//! abbreviation (`exchange server → exch srvr`), token reordering
+//! (`external sa ↔ external l/sa`), token drops, typos, and numeric
+//! reformatting (prices `42166` vs `22575`).
+
+use super::vocab::SYNONYMS;
+use wym_linalg::Rng64;
+
+/// Introduces a single character-level typo (swap / delete / duplicate /
+/// replace). Words shorter than 4 characters are returned unchanged.
+pub fn typo(word: &str, rng: &mut Rng64) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 4 {
+        return word.to_string();
+    }
+    let pos = 1 + rng.gen_range(chars.len() - 2);
+    let mut out = chars.clone();
+    match rng.gen_range(4) {
+        0 => out.swap(pos, pos - 1),
+        1 => {
+            out.remove(pos);
+        }
+        2 => out.insert(pos, chars[pos]),
+        _ => out[pos] = char::from(b'a' + rng.gen_range(26) as u8),
+    }
+    out.into_iter().collect()
+}
+
+/// Vowel-dropping abbreviation (`server → srvr`, `exchange → exchng`), the
+/// catalog style of the paper's running example; falls back to truncation
+/// for short words.
+pub fn abbreviate(word: &str, rng: &mut Rng64) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() <= 4 {
+        return word.to_string();
+    }
+    if rng.gen_bool(0.5) {
+        // Drop interior vowels.
+        let kept: String = chars
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| *i == 0 || !matches!(c, 'a' | 'e' | 'i' | 'o' | 'u'))
+            .map(|(_, &c)| c)
+            .collect();
+        if kept.chars().count() >= 3 {
+            return kept;
+        }
+    }
+    // Truncate to a 4-5 character prefix.
+    let keep = 4 + rng.gen_range(2);
+    chars.into_iter().take(keep).collect()
+}
+
+/// Replaces a word by its synonym (either direction) when one exists.
+pub fn synonym(word: &str) -> Option<&'static str> {
+    for (a, b) in SYNONYMS {
+        if word == *a {
+            return Some(b);
+        }
+        if word == *b {
+            return Some(a);
+        }
+    }
+    None
+}
+
+/// Perturbs a multi-word textual value. `intensity` in `[0, 1]` scales every
+/// per-token probability. `allow_drop` disables token dropping for values
+/// that must stay complete (e.g. model numbers).
+pub fn perturb_text(value: &str, intensity: f32, allow_drop: bool, rng: &mut Rng64) -> String {
+    let p = intensity as f64;
+    let mut words: Vec<String> = Vec::new();
+    for w in value.split_whitespace() {
+        // Token drop.
+        if allow_drop && words.len() > 1 && rng.gen_bool(0.10 * p) {
+            continue;
+        }
+        let mut w = w.to_string();
+        if rng.gen_bool(0.12 * p) {
+            if let Some(s) = synonym(&w) {
+                w = s.to_string();
+            }
+        }
+        if rng.gen_bool(0.12 * p) {
+            w = abbreviate(&w, rng);
+        }
+        if rng.gen_bool(0.10 * p) {
+            w = typo(&w, rng);
+        }
+        words.push(w);
+    }
+    // Adjacent-token swap.
+    if words.len() >= 2 && rng.gen_bool(0.15 * p) {
+        let i = rng.gen_range(words.len() - 1);
+        words.swap(i, i + 1);
+    }
+    words.join(" ")
+}
+
+/// Perturbs a numeric price: small relative drift plus formatting noise
+/// (decimals appear/disappear, an occasional currency sign).
+pub fn perturb_price(value: f64, intensity: f32, rng: &mut Rng64) -> String {
+    let drift = 1.0 + (rng.gen_f64() - 0.5) * 0.08 * intensity as f64;
+    let v = value * drift;
+    match rng.gen_range(3) {
+        0 => format!("{v:.2}"),
+        1 => format!("{:.0}", v.round()),
+        _ => format!("{v:.1}"),
+    }
+}
+
+/// Moves the value of a random non-first attribute into the first attribute
+/// (the Magellan "dirty" construction: values migrate into the title and the
+/// source attribute is emptied).
+pub fn dirty_shuffle(values: &mut [String], rng: &mut Rng64) {
+    if values.len() < 2 {
+        return;
+    }
+    let src = 1 + rng.gen_range(values.len() - 1);
+    if values[src].is_empty() {
+        return;
+    }
+    let moved = std::mem::take(&mut values[src]);
+    if values[0].is_empty() {
+        values[0] = moved;
+    } else {
+        values[0] = format!("{} {}", values[0], moved);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typo_changes_long_words_only() {
+        let mut rng = Rng64::new(1);
+        assert_eq!(typo("tv", &mut rng), "tv");
+        assert_eq!(typo("abc", &mut rng), "abc");
+        let mut changed = 0;
+        for i in 0..20 {
+            let mut r = Rng64::new(i);
+            if typo("camera", &mut r) != "camera" {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 15, "typo should usually change the word, changed {changed}/20");
+    }
+
+    #[test]
+    fn abbreviate_shortens() {
+        let mut rng = Rng64::new(2);
+        for w in ["exchange", "server", "professional"] {
+            let a = abbreviate(w, &mut rng);
+            assert!(a.chars().count() < w.chars().count(), "{w} -> {a}");
+            assert!(a.starts_with(w.chars().next().unwrap()));
+        }
+        assert_eq!(abbreviate("sony", &mut rng), "sony");
+    }
+
+    #[test]
+    fn synonym_is_bidirectional() {
+        assert_eq!(synonym("wireless"), Some("cordless"));
+        assert_eq!(synonym("cordless"), Some("wireless"));
+        assert_eq!(synonym("camera"), None);
+    }
+
+    #[test]
+    fn zero_intensity_is_identity() {
+        let mut rng = Rng64::new(3);
+        let v = "digital camera with lens kit";
+        assert_eq!(perturb_text(v, 0.0, true, &mut rng), v);
+    }
+
+    #[test]
+    fn high_intensity_changes_text_but_keeps_some_overlap() {
+        let v = "digital camera with wireless lens kit bundle package";
+        let mut changed = 0;
+        let mut kept_any = 0;
+        for seed in 0..10 {
+            let mut rng = Rng64::new(seed);
+            let out = perturb_text(v, 1.0, true, &mut rng);
+            if out != v {
+                changed += 1;
+            }
+            let out_tokens: Vec<&str> = out.split_whitespace().collect();
+            if v.split_whitespace().any(|w| out_tokens.contains(&w)) {
+                kept_any += 1;
+            }
+        }
+        assert!(changed >= 8, "changed {changed}/10");
+        assert_eq!(kept_any, 10, "perturbation must not destroy all tokens");
+    }
+
+    #[test]
+    fn price_stays_close() {
+        let mut rng = Rng64::new(4);
+        for _ in 0..50 {
+            let s = perturb_price(100.0, 1.0, &mut rng);
+            let v: f64 = s.trim_start_matches('$').parse().unwrap();
+            assert!((v - 100.0).abs() <= 5.0, "price drifted too far: {s}");
+        }
+    }
+
+    #[test]
+    fn dirty_shuffle_moves_value_to_title() {
+        let mut rng = Rng64::new(5);
+        let mut values =
+            vec!["camera".to_string(), "sony".to_string(), "37.63".to_string()];
+        dirty_shuffle(&mut values, &mut rng);
+        let emptied = values[1].is_empty() || values[2].is_empty();
+        assert!(emptied, "one source attribute must be emptied: {values:?}");
+        assert!(values[0].len() > "camera".len(), "title must absorb the value");
+    }
+
+    #[test]
+    fn dirty_shuffle_single_attribute_noop() {
+        let mut rng = Rng64::new(6);
+        let mut values = vec!["only".to_string()];
+        dirty_shuffle(&mut values, &mut rng);
+        assert_eq!(values, vec!["only".to_string()]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Word pools for the synthetic Magellan benchmark.
+//!
+//! Pools are sized so that hard negatives (same brand / venue / artist,
+//! different entity) occur at realistic rates, reproducing the paper's
+//! challenge R1 ("the entities are different products, but they share the
+//! same brand").
+
+/// Consumer-electronics and general manufacturers.
+pub const BRANDS: &[&str] = &[
+    "sony", "nikon", "canon", "panasonic", "samsung", "toshiba", "philips", "sharp", "sanyo",
+    "olympus", "kodak", "fujifilm", "garmin", "logitech", "belkin", "netgear", "linksys",
+    "motorola", "siemens", "pioneer", "yamaha", "kenwood", "jvc", "casio", "epson", "brother",
+    "lexmark", "viewsonic", "acer", "asus",
+];
+
+/// Software vendors (Amazon-Google style).
+pub const SOFTWARE_VENDORS: &[&str] = &[
+    "microsoft", "adobe", "symantec", "mcafee", "intuit", "corel", "autodesk", "oracle", "sage",
+    "nero", "roxio", "kaspersky", "avanquest", "encore", "topics", "punch", "individual",
+    "nuance", "sonic", "cyberlink",
+];
+
+/// Software product families.
+pub const SOFTWARE_PRODUCTS: &[&str] = &[
+    "office", "windows", "photoshop", "acrobat", "illustrator", "antivirus", "quickbooks",
+    "quicken", "turbotax", "dreamweaver", "flash", "premiere", "encarta", "money", "works",
+    "exchange", "server", "visual", "studio", "project", "visio", "publisher", "frontpage",
+    "norton", "internet", "security", "systemworks", "ghost", "partition", "magic",
+];
+
+/// Software edition / licensing tokens.
+pub const SOFTWARE_EDITIONS: &[&str] = &[
+    "standard", "professional", "premium", "deluxe", "home", "academic", "upgrade", "full",
+    "oem", "retail", "license", "licenses", "sa", "olp", "edition", "suite", "bundle", "mac",
+    "win32", "english", "external", "eng",
+];
+
+/// Electronics product nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "camera", "camcorder", "television", "monitor", "projector", "printer", "scanner", "router",
+    "keyboard", "mouse", "speaker", "headphones", "receiver", "player", "recorder", "adapter",
+    "battery", "charger", "lens", "tripod", "case", "bag", "cable", "remote", "microphone",
+    "webcam", "phone", "tablet", "drive", "memory",
+];
+
+/// Electronics categories (Walmart-Amazon style).
+pub const CATEGORIES: &[&str] = &[
+    "electronics", "cameras", "computers", "accessories", "audio", "video", "networking",
+    "printers", "storage", "office", "photography", "mobile", "home theater", "tv",
+];
+
+/// Modifier words for product titles.
+pub const MODIFIERS: &[&str] = &[
+    "digital", "wireless", "portable", "compact", "optical", "stereo", "color", "black",
+    "silver", "white", "mini", "ultra", "pro", "hd", "lcd", "led", "zoom", "dual", "automatic",
+    "rechargeable", "waterproof", "leather", "slim", "advanced", "smart",
+];
+
+/// Periphrasis map used by the textual dataset: the generator swaps a word
+/// for its synonym between the two descriptions of a matching pair, which —
+/// under a surface-form embedder, exactly as under word-piece BERT — often
+/// fails to pair and reproduces T-AB's "many unpaired units" anomaly.
+pub const SYNONYMS: &[(&str, &str)] = &[
+    ("wireless", "cordless"),
+    ("display", "screen"),
+    ("portable", "handheld"),
+    ("compact", "small"),
+    ("television", "tv"),
+    ("headphones", "earphones"),
+    ("speaker", "loudspeaker"),
+    ("charger", "adapter"),
+    ("automatic", "auto"),
+    ("rechargeable", "reusable"),
+    ("photo", "picture"),
+    ("fast", "quick"),
+    ("silent", "quiet"),
+    ("premium", "deluxe"),
+    ("includes", "features"),
+];
+
+/// Filler words for long textual descriptions.
+pub const FILLERS: &[&str] = &[
+    "includes", "features", "designed", "perfect", "ideal", "quality", "easy", "use", "new",
+    "great", "high", "performance", "technology", "system", "built", "allows", "provides",
+    "supports", "powerful", "convenient", "innovative", "versatile", "reliable",
+];
+
+/// Author first-name initials and names.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "maria", "wei", "anna", "david", "elena", "rakesh", "yuki", "pedro", "ingrid",
+    "omar", "chen", "laura", "marco", "priya", "ivan", "sofia", "hans", "akira", "fatima",
+    "george", "nina", "carlos", "mei", "peter", "olga", "ravi", "emma", "jose", "lin",
+];
+
+/// Author surnames.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "garcia", "zhang", "johnson", "mueller", "rossi", "patel", "tanaka", "silva",
+    "larsen", "hassan", "chen", "brown", "ferrari", "kumar", "petrov", "lopez", "schmidt",
+    "sato", "ali", "jones", "ivanova", "santos", "wang", "miller", "volkov", "rao", "davis",
+    "martinez", "liu",
+];
+
+/// Database/CS paper title words.
+pub const TITLE_WORDS: &[&str] = &[
+    "query", "optimization", "distributed", "database", "systems", "learning", "efficient",
+    "scalable", "indexing", "mining", "streams", "graphs", "parallel", "transactions",
+    "semantic", "integration", "matching", "entity", "resolution", "clustering",
+    "classification", "approximate", "algorithms", "adaptive", "framework", "processing",
+    "storage", "memory", "cloud", "incremental", "joins", "views", "schema", "evolution",
+    "privacy", "secure", "temporal", "spatial", "probabilistic", "ranking",
+];
+
+/// Publication venues.
+pub const VENUES: &[&str] = &[
+    "sigmod", "vldb", "icde", "edbt", "kdd", "cikm", "icdm", "www", "sigir", "pods",
+    "sigmod record", "vldb journal", "tods", "tkde", "acm trans database syst",
+];
+
+/// Beer names (adjective + noun composition handled by the factory).
+pub const BEER_ADJECTIVES: &[&str] = &[
+    "hoppy", "golden", "dark", "amber", "imperial", "old", "wild", "burning", "frozen",
+    "midnight", "raging", "lazy", "crooked", "iron", "lucky", "grand", "royal", "rustic",
+];
+
+/// Beer nouns.
+pub const BEER_NOUNS: &[&str] = &[
+    "ale", "lager", "stout", "porter", "pilsner", "ipa", "wheat", "bock", "dubbel", "tripel",
+    "saison", "bitter", "brown", "red", "barleywine", "kolsch",
+];
+
+/// Brewery name stems.
+pub const BREWERIES: &[&str] = &[
+    "stone", "sierra", "anchor", "founders", "bell", "harpoon", "dogfish", "lagunitas",
+    "rogue", "deschutes", "odell", "avery", "victory", "troegs", "smuttynose", "cigar",
+];
+
+/// Beer styles.
+pub const BEER_STYLES: &[&str] = &[
+    "american ipa", "imperial stout", "pale ale", "amber lager", "hefeweizen", "pilsner",
+    "porter", "saison", "barleywine", "brown ale", "blonde ale", "oatmeal stout",
+];
+
+/// Music genres.
+pub const GENRES: &[&str] = &[
+    "rock", "pop", "jazz", "blues", "country", "electronic", "hip hop", "classical", "folk",
+    "metal", "reggae", "soul", "dance", "alternative", "indie",
+];
+
+/// Artist name words.
+pub const ARTIST_WORDS: &[&str] = &[
+    "crystal", "velvet", "electric", "midnight", "silver", "neon", "phantom", "echo", "stellar",
+    "wildfire", "horizon", "atlas", "aurora", "cobalt", "ember", "falcon", "harbor", "indigo",
+];
+
+/// Song/album title words.
+pub const SONG_WORDS: &[&str] = &[
+    "love", "night", "dream", "heart", "fire", "rain", "summer", "road", "light", "shadow",
+    "dance", "home", "river", "sky", "stars", "ocean", "moon", "storm", "golden", "broken",
+    "forever", "yesterday", "tomorrow", "paradise", "freedom", "thunder", "whisper", "echoes",
+];
+
+/// Restaurant name words.
+pub const RESTAURANT_WORDS: &[&str] = &[
+    "golden", "dragon", "olive", "garden", "blue", "plate", "corner", "bistro", "grill",
+    "kitchen", "house", "palace", "cafe", "terrace", "villa", "harvest", "spice", "ember",
+];
+
+/// Cuisine types.
+pub const CUISINES: &[&str] = &[
+    "italian", "french", "chinese", "mexican", "japanese", "american", "thai", "indian",
+    "mediterranean", "steakhouses", "seafood", "bbq", "delis", "pizza",
+];
+
+/// Cities.
+pub const CITIES: &[&str] = &[
+    "new york", "los angeles", "chicago", "atlanta", "san francisco", "boston", "seattle",
+    "miami", "denver", "austin", "portland", "nashville",
+];
+
+/// Street names.
+pub const STREETS: &[&str] = &[
+    "main st", "broadway", "oak ave", "elm st", "park blvd", "sunset blvd", "market st",
+    "lake shore dr", "pine st", "union sq", "college ave", "river rd",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_reasonably_sized() {
+        for (name, pool) in [
+            ("BRANDS", BRANDS),
+            ("SOFTWARE_VENDORS", SOFTWARE_VENDORS),
+            ("SOFTWARE_PRODUCTS", SOFTWARE_PRODUCTS),
+            ("PRODUCT_NOUNS", PRODUCT_NOUNS),
+            ("TITLE_WORDS", TITLE_WORDS),
+            ("VENUES", VENUES),
+            ("LAST_NAMES", LAST_NAMES),
+            ("SONG_WORDS", SONG_WORDS),
+        ] {
+            assert!(pool.len() >= 10, "{name} too small ({})", pool.len());
+        }
+    }
+
+    #[test]
+    fn pools_have_no_duplicates() {
+        for pool in [BRANDS, PRODUCT_NOUNS, TITLE_WORDS, SONG_WORDS, MODIFIERS] {
+            let mut v = pool.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), pool.len(), "duplicate entries in pool");
+        }
+    }
+
+    #[test]
+    fn synonyms_are_distinct_words() {
+        for (a, b) in SYNONYMS {
+            assert_ne!(a, b);
+        }
+    }
+}

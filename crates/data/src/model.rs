@@ -1,0 +1,238 @@
+//! The EM data model: schemas, entities, labeled record pairs, datasets.
+
+use serde::{Deserialize, Serialize};
+use wym_linalg::Rng64;
+
+/// An ordered list of attribute names shared by both entities of a record.
+///
+/// The paper assumes "entity descriptions have the same schema" and calls
+/// the attribute in the second description corresponding to one selected in
+/// the first the *matching attribute* (§4); alignment is positional.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Attribute names, in order.
+    pub attributes: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute names.
+    pub fn new<S: Into<String>>(attributes: Vec<S>) -> Self {
+        Self { attributes: attributes.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Index of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == name)
+    }
+}
+
+/// One entity description: attribute values aligned with a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entity {
+    /// Attribute values, index-aligned with the schema.
+    pub values: Vec<String>,
+}
+
+impl Entity {
+    /// Builds an entity from values.
+    pub fn new<S: Into<String>>(values: Vec<S>) -> Self {
+        Self { values: values.into_iter().map(Into::into).collect() }
+    }
+
+    /// The full description as one string (attribute values joined).
+    pub fn full_text(&self) -> String {
+        self.values.join(" ")
+    }
+}
+
+/// A labeled EM record: a pair of entity descriptions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordPair {
+    /// Stable identifier within the dataset.
+    pub id: u32,
+    /// The left entity description.
+    pub left: Entity,
+    /// The right entity description.
+    pub right: Entity,
+    /// `true` when the descriptions refer to the same real-world entity.
+    pub label: bool,
+}
+
+/// The benchmark's dataset families (Table 2, "Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetType {
+    /// Clean, well-aligned attributes.
+    Structured,
+    /// Long free-text descriptions (Abt-Buy).
+    Textual,
+    /// Values shuffled across attributes.
+    Dirty,
+}
+
+impl DatasetType {
+    /// The label used in Table 2.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DatasetType::Structured => "Structured",
+            DatasetType::Textual => "Textual",
+            DatasetType::Dirty => "Dirty",
+        }
+    }
+}
+
+/// A complete EM dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmDataset {
+    /// Benchmark short name (e.g. `S-DG`).
+    pub name: String,
+    /// Dataset family.
+    pub dataset_type: DatasetType,
+    /// Shared schema of both entity descriptions.
+    pub schema: Schema,
+    /// Labeled record pairs.
+    pub pairs: Vec<RecordPair>,
+}
+
+impl EmDataset {
+    /// Number of record pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the dataset holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Fraction of pairs labeled as matches, in percent (Table 2's "% Match").
+    pub fn match_rate_pct(&self) -> f32 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.pairs.iter().filter(|p| p.label).count() as f32 / self.pairs.len() as f32
+    }
+
+    /// Gold labels as 0/1.
+    pub fn labels(&self) -> Vec<u8> {
+        self.pairs.iter().map(|p| u8::from(p.label)).collect()
+    }
+
+    /// A new dataset holding the pairs selected by `idx` (in that order).
+    pub fn subset(&self, idx: &[usize]) -> EmDataset {
+        EmDataset {
+            name: self.name.clone(),
+            dataset_type: self.dataset_type,
+            schema: self.schema.clone(),
+            pairs: idx.iter().map(|&i| self.pairs[i].clone()).collect(),
+        }
+    }
+
+    /// A label-stratified random subsample of at most `n` pairs, preserving
+    /// the match rate. Used by the experiment harness to cap runtime on the
+    /// large datasets; `--full` runs skip it.
+    pub fn subsample(&self, n: usize, seed: u64) -> EmDataset {
+        if n >= self.pairs.len() {
+            return self.clone();
+        }
+        let mut rng = Rng64::new(seed);
+        let mut pos: Vec<usize> = Vec::new();
+        let mut neg: Vec<usize> = Vec::new();
+        for (i, p) in self.pairs.iter().enumerate() {
+            if p.label {
+                pos.push(i);
+            } else {
+                neg.push(i);
+            }
+        }
+        rng.shuffle(&mut pos);
+        rng.shuffle(&mut neg);
+        let n_pos = ((n as f64) * pos.len() as f64 / self.pairs.len() as f64).round() as usize;
+        let n_pos = n_pos.clamp(1.min(pos.len()), pos.len()).min(n);
+        let n_neg = (n - n_pos).min(neg.len());
+        let mut idx: Vec<usize> = pos.into_iter().take(n_pos).collect();
+        idx.extend(neg.into_iter().take(n_neg));
+        idx.sort_unstable();
+        self.subset(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> EmDataset {
+        let schema = Schema::new(vec!["name", "price"]);
+        let pairs = (0..10)
+            .map(|i| RecordPair {
+                id: i,
+                left: Entity::new(vec![format!("item {i}"), format!("{i}")]),
+                right: Entity::new(vec![format!("item {i}"), format!("{i}")]),
+                label: i % 5 == 0, // 20% matches
+            })
+            .collect();
+        EmDataset { name: "toy".into(), dataset_type: DatasetType::Structured, schema, pairs }
+    }
+
+    #[test]
+    fn match_rate_pct() {
+        assert!((toy().match_rate_pct() - 20.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn labels_align_with_pairs() {
+        let d = toy();
+        let labels = d.labels();
+        for (p, l) in d.pairs.iter().zip(&labels) {
+            assert_eq!(u8::from(p.label), *l);
+        }
+    }
+
+    #[test]
+    fn subset_keeps_order_and_metadata() {
+        let d = toy();
+        let s = d.subset(&[5, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pairs[0].id, 5);
+        assert_eq!(s.pairs[1].id, 0);
+        assert_eq!(s.schema, d.schema);
+    }
+
+    #[test]
+    fn subsample_preserves_match_rate_roughly() {
+        let d = toy();
+        let s = d.subsample(5, 7);
+        assert_eq!(s.len(), 5);
+        let matches = s.pairs.iter().filter(|p| p.label).count();
+        assert!((1..=2).contains(&matches), "matches {matches}");
+    }
+
+    #[test]
+    fn subsample_larger_than_dataset_is_identity() {
+        let d = toy();
+        let s = d.subsample(100, 1);
+        assert_eq!(s.len(), d.len());
+    }
+
+    #[test]
+    fn schema_index_lookup() {
+        let s = Schema::new(vec!["name", "price"]);
+        assert_eq!(s.index_of("price"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn entity_full_text_joins_values() {
+        let e = Entity::new(vec!["digital camera", "37.63"]);
+        assert_eq!(e.full_text(), "digital camera 37.63");
+    }
+}

@@ -1,0 +1,149 @@
+//! Stratified train/validation/test splitting.
+//!
+//! "Each dataset is divided into training, validation, and test set which
+//! were created with 60-20-20 proportions" (§5). Stratification on the label
+//! keeps the match rate of each split equal to the dataset's, which matters
+//! for the tiny datasets (S-BR has 450 pairs).
+
+use crate::model::EmDataset;
+use serde::{Deserialize, Serialize};
+use wym_linalg::Rng64;
+
+/// Index sets of a three-way split.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitIndices {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Validation indices.
+    pub val: Vec<usize>,
+    /// Test indices.
+    pub test: Vec<usize>,
+}
+
+impl SplitIndices {
+    /// Total number of indices across the three parts.
+    pub fn total(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+}
+
+/// Label-stratified split with the given fractions (the remainder goes to
+/// the test set). Deterministic for a given seed.
+///
+/// # Panics
+/// Panics if `train_frac + val_frac > 1`.
+pub fn stratified_split(
+    dataset: &EmDataset,
+    train_frac: f64,
+    val_frac: f64,
+    seed: u64,
+) -> SplitIndices {
+    assert!(
+        train_frac + val_frac <= 1.0 + 1e-9,
+        "train {train_frac} + val {val_frac} exceed 1.0"
+    );
+    let mut rng = Rng64::new(seed);
+    let mut split = SplitIndices { train: Vec::new(), val: Vec::new(), test: Vec::new() };
+    for class in [true, false] {
+        let mut idx: Vec<usize> = dataset
+            .pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.label == class)
+            .map(|(i, _)| i)
+            .collect();
+        rng.shuffle(&mut idx);
+        let n = idx.len();
+        let n_train = (n as f64 * train_frac).round() as usize;
+        let n_val = (n as f64 * val_frac).round() as usize;
+        let n_val = n_val.min(n - n_train);
+        split.train.extend(&idx[..n_train]);
+        split.val.extend(&idx[n_train..n_train + n_val]);
+        split.test.extend(&idx[n_train + n_val..]);
+    }
+    split.train.sort_unstable();
+    split.val.sort_unstable();
+    split.test.sort_unstable();
+    split
+}
+
+/// The paper's 60-20-20 split.
+pub fn paper_split(dataset: &EmDataset, seed: u64) -> SplitIndices {
+    stratified_split(dataset, 0.6, 0.2, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DatasetType, Entity, RecordPair, Schema};
+
+    fn dataset(n: usize, match_every: usize) -> EmDataset {
+        let pairs = (0..n)
+            .map(|i| RecordPair {
+                id: i as u32,
+                left: Entity::new(vec![format!("l{i}")]),
+                right: Entity::new(vec![format!("r{i}")]),
+                label: i % match_every == 0,
+            })
+            .collect();
+        EmDataset {
+            name: "t".into(),
+            dataset_type: DatasetType::Structured,
+            schema: Schema::new(vec!["a"]),
+            pairs,
+        }
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover() {
+        let d = dataset(100, 5);
+        let s = paper_split(&d, 1);
+        assert_eq!(s.total(), 100);
+        let mut all: Vec<usize> =
+            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100, "overlapping splits");
+    }
+
+    #[test]
+    fn proportions_are_60_20_20() {
+        let d = dataset(1000, 5);
+        let s = paper_split(&d, 2);
+        assert!((s.train.len() as f64 - 600.0).abs() <= 2.0, "train {}", s.train.len());
+        assert!((s.val.len() as f64 - 200.0).abs() <= 2.0, "val {}", s.val.len());
+        assert!((s.test.len() as f64 - 200.0).abs() <= 2.0, "test {}", s.test.len());
+    }
+
+    #[test]
+    fn stratification_preserves_match_rate() {
+        let d = dataset(1000, 5); // 20% matches
+        let s = paper_split(&d, 3);
+        for part in [&s.train, &s.val, &s.test] {
+            let rate = part.iter().filter(|&&i| d.pairs[i].label).count() as f64
+                / part.len() as f64;
+            assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let d = dataset(200, 4);
+        assert_eq!(paper_split(&d, 7), paper_split(&d, 7));
+        assert_ne!(paper_split(&d, 7), paper_split(&d, 8));
+    }
+
+    #[test]
+    fn tiny_dataset_keeps_all_rows() {
+        let d = dataset(5, 2);
+        let s = paper_split(&d, 4);
+        assert_eq!(s.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1.0")]
+    fn rejects_overfull_fractions() {
+        let d = dataset(10, 2);
+        let _ = stratified_split(&d, 0.8, 0.5, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Context mixing — the "contextualized embedding" behaviour of BERT.
+//!
+//! WYM generates token embeddings "by averaging the hidden states (from the
+//! second to the last layer) of the BERT network", a choice the paper
+//! motivates as "a good trade-off in representing in the embeddings the
+//! target feature and its context" (§4.1.1). This encoder reproduces that
+//! trade-off explicitly: each token vector is a convex blend of itself, its
+//! in-attribute neighbours, its attribute centroid, and the record centroid.
+
+use serde::{Deserialize, Serialize};
+use wym_linalg::vector::{axpy, normalize};
+
+/// Blending weights of the context encoder. They are normalized at use, so
+/// only ratios matter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContextEncoder {
+    /// Weight of the token's own static vector.
+    pub self_weight: f32,
+    /// Weight of the mean of the adjacent tokens in the same attribute.
+    pub neighbor_weight: f32,
+    /// Weight of the attribute centroid.
+    pub attribute_weight: f32,
+    /// Weight of the whole-record centroid.
+    pub record_weight: f32,
+}
+
+impl Default for ContextEncoder {
+    fn default() -> Self {
+        Self {
+            self_weight: 0.72,
+            neighbor_weight: 0.10,
+            attribute_weight: 0.10,
+            record_weight: 0.08,
+        }
+    }
+}
+
+impl ContextEncoder {
+    /// A pass-through encoder (no context; used to ablate R4).
+    pub fn identity() -> Self {
+        Self { self_weight: 1.0, neighbor_weight: 0.0, attribute_weight: 0.0, record_weight: 0.0 }
+    }
+
+    /// Contextualizes per-attribute static vectors; output has the same
+    /// shape and unit-norm vectors.
+    pub fn contextualize(&self, static_vecs: &[Vec<Vec<f32>>]) -> Vec<Vec<Vec<f32>>> {
+        let dim = static_vecs
+            .iter()
+            .flat_map(|a| a.iter())
+            .map(Vec::len)
+            .next()
+            .unwrap_or(0);
+        if dim == 0 {
+            return static_vecs.to_vec();
+        }
+
+        // Record centroid.
+        let mut record_centroid = vec![0.0f32; dim];
+        let mut count = 0usize;
+        for attr in static_vecs {
+            for v in attr {
+                axpy(1.0, v, &mut record_centroid);
+                count += 1;
+            }
+        }
+        if count > 0 {
+            let inv = 1.0 / count as f32;
+            record_centroid.iter_mut().for_each(|v| *v *= inv);
+        }
+
+        let total =
+            self.self_weight + self.neighbor_weight + self.attribute_weight + self.record_weight;
+        let total = if total <= 0.0 { 1.0 } else { total };
+
+        static_vecs
+            .iter()
+            .map(|attr| {
+                // Attribute centroid.
+                let mut attr_centroid = vec![0.0f32; dim];
+                for v in attr {
+                    axpy(1.0, v, &mut attr_centroid);
+                }
+                if !attr.is_empty() {
+                    let inv = 1.0 / attr.len() as f32;
+                    attr_centroid.iter_mut().for_each(|v| *v *= inv);
+                }
+                attr.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let mut out = vec![0.0f32; dim];
+                        axpy(self.self_weight / total, v, &mut out);
+                        // Mean of the immediate neighbours (when present).
+                        let mut nbr = vec![0.0f32; dim];
+                        let mut n_nbr = 0.0f32;
+                        if i > 0 {
+                            axpy(1.0, &attr[i - 1], &mut nbr);
+                            n_nbr += 1.0;
+                        }
+                        if i + 1 < attr.len() {
+                            axpy(1.0, &attr[i + 1], &mut nbr);
+                            n_nbr += 1.0;
+                        }
+                        if n_nbr > 0.0 {
+                            axpy(self.neighbor_weight / total / n_nbr, &nbr, &mut out);
+                        } else {
+                            // Lone token: fold the neighbour mass into self.
+                            axpy(self.neighbor_weight / total, v, &mut out);
+                        }
+                        axpy(self.attribute_weight / total, &attr_centroid, &mut out);
+                        axpy(self.record_weight / total, &record_centroid, &mut out);
+                        normalize(&mut out);
+                        out
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wym_linalg::vector::{cosine, norm};
+    use wym_linalg::Rng64;
+
+    fn random_unit(dim: usize, rng: &mut Rng64) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.normal() as f32).collect();
+        normalize(&mut v);
+        v
+    }
+
+    #[test]
+    fn identity_encoder_preserves_vectors() {
+        let mut rng = Rng64::new(1);
+        let vecs = vec![vec![random_unit(8, &mut rng), random_unit(8, &mut rng)]];
+        let out = ContextEncoder::identity().contextualize(&vecs);
+        for (a, b) in vecs[0].iter().zip(&out[0]) {
+            assert!(cosine(a, b) > 0.9999);
+        }
+    }
+
+    #[test]
+    fn output_is_unit_norm_and_same_shape() {
+        let mut rng = Rng64::new(2);
+        let vecs = vec![
+            vec![random_unit(8, &mut rng); 3],
+            vec![random_unit(8, &mut rng)],
+            vec![],
+        ];
+        let out = ContextEncoder::default().contextualize(&vecs);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].len(), 3);
+        assert_eq!(out[1].len(), 1);
+        assert!(out[2].is_empty());
+        for attr in &out {
+            for v in attr {
+                assert!((norm(v) - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn context_pulls_tokens_toward_their_attribute() {
+        let mut rng = Rng64::new(3);
+        let a = random_unit(16, &mut rng);
+        let b = random_unit(16, &mut rng);
+        let vecs = vec![vec![a.clone(), b.clone()]];
+        let out = ContextEncoder::default().contextualize(&vecs);
+        // After mixing, the two tokens must be more similar to each other
+        // than their statics were.
+        let before = cosine(&a, &b);
+        let after = cosine(&out[0][0], &out[0][1]);
+        assert!(after > before, "context mixing must increase within-attribute similarity");
+    }
+
+    #[test]
+    fn self_signal_dominates() {
+        let mut rng = Rng64::new(4);
+        let a = random_unit(16, &mut rng);
+        let b = random_unit(16, &mut rng);
+        let vecs = vec![vec![a.clone(), b.clone()]];
+        let out = ContextEncoder::default().contextualize(&vecs);
+        assert!(
+            cosine(&a, &out[0][0]) > cosine(&b, &out[0][0]),
+            "a contextualized token must remain closest to its own static vector"
+        );
+    }
+
+    #[test]
+    fn empty_input_passthrough() {
+        let out = ContextEncoder::default().contextualize(&[]);
+        assert!(out.is_empty());
+        let out = ContextEncoder::default().contextualize(&[vec![]]);
+        assert_eq!(out.len(), 1);
+    }
+}

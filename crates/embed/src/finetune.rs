@@ -1,0 +1,116 @@
+//! Training-pair construction for the fine-tuned embedding variants.
+//!
+//! Both trained variants learn a [`wym_nn::SiameseProjection`] over centroid
+//! pairs derived from labeled EM records:
+//!
+//! * **FineTuned** (≈ BERT-ft): one pair per record — the two *record*
+//!   centroids with the match label. This is the coarse signal a
+//!   classification fine-tune propagates into the encoder.
+//! * **Siamese** (≈ SBERT): record centroids *plus* one pair per aligned
+//!   attribute, mirroring how sentence-level siamese training sees many
+//!   aligned sentence pairs and therefore shapes the space at a finer grain.
+
+use crate::Embedder;
+use wym_linalg::vector::{axpy, normalize};
+
+/// Per-attribute token lists of one entity (`tokens[attr][i]`).
+pub type EntityTokens = Vec<Vec<String>>;
+
+/// L2-normalized mean of a set of token vectors; `None` when empty.
+fn centroid(vecs: &[Vec<f32>], dim: usize) -> Option<Vec<f32>> {
+    if vecs.is_empty() {
+        return None;
+    }
+    let mut c = vec![0.0f32; dim];
+    for v in vecs {
+        axpy(1.0, v, &mut c);
+    }
+    normalize(&mut c);
+    Some(c)
+}
+
+/// Builds `(left, right, is_match)` training vectors for the siamese
+/// projection. With `per_attribute` set, aligned-attribute centroid pairs
+/// are added after the record-level pair.
+pub fn build_centroid_pairs(
+    embedder: &Embedder,
+    records: &[(EntityTokens, EntityTokens, bool)],
+    per_attribute: bool,
+) -> Vec<(Vec<f32>, Vec<f32>, bool)> {
+    let dim = embedder.dim();
+    let mut pairs = Vec::new();
+    for (left, right, label) in records {
+        let lv = embedder.embed_entity(left);
+        let rv = embedder.embed_entity(right);
+        let all_l: Vec<Vec<f32>> = lv.iter().flatten().cloned().collect();
+        let all_r: Vec<Vec<f32>> = rv.iter().flatten().cloned().collect();
+        if let (Some(cl), Some(cr)) = (centroid(&all_l, dim), centroid(&all_r, dim)) {
+            pairs.push((cl, cr, *label));
+        }
+        if per_attribute {
+            for (la, ra) in lv.iter().zip(&rv) {
+                if let (Some(cl), Some(cr)) = (centroid(la, dim), centroid(ra, dim)) {
+                    pairs.push((cl, cr, *label));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity(attrs: &[&[&str]]) -> EntityTokens {
+        attrs.iter().map(|a| a.iter().map(|s| s.to_string()).collect()).collect()
+    }
+
+    #[test]
+    fn record_level_pairs_one_per_record() {
+        let e = Embedder::new_static(32, 1);
+        let records = vec![
+            (entity(&[&["a", "b"]]), entity(&[&["a"]]), true),
+            (entity(&[&["c"]]), entity(&[&["d"]]), false),
+        ];
+        let pairs = build_centroid_pairs(&e, &records, false);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs[0].2);
+        assert!(!pairs[1].2);
+    }
+
+    #[test]
+    fn per_attribute_adds_aligned_pairs() {
+        let e = Embedder::new_static(32, 1);
+        let records =
+            vec![(entity(&[&["a"], &["b"]]), entity(&[&["a"], &["c"]]), true)];
+        let pairs = build_centroid_pairs(&e, &records, true);
+        // 1 record pair + 2 attribute pairs.
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn empty_attributes_are_skipped() {
+        let e = Embedder::new_static(32, 1);
+        let records = vec![(entity(&[&["a"], &[]]), entity(&[&["b"], &[]]), false)];
+        let pairs = build_centroid_pairs(&e, &records, true);
+        // 1 record pair + 1 non-empty attribute pair.
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn fully_empty_record_produces_no_pairs() {
+        let e = Embedder::new_static(32, 1);
+        let records = vec![(entity(&[&[]]), entity(&[&[]]), true)];
+        assert!(build_centroid_pairs(&e, &records, true).is_empty());
+    }
+
+    #[test]
+    fn centroids_are_unit_norm() {
+        let e = Embedder::new_static(32, 1);
+        let records = vec![(entity(&[&["x", "y", "z"]]), entity(&[&["x"]]), true)];
+        let pairs = build_centroid_pairs(&e, &records, false);
+        let n = wym_linalg::vector::norm(&pairs[0].0);
+        assert!((n - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Hashed character-n-gram token embeddings (fastText-style).
+//!
+//! Each token is decomposed into features — the whole surface form, its
+//! boundary-padded character 3- and 4-grams, and its word-piece segments —
+//! and every feature is hashed to a `(dimension, sign)` slot. Summing the
+//! slots and normalizing yields a deterministic unit vector in which cosine
+//! similarity tracks orthographic overlap, exactly the signal WYM's stable
+//! marriage pairing consumes.
+
+use serde::{Deserialize, Serialize};
+use wym_linalg::rng::hash64;
+use wym_linalg::vector::normalize;
+use wym_tokenize::wordpiece::WordPieceVocab;
+
+/// Deterministic hashed-feature token embedder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HashedNgramEmbedder {
+    dim: usize,
+    seed: u64,
+    /// Weight of the whole-word feature relative to each n-gram.
+    pub word_weight: f32,
+    /// Optional word-piece vocabulary contributing subword features.
+    pub wordpiece: Option<WordPieceVocab>,
+}
+
+impl HashedNgramEmbedder {
+    /// An embedder of dimension `dim` (≥ 8) seeded by `seed`.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim >= 8, "embedding dimension must be at least 8, got {dim}");
+        Self { dim, seed, word_weight: 2.0, wordpiece: None }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Adds one weighted hashed feature to the accumulator.
+    fn add_feature(&self, acc: &mut [f32], feature: &str, weight: f32) {
+        let h = hash64(feature.as_bytes()) ^ self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = (h % self.dim as u64) as usize;
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        acc[idx] += sign * weight;
+        // A second slot decorrelates collisions (two hash functions).
+        let h2 = hash64(&h.to_le_bytes());
+        let idx2 = (h2 % self.dim as u64) as usize;
+        let sign2 = if (h2 >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        acc[idx2] += sign2 * weight * 0.7;
+    }
+
+    /// The unit embedding of a token. Deterministic; equal tokens get equal
+    /// vectors.
+    pub fn embed_token(&self, token: &str) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        if token.is_empty() {
+            return acc;
+        }
+        // Whole word.
+        self.add_feature(&mut acc, token, self.word_weight);
+        // Boundary-padded character n-grams.
+        let padded: Vec<char> = std::iter::once('<')
+            .chain(token.chars())
+            .chain(std::iter::once('>'))
+            .collect();
+        for n in [3usize, 4] {
+            if padded.len() < n {
+                continue;
+            }
+            for start in 0..=padded.len() - n {
+                let gram: String = padded[start..start + n].iter().collect();
+                self.add_feature(&mut acc, &gram, 1.0);
+            }
+        }
+        // Word-piece segments, when a vocabulary is attached.
+        if let Some(vocab) = &self.wordpiece {
+            for piece in vocab.segment(token) {
+                self.add_feature(&mut acc, &format!("wp:{piece}"), 0.8);
+            }
+        }
+        normalize(&mut acc);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wym_linalg::vector::{cosine, norm};
+
+    #[test]
+    fn deterministic_and_unit_norm() {
+        let e = HashedNgramEmbedder::new(64, 1);
+        let a = e.embed_token("camera");
+        let b = e.embed_token("camera");
+        assert_eq!(a, b);
+        assert!((norm(&a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_token_is_zero_vector() {
+        let e = HashedNgramEmbedder::new(16, 0);
+        assert!(e.embed_token("").iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn orthographic_similarity_orders_cosine() {
+        let e = HashedNgramEmbedder::new(64, 2);
+        let camera = e.embed_token("camera");
+        let cameras = e.embed_token("cameras");
+        let license = e.embed_token("license");
+        assert!(cosine(&camera, &cameras) > 0.45, "{}", cosine(&camera, &cameras));
+        assert!(cosine(&camera, &cameras) > cosine(&camera, &license) + 0.2);
+    }
+
+    #[test]
+    fn product_codes_differing_in_one_digit_are_similar_not_equal() {
+        let e = HashedNgramEmbedder::new(64, 2);
+        let a = e.embed_token("39400416");
+        let b = e.embed_token("39400417");
+        let c = e.embed_token("58110000");
+        let sim_ab = cosine(&a, &b);
+        assert!(sim_ab > 0.5 && sim_ab < 0.999, "sim {sim_ab}");
+        assert!(sim_ab > cosine(&a, &c));
+    }
+
+    #[test]
+    fn different_seeds_produce_different_spaces() {
+        let e1 = HashedNgramEmbedder::new(64, 1);
+        let e2 = HashedNgramEmbedder::new(64, 99);
+        assert_ne!(e1.embed_token("sony"), e2.embed_token("sony"));
+    }
+
+    #[test]
+    fn short_tokens_still_embed() {
+        let e = HashedNgramEmbedder::new(32, 3);
+        let v = e.embed_token("tv");
+        assert!((norm(&v) - 1.0).abs() < 1e-5);
+        let u = e.embed_token("4k");
+        assert!(cosine(&v, &u).abs() < 0.9, "unrelated short tokens should not collide");
+    }
+
+    #[test]
+    fn wordpiece_features_change_the_vector() {
+        let mut e = HashedNgramEmbedder::new(64, 4);
+        let before = e.embed_token("camcorder");
+        let vocab =
+            WordPieceVocab::build(["cam", "corder", "camcorder"], 6, 1);
+        e.wordpiece = Some(vocab);
+        let after = e.embed_token("camcorder");
+        assert_ne!(before, after);
+        assert!(cosine(&before, &after) > 0.7, "subword features refine, not replace");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8")]
+    fn rejects_tiny_dimensions() {
+        let _ = HashedNgramEmbedder::new(4, 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). They share command-line handling,
+//! dataset preparation, the standard WYM configuration, and result output
+//! (a Markdown table on stdout plus a JSON file under `results/`).
+//!
+//! Runtime control: the paper's full benchmark is hours of compute; by
+//! default each dataset is label-stratified subsampled to `--cap` pairs
+//! (default 800) and the scorer trains for 20 epochs. `--full` lifts the
+//! cap and restores the paper's 40 epochs; `--quick` shrinks everything for
+//! smoke runs.
+
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+use wym_core::{WymConfig, WymModel};
+use wym_data::{magellan, split::paper_split, EmDataset, RecordPair, SplitIndices};
+use wym_embed::EmbedderKind;
+use wym_ml::ClassifierKind;
+use wym_nn::TrainConfig;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Lift subsampling caps and use paper-scale training.
+    pub full: bool,
+    /// Smoke-run mode: tiny caps, few epochs, reduced pool.
+    pub quick: bool,
+    /// Per-dataset pair cap (ignored under `--full`).
+    pub cap: usize,
+    /// Global seed.
+    pub seed: u64,
+    /// Restrict to these dataset short names (default: all twelve).
+    pub datasets: Option<Vec<String>>,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        Self { full: false, quick: false, cap: 800, seed: 7, datasets: None }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses `--full`, `--quick`, `--cap N`, `--seed N`,
+    /// `--datasets A,B,…` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => opts.full = true,
+                "--quick" => {
+                    opts.quick = true;
+                    opts.cap = 300;
+                }
+                "--cap" => {
+                    i += 1;
+                    opts.cap = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--cap needs a number"));
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs a number"));
+                }
+                "--datasets" => {
+                    i += 1;
+                    let list = args.get(i).expect("--datasets needs a comma-separated list");
+                    opts.datasets =
+                        Some(list.split(',').map(|s| s.trim().to_string()).collect());
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The twelve benchmark datasets (or the `--datasets` selection),
+    /// generated and capped according to the options.
+    pub fn datasets(&self) -> Vec<EmDataset> {
+        magellan::all_configs()
+            .iter()
+            .filter(|c| {
+                self.datasets
+                    .as_ref()
+                    .is_none_or(|names| names.iter().any(|n| n == c.name))
+            })
+            .map(|c| {
+                let d = magellan::generate(c, self.seed);
+                if self.full {
+                    d
+                } else {
+                    d.subsample(self.cap, self.seed)
+                }
+            })
+            .collect()
+    }
+
+    /// The standard WYM configuration for this run.
+    pub fn wym_config(&self) -> WymConfig {
+        let mut cfg = WymConfig::default().with_seed(self.seed);
+        if self.quick {
+            cfg.embed_dim = 32;
+            cfg.embedder_kind = EmbedderKind::Static;
+            cfg.scorer.train =
+                TrainConfig { epochs: 8, batch_size: 128, lr: 2e-3, ..TrainConfig::default() };
+            cfg.matcher.kinds = vec![
+                ClassifierKind::LogisticRegression,
+                ClassifierKind::GradientBoosting,
+                ClassifierKind::RandomForest,
+            ];
+        } else if self.full {
+            cfg.scorer.train =
+                TrainConfig { epochs: 40, batch_size: 256, lr: 1e-3, ..TrainConfig::default() };
+        } else {
+            cfg.scorer.train =
+                TrainConfig { epochs: 20, batch_size: 256, lr: 1.5e-3, ..TrainConfig::default() };
+        }
+        cfg
+    }
+}
+
+/// A fitted model with its split and test slice.
+pub struct FittedRun {
+    /// The dataset the model was fitted on.
+    pub dataset: EmDataset,
+    /// The 60-20-20 split used.
+    pub split: SplitIndices,
+    /// The fitted model.
+    pub model: WymModel,
+    /// The test pairs.
+    pub test: Vec<RecordPair>,
+    /// Wall-clock seconds spent in `WymModel::fit`.
+    pub fit_seconds: f64,
+}
+
+/// Fits WYM on one dataset with the paper's 60-20-20 split.
+pub fn fit_wym(dataset: &EmDataset, config: WymConfig, seed: u64) -> FittedRun {
+    let split = paper_split(dataset, seed);
+    let start = Instant::now();
+    let model = WymModel::fit(dataset, &split, config);
+    let fit_seconds = start.elapsed().as_secs_f64();
+    let test = split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+    FittedRun { dataset: dataset.clone(), split, model, test, fit_seconds }
+}
+
+/// Prints a Markdown table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Writes a JSON result file under `results/` (created on demand) and
+/// reports the path.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("\n→ results saved to {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize results: {e}"),
+    }
+}
+
+/// Formats an F1-like metric to three decimals.
+pub fn fmt3(v: f32) -> String {
+    format!("{v:.3}")
+}
+
+/// Ranks of each column value within a row (1 = best/highest), with ties
+/// sharing the smaller rank — the convention of the paper's Table 3.
+pub fn ranks_desc(values: &[f32]) -> Vec<usize> {
+    values
+        .iter()
+        .map(|&v| 1 + values.iter().filter(|&&o| o > v + 1e-9).count())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_handle_ties_like_table3() {
+        // Paper convention: 1.0, 1.0 both rank 1; next value ranks 3.
+        let r = ranks_desc(&[0.9, 1.0, 1.0, 0.8]);
+        assert_eq!(r, vec![3, 1, 1, 4]);
+    }
+
+    #[test]
+    fn default_opts_cover_all_datasets() {
+        let opts = HarnessOpts::default();
+        let names: Vec<String> =
+            opts.datasets().iter().map(|d| d.name.clone()).collect();
+        assert_eq!(names.len(), 12);
+        assert!(names.contains(&"S-DG".to_string()));
+        for d in opts.datasets() {
+            assert!(d.len() <= opts.cap);
+        }
+    }
+
+    #[test]
+    fn dataset_filter_applies() {
+        let opts = HarnessOpts {
+            datasets: Some(vec!["S-FZ".into(), "S-BR".into()]),
+            ..Default::default()
+        };
+        let ds = opts.datasets();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn quick_config_is_small() {
+        let opts = HarnessOpts { quick: true, cap: 300, ..Default::default() };
+        let cfg = opts.wym_config();
+        assert_eq!(cfg.embed_dim, 32);
+        assert_eq!(cfg.matcher.kinds.len(), 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Agreement between WYM impacts and post-hoc explanations (Figure 9).
+//!
+//! "The explanations are post-processed by merging semantically similar
+//! tokens and averaging their scores. The outputs are then compared with the
+//! ones of WYM through the Pearson correlation measure." The merge step is
+//! exactly [`crate::rebuild::token_weights_to_units`]: a post-hoc token
+//! score vector is collapsed onto WYM's decision units.
+
+use crate::rebuild::token_weights_to_units;
+use crate::TokenAttribution;
+use wym_core::WymModel;
+use wym_data::RecordPair;
+use wym_linalg::stats::pearson;
+
+/// Per-record Pearson correlation between WYM unit impacts and a token-
+/// granularity post-hoc explanation merged to unit granularity. `None` when
+/// either attribution vector is constant (no defined correlation).
+pub fn unit_correlation(
+    model: &WymModel,
+    pair: &RecordPair,
+    token_attributions: &[TokenAttribution],
+) -> Option<f32> {
+    let proc = model.process(pair);
+    if proc.units.len() < 2 {
+        return None;
+    }
+    let impacts = model.matcher().impacts(&proc.units, &proc.relevances);
+    let weights: Vec<(crate::TokenLoc, f32)> =
+        token_attributions.iter().map(|a| (a.loc, a.weight)).collect();
+    let merged = token_weights_to_units(&proc, &weights);
+    pearson(&impacts, &merged)
+}
+
+/// Correlations of a set of records, split by gold label:
+/// `(match_correlations, non_match_correlations)`.
+pub fn correlations_by_label<F>(
+    model: &WymModel,
+    pairs: &[RecordPair],
+    mut explain: F,
+) -> (Vec<f32>, Vec<f32>)
+where
+    F: FnMut(&RecordPair) -> Vec<TokenAttribution>,
+{
+    let mut matches = Vec::new();
+    let mut non_matches = Vec::new();
+    for pair in pairs {
+        let atts = explain(pair);
+        if let Some(r) = unit_correlation(model, pair, &atts) {
+            if pair.label {
+                matches.push(r);
+            } else {
+                non_matches.push(r);
+            }
+        }
+    }
+    (matches, non_matches)
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::landmark::Landmark;
+    use wym_core::pipeline::EmPredictor;
+    use wym_core::WymConfig;
+    use wym_data::{magellan, split::paper_split};
+    use wym_embed::EmbedderKind;
+    use wym_ml::ClassifierKind;
+    use wym_nn::TrainConfig;
+
+    fn fitted() -> (WymModel, Vec<RecordPair>) {
+        let dataset = magellan::generate_by_name("S-FZ", 2).unwrap().subsample(140, 0);
+        let split = paper_split(&dataset, 0);
+        let mut cfg = WymConfig::default();
+        cfg.embed_dim = 32;
+        cfg.embedder_kind = EmbedderKind::Static;
+        cfg.scorer.train = TrainConfig { epochs: 6, batch_size: 128, lr: 2e-3, ..Default::default() };
+        cfg.matcher.kinds = vec![ClassifierKind::LogisticRegression];
+        let model = WymModel::fit(&dataset, &split, cfg);
+        let test: Vec<RecordPair> =
+            split.test.iter().take(12).map(|&i| dataset.pairs[i].clone()).collect();
+        (model, test)
+    }
+
+    #[test]
+    fn self_correlation_is_perfect() {
+        // Feed WYM's own impacts back as "token attributions": correlation 1.
+        let (model, test) = fitted();
+        let pair = &test[0];
+        let proc = model.process(pair);
+        let impacts = model.matcher().impacts(&proc.units, &proc.relevances);
+        // Distribute the unit impact onto every member token.
+        let mut atts = Vec::new();
+        for (u, &imp) in proc.units.iter().zip(&impacts) {
+            for (side, t) in u.members() {
+                atts.push(TokenAttribution {
+                    loc: crate::TokenLoc {
+                        side: match side {
+                            wym_core::Side::Left => 0,
+                            wym_core::Side::Right => 1,
+                        },
+                        attr: t.attr as usize,
+                        pos: t.pos as usize,
+                    },
+                    token: String::new(),
+                    weight: imp,
+                });
+            }
+        }
+        let r = unit_correlation(&model, pair, &atts);
+        if let Some(r) = r {
+            assert!(r > 0.999, "self-correlation {r}");
+        }
+    }
+
+    #[test]
+    fn landmark_correlation_is_mostly_positive_on_matches() {
+        let (model, test) = fitted();
+        let landmark = Landmark { n_perturbations: 60, ..Default::default() };
+        let (m, n) = correlations_by_label(&model, &test, |p| landmark.explain(&model, p));
+        let mean = |v: &[f32]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f32>() / v.len() as f32
+            }
+        };
+        // The paper reports moderate positive correlation for matches and a
+        // weaker one for non-matches; at minimum both explainers must not be
+        // systematically anti-correlated.
+        assert!(mean(&m) > -0.2, "match correlations {m:?}");
+        assert!(mean(&n) > -0.4, "non-match correlations {n:?}");
+    }
+
+    #[test]
+    fn degenerate_records_return_none() {
+        let (model, _) = fitted();
+        let pair = RecordPair {
+            id: 999,
+            label: true,
+            left: wym_data::Entity::new(vec!["", "", "", "", ""]),
+            right: wym_data::Entity::new(vec!["", "", "", "", ""]),
+        };
+        assert_eq!(unit_correlation(&model, &pair, &[]), None);
+        // Guard: the model still predicts something for the empty pair.
+        let _ = model.proba(&pair);
+    }
+}

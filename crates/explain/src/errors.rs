@@ -1,0 +1,155 @@
+//! Error analysis — the tooling behind the paper's §5.1.1 discussion.
+//!
+//! "The detailed error analysis showed that WYM makes a large number of
+//! errors in recognizing product codes in the entity descriptions. In many
+//! cases, they form a decision unit even if they are not the same." This
+//! module classifies a model's test errors and measures exactly that
+//! failure mode, so the effect of the code heuristic / unit rules can be
+//! quantified rather than eyeballed.
+
+use serde::Serialize;
+use wym_core::{DecisionUnit, WymModel};
+use wym_data::RecordPair;
+use wym_strsim::looks_like_code;
+
+/// One misclassified record with its diagnosis.
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorCase {
+    /// Record id.
+    pub record_id: u32,
+    /// Gold label.
+    pub gold: bool,
+    /// Predicted probability of match.
+    pub probability: f32,
+    /// Number of paired units whose two code-like surfaces differ — the
+    /// §5.1.1 failure signature.
+    pub mismatched_code_pairs: usize,
+    /// Number of paired units in the record.
+    pub paired_units: usize,
+    /// Number of unpaired units in the record.
+    pub unpaired_units: usize,
+}
+
+/// Aggregate error report over a test set.
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorReport {
+    /// Records evaluated.
+    pub total: usize,
+    /// False positives (predicted match, gold non-match).
+    pub false_positives: Vec<ErrorCase>,
+    /// False negatives (predicted non-match, gold match).
+    pub false_negatives: Vec<ErrorCase>,
+    /// How many false positives contain at least one mismatched code pair —
+    /// the paper's headline error class.
+    pub fp_with_code_confusion: usize,
+}
+
+impl ErrorReport {
+    /// Error rate over the evaluated records.
+    pub fn error_rate(&self) -> f32 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.false_positives.len() + self.false_negatives.len()) as f32 / self.total as f32
+    }
+}
+
+/// Counts paired units whose two surfaces are *different* code-like tokens.
+pub fn mismatched_code_pairs(record: &wym_core::TokenizedRecord, units: &[DecisionUnit]) -> usize {
+    units
+        .iter()
+        .filter(|u| {
+            if !u.is_paired() {
+                return false;
+            }
+            let (l, r) = u.texts(record);
+            l != r && looks_like_code(l) && looks_like_code(r)
+        })
+        .count()
+}
+
+/// Runs the model over `pairs` and classifies every error.
+pub fn analyze_errors(model: &WymModel, pairs: &[RecordPair]) -> ErrorReport {
+    let mut report = ErrorReport {
+        total: pairs.len(),
+        false_positives: Vec::new(),
+        false_negatives: Vec::new(),
+        fp_with_code_confusion: 0,
+    };
+    for pair in pairs {
+        let proc = model.process(pair);
+        let pred = model.predict_processed(&proc);
+        if pred.label == pair.label {
+            continue;
+        }
+        let case = ErrorCase {
+            record_id: pair.id,
+            gold: pair.label,
+            probability: pred.probability,
+            mismatched_code_pairs: mismatched_code_pairs(&proc.record, &proc.units),
+            paired_units: proc.units.iter().filter(|u| u.is_paired()).count(),
+            unpaired_units: proc.units.iter().filter(|u| !u.is_paired()).count(),
+        };
+        if pred.label {
+            report.fp_with_code_confusion += usize::from(case.mismatched_code_pairs > 0);
+            report.false_positives.push(case);
+        } else {
+            report.false_negatives.push(case);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use wym_core::WymConfig;
+    use wym_data::{magellan, split::paper_split};
+    use wym_embed::EmbedderKind;
+    use wym_ml::ClassifierKind;
+    use wym_nn::TrainConfig;
+    use wym_tokenize::Tokenizer;
+
+    #[test]
+    fn mismatched_code_detection() {
+        use wym_core::TokenizedRecord;
+        use wym_embed::Embedder;
+        let pair = RecordPair {
+            id: 0,
+            label: false,
+            left: wym_data::Entity::new(vec!["camera 39400416"]),
+            right: wym_data::Entity::new(vec!["camera 39400417"]),
+        };
+        let rec =
+            TokenizedRecord::from_pair(&pair, &Tokenizer::default(), &Embedder::new_static(32, 0));
+        let units = wym_core::discover_units(&rec, &wym_core::DiscoveryConfig::default());
+        assert_eq!(mismatched_code_pairs(&rec, &units), 1, "{units:?}");
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let dataset = magellan::generate_by_name("S-WA", 13).unwrap().subsample(250, 0);
+        let split = paper_split(&dataset, 0);
+        let mut cfg = WymConfig::default();
+        cfg.embed_dim = 32;
+        cfg.embedder_kind = EmbedderKind::Static;
+        cfg.scorer.train = TrainConfig { epochs: 6, batch_size: 128, ..Default::default() };
+        cfg.matcher.kinds = vec![ClassifierKind::LogisticRegression];
+        let model = WymModel::fit(&dataset, &split, cfg);
+        let test: Vec<RecordPair> =
+            split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+        let report = analyze_errors(&model, &test);
+        assert_eq!(report.total, test.len());
+        assert!(report.error_rate() <= 1.0);
+        assert!(report.fp_with_code_confusion <= report.false_positives.len());
+        for fp in &report.false_positives {
+            assert!(!fp.gold);
+            assert!(fp.probability >= 0.5);
+        }
+        for fneg in &report.false_negatives {
+            assert!(fneg.gold);
+            assert!(fneg.probability < 0.5);
+        }
+    }
+}

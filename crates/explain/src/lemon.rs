@@ -1,0 +1,184 @@
+//! LEMON-style explainer, from scratch (Barlaug, TKDE 2022), at single-token
+//! granularity — the configuration the paper's Figure 7 uses for DITTO.
+//!
+//! LEMON improves LIME for EM with (1) *dual explanations* — each side is
+//! perturbed while the other is kept, like Landmark — and (2) *attribution
+//! potential*: besides dropping a token, a perturbation may *copy* it into
+//! the other entity, measuring how much the token could contribute if it
+//! were matched. The attribution of a token combines both signals.
+
+use crate::rebuild::keep_tokens;
+use crate::{enumerate_tokens, TokenAttribution, TokenLoc};
+use std::collections::HashSet;
+use wym_core::pipeline::EmPredictor;
+use wym_data::{Entity, RecordPair};
+use wym_linalg::solve::ridge_weighted;
+use wym_linalg::{Matrix, Rng64};
+
+/// LEMON-lite configuration.
+#[derive(Debug, Clone)]
+pub struct LemonLite {
+    /// Perturbation samples per side.
+    pub n_samples: usize,
+    /// Ridge regularization.
+    pub ridge_lambda: f32,
+    /// Weight of the injection (attribution-potential) signal in the final
+    /// attribution.
+    pub potential_weight: f32,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for LemonLite {
+    fn default() -> Self {
+        Self { n_samples: 150, ridge_lambda: 1.0, potential_weight: 0.5, seed: 0 }
+    }
+}
+
+impl LemonLite {
+    /// Explains the prediction at single-token granularity.
+    pub fn explain(&self, model: &dyn EmPredictor, pair: &RecordPair) -> Vec<TokenAttribution> {
+        let tokens = enumerate_tokens(pair);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        // Drop-based surrogate per side (dual explanation).
+        let mut drop_weights = vec![0.0f32; tokens.len()];
+        for side in [0usize, 1usize] {
+            self.fit_side_surrogate(model, pair, side, &tokens, &mut drop_weights);
+        }
+        // Attribution potential: inject each token into the other side and
+        // measure the probability delta.
+        let base = model.proba(pair);
+        tokens
+            .into_iter()
+            .enumerate()
+            .map(|(i, (loc, token))| {
+                let injected = inject_token(pair, loc.attr, loc.side, &token);
+                let potential = model.proba(&injected) - base;
+                let weight =
+                    drop_weights[i] * (1.0 - self.potential_weight) + potential * self.potential_weight;
+                TokenAttribution { loc, token, weight }
+            })
+            .collect()
+    }
+
+    /// Fills `out[i]` for the tokens of `side` with drop-surrogate weights.
+    fn fit_side_surrogate(
+        &self,
+        model: &dyn EmPredictor,
+        pair: &RecordPair,
+        side: usize,
+        tokens: &[(TokenLoc, String)],
+        out: &mut [f32],
+    ) {
+        let side_idx: Vec<usize> =
+            (0..tokens.len()).filter(|&i| tokens[i].0.side == side).collect();
+        let d = side_idx.len();
+        if d == 0 {
+            return;
+        }
+        let mut rng = Rng64::new(self.seed ^ (u64::from(pair.id) << 2) ^ side as u64);
+        let all_locs: HashSet<TokenLoc> = tokens.iter().map(|(l, _)| *l).collect();
+        let mut masks = Matrix::zeros(0, d);
+        let mut ys = Vec::new();
+        let mut ws = Vec::new();
+        masks.push_row(&vec![1.0; d]);
+        ys.push(model.proba(pair));
+        ws.push(1.0);
+        for _ in 0..self.n_samples {
+            let n_drop = 1 + rng.gen_range(d.max(2) - 1);
+            let drop: HashSet<usize> = rng.sample_indices(d, n_drop).into_iter().collect();
+            let mut keep = all_locs.clone();
+            for (k, &ti) in side_idx.iter().enumerate() {
+                if drop.contains(&k) {
+                    keep.remove(&tokens[ti].0);
+                }
+            }
+            let mask: Vec<f32> =
+                (0..d).map(|k| if drop.contains(&k) { 0.0 } else { 1.0 }).collect();
+            let kept = (d - drop.len()) as f32 / d as f32;
+            let dist = 1.0 - kept;
+            masks.push_row(&mask);
+            ys.push(model.proba(&keep_tokens(pair, &keep)));
+            ws.push((-(dist * dist) / 0.25).exp());
+        }
+        if let Ok(beta) = ridge_weighted(&masks, &ys, &ws, self.ridge_lambda) {
+            for (k, &ti) in side_idx.iter().enumerate() {
+                out[ti] = beta[k];
+            }
+        }
+    }
+}
+
+/// Appends `token` to the same attribute of the *other* entity.
+fn inject_token(pair: &RecordPair, attr: usize, from_side: usize, token: &str) -> RecordPair {
+    let mut out = pair.clone();
+    let target: &mut Entity = if from_side == 0 { &mut out.right } else { &mut out.left };
+    if let Some(v) = target.values.get_mut(attr) {
+        if v.is_empty() {
+            *v = token.to_string();
+        } else {
+            *v = format!("{v} {token}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lime::test_model::OverlapModel;
+
+    fn pair() -> RecordPair {
+        RecordPair {
+            id: 12,
+            label: true,
+            left: Entity::new(vec!["camera zoom lens"]),
+            right: Entity::new(vec!["camera zoom filter"]),
+        }
+    }
+
+    #[test]
+    fn inject_appends_to_other_side() {
+        let p = pair();
+        let out = inject_token(&p, 0, 0, "lens");
+        assert_eq!(out.right.values[0], "camera zoom filter lens");
+        assert_eq!(out.left.values[0], p.left.values[0]);
+        let out2 = inject_token(&p, 0, 1, "filter");
+        assert_eq!(out2.left.values[0], "camera zoom lens filter");
+    }
+
+    #[test]
+    fn unique_tokens_gain_from_injection_signal() {
+        // Under the overlap model, injecting "lens" into the right side
+        // raises the score, so its potential is positive even though its
+        // drop weight is negative.
+        let lemon = LemonLite { potential_weight: 1.0, ..Default::default() };
+        let atts = lemon.explain(&OverlapModel, &pair());
+        let lens = atts.iter().find(|a| a.token == "lens").unwrap();
+        assert!(lens.weight > 0.0, "pure-potential weight must be positive: {}", lens.weight);
+    }
+
+    #[test]
+    fn combined_signal_still_ranks_shared_tokens_high() {
+        let lemon = LemonLite::default();
+        let atts = lemon.explain(&OverlapModel, &pair());
+        let w = |t: &str, s: usize| {
+            atts.iter().find(|a| a.token == t && a.loc.side == s).unwrap().weight
+        };
+        assert!(w("camera", 0) > 0.0);
+        assert!(w("zoom", 1) > 0.0);
+    }
+
+    #[test]
+    fn empty_pair() {
+        let p = RecordPair {
+            id: 0,
+            label: false,
+            left: Entity::new(vec![""]),
+            right: Entity::new(vec![""]),
+        };
+        assert!(LemonLite::default().explain(&OverlapModel, &p).is_empty());
+    }
+}

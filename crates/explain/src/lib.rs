@@ -1,0 +1,90 @@
+//! Explanation-quality evaluation and post-hoc explainer baselines.
+//!
+//! Implements everything the paper's §5.2 needs:
+//!
+//! * [`pareto`] — conciseness curves (Figure 6);
+//! * [`sufficiency`] — post-hoc accuracy of top-v units (Figure 7, Eq. 4);
+//! * [`perturb`] — MoRF / LeRF / Random unit-removal curves (Figure 8);
+//! * [`lime`], [`landmark`], [`lemon`] — from-scratch perturbation-based
+//!   post-hoc explainers used as comparison points;
+//! * [`correlation`] — Pearson agreement between WYM impacts and Landmark
+//!   scores (Figure 9);
+//! * [`readability`] — the automated proxy for the §5.4 user study.
+
+pub mod correlation;
+pub mod errors;
+pub mod landmark;
+pub mod lemon;
+pub mod lime;
+pub mod pareto;
+pub mod perturb;
+pub mod readability;
+pub mod rebuild;
+pub mod sufficiency;
+
+pub use landmark::Landmark;
+pub use lemon::LemonLite;
+pub use lime::LimeText;
+pub use perturb::RemovalStrategy;
+
+use wym_data::RecordPair;
+
+/// A token location within a record pair, as used by the token-granularity
+/// explainers (side 0 = left, 1 = right; positions index the *word* tokens
+/// of the attribute value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TokenLoc {
+    /// 0 = left entity, 1 = right entity.
+    pub side: usize,
+    /// Attribute index.
+    pub attr: usize,
+    /// Word index within the attribute.
+    pub pos: usize,
+}
+
+/// A token-level attribution produced by a post-hoc explainer.
+#[derive(Debug, Clone)]
+pub struct TokenAttribution {
+    /// Where the token is.
+    pub loc: TokenLoc,
+    /// The token's surface form.
+    pub token: String,
+    /// Attribution weight (positive pushes toward match).
+    pub weight: f32,
+}
+
+/// Enumerates the word tokens of a record pair with their locations,
+/// using the same tokenizer the models use.
+pub fn enumerate_tokens(pair: &RecordPair) -> Vec<(TokenLoc, String)> {
+    let tokenizer = wym_tokenize::Tokenizer::default();
+    let mut out = Vec::new();
+    for (side, entity) in [&pair.left, &pair.right].into_iter().enumerate() {
+        for (attr, value) in entity.values.iter().enumerate() {
+            for (pos, tok) in tokenizer.tokenize(value).into_iter().enumerate() {
+                out.push((TokenLoc { side, attr, pos }, tok));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wym_data::Entity;
+
+    #[test]
+    fn enumerate_tokens_covers_both_sides() {
+        let pair = RecordPair {
+            id: 0,
+            label: true,
+            left: Entity::new(vec!["digital camera", "37.63"]),
+            right: Entity::new(vec!["camera", "36"]),
+        };
+        let toks = enumerate_tokens(&pair);
+        assert_eq!(toks.len(), 5);
+        assert_eq!(toks[0].0, TokenLoc { side: 0, attr: 0, pos: 0 });
+        assert_eq!(toks[0].1, "digital");
+        assert!(toks.iter().any(|(l, t)| l.side == 1 && t == "camera"));
+    }
+}

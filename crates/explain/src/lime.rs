@@ -1,0 +1,163 @@
+//! LIME-style perturbation explainer, from scratch.
+//!
+//! Classic LIME over text: sample random token-drop perturbations, query the
+//! black-box model, and fit a locality-weighted ridge surrogate on the
+//! binary keep/drop mask. Weights of the surrogate are the attributions.
+
+use crate::rebuild::keep_tokens;
+use crate::{enumerate_tokens, TokenAttribution, TokenLoc};
+use std::collections::HashSet;
+use wym_core::pipeline::EmPredictor;
+use wym_data::RecordPair;
+use wym_linalg::solve::ridge_weighted;
+use wym_linalg::{Matrix, Rng64};
+
+/// LIME configuration.
+#[derive(Debug, Clone)]
+pub struct LimeText {
+    /// Number of perturbation samples.
+    pub n_samples: usize,
+    /// Ridge regularization of the surrogate.
+    pub ridge_lambda: f32,
+    /// Kernel width of the locality weighting (on cosine distance between
+    /// masks).
+    pub kernel_width: f32,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for LimeText {
+    fn default() -> Self {
+        Self { n_samples: 200, ridge_lambda: 1.0, kernel_width: 0.5, seed: 0 }
+    }
+}
+
+impl LimeText {
+    /// Explains `model`'s prediction on `pair`, returning one attribution
+    /// per word token. Positive weights push toward *match*.
+    pub fn explain(&self, model: &dyn EmPredictor, pair: &RecordPair) -> Vec<TokenAttribution> {
+        let tokens = enumerate_tokens(pair);
+        let d = tokens.len();
+        if d == 0 {
+            return Vec::new();
+        }
+        let mut rng = Rng64::new(self.seed ^ u64::from(pair.id));
+
+        let mut masks = Matrix::zeros(0, d);
+        let mut ys = Vec::with_capacity(self.n_samples + 1);
+        let mut weights = Vec::with_capacity(self.n_samples + 1);
+
+        // The unperturbed instance anchors the surrogate.
+        masks.push_row(&vec![1.0; d]);
+        ys.push(model.proba(pair));
+        weights.push(1.0);
+
+        for _ in 0..self.n_samples {
+            // Drop a uniform number of tokens in 1..d (LIME's sampling).
+            let n_drop = 1 + rng.gen_range(d.max(2) - 1);
+            let drop_idx: HashSet<usize> =
+                rng.sample_indices(d, n_drop).into_iter().collect();
+            let mask: Vec<f32> =
+                (0..d).map(|i| if drop_idx.contains(&i) { 0.0 } else { 1.0 }).collect();
+            let keep: HashSet<TokenLoc> = tokens
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !drop_idx.contains(i))
+                .map(|(_, (l, _))| *l)
+                .collect();
+            let perturbed = keep_tokens(pair, &keep);
+            let kept_frac = (d - drop_idx.len()) as f32 / d as f32;
+            // Exponential kernel on the distance 1 − kept fraction.
+            let dist = 1.0 - kept_frac;
+            let w = (-(dist * dist) / (self.kernel_width * self.kernel_width)).exp();
+            masks.push_row(&mask);
+            ys.push(model.proba(&perturbed));
+            weights.push(w);
+        }
+
+        let beta = match ridge_weighted(&masks, &ys, &weights, self.ridge_lambda) {
+            Ok(b) => b,
+            Err(_) => vec![0.0; d],
+        };
+        tokens
+            .into_iter()
+            .zip(beta)
+            .map(|((loc, token), weight)| TokenAttribution { loc, token, weight })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_model {
+    use wym_core::pipeline::EmPredictor;
+    use wym_data::RecordPair;
+    use wym_strsim::jaccard_tokens;
+
+    /// A transparent predictor: match probability = Jaccard overlap of the
+    /// two token sets. Ideal for testing explainers because the ground-truth
+    /// importance of a token is known (shared tokens raise the score).
+    pub struct OverlapModel;
+
+    impl EmPredictor for OverlapModel {
+        fn proba(&self, pair: &RecordPair) -> f32 {
+            let l = pair.left.full_text().to_lowercase();
+            let r = pair.right.full_text().to_lowercase();
+            let lt: Vec<&str> = l.split_whitespace().collect();
+            let rt: Vec<&str> = r.split_whitespace().collect();
+            jaccard_tokens(&lt, &rt)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_model::OverlapModel;
+    use super::*;
+    use wym_data::Entity;
+
+    fn pair() -> RecordPair {
+        RecordPair {
+            id: 9,
+            label: true,
+            left: Entity::new(vec!["camera zoom lens"]),
+            right: Entity::new(vec!["camera zoom filter"]),
+        }
+    }
+
+    #[test]
+    fn shared_tokens_get_positive_weight_unique_negative() {
+        let lime = LimeText { n_samples: 300, ..Default::default() };
+        let atts = lime.explain(&OverlapModel, &pair());
+        assert_eq!(atts.len(), 6);
+        let weight_of = |t: &str, side: usize| {
+            atts.iter().find(|a| a.token == t && a.loc.side == side).unwrap().weight
+        };
+        // Shared tokens increase overlap: positive attribution.
+        assert!(weight_of("camera", 0) > 0.0);
+        assert!(weight_of("zoom", 1) > 0.0);
+        // Unique tokens shrink the Jaccard union: negative attribution.
+        assert!(weight_of("lens", 0) < weight_of("camera", 0));
+        assert!(weight_of("filter", 1) < weight_of("zoom", 1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let lime = LimeText { n_samples: 50, ..Default::default() };
+        let a = lime.explain(&OverlapModel, &pair());
+        let b = lime.explain(&OverlapModel, &pair());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.weight, y.weight);
+        }
+    }
+
+    #[test]
+    fn empty_pair_yields_no_attributions() {
+        let p = RecordPair {
+            id: 0,
+            label: false,
+            left: Entity::new(vec![""]),
+            right: Entity::new(vec![""]),
+        };
+        assert!(LimeText::default().explain(&OverlapModel, &p).is_empty());
+    }
+}

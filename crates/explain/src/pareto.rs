@@ -1,0 +1,126 @@
+//! Conciseness of explanations (paper §5.2.1, Figure 6).
+//!
+//! "Pareto analysis performed for each record … by ordering the decision
+//! units per impact in descending order and plotting the cumulative values."
+//! The figure's claim: ~3% of the units carry 18-40% of the impact, 20%
+//! carry 50-83%.
+
+use wym_core::Explanation;
+
+/// Cumulative |impact| share at each unit rank of one explanation, i.e.
+/// `curve[i]` = share of total absolute impact carried by the top `i + 1`
+/// units. Empty explanations yield an empty curve.
+pub fn cumulative_impact_curve(explanation: &Explanation) -> Vec<f32> {
+    let mut mags: Vec<f32> = explanation.units.iter().map(|u| u.impact.abs()).collect();
+    mags.sort_by(|a, b| b.total_cmp(a));
+    let total: f32 = mags.iter().sum();
+    if total <= 0.0 {
+        return vec![0.0; mags.len()];
+    }
+    let mut acc = 0.0;
+    mags.into_iter()
+        .map(|m| {
+            acc += m;
+            acc / total
+        })
+        .collect()
+}
+
+/// Interpolated cumulative impact share at a unit *fraction* in `[0, 1]`
+/// (e.g. 0.03 = "the top 3% of decision units").
+pub fn share_at_fraction(curve: &[f32], fraction: f32) -> f32 {
+    if curve.is_empty() {
+        return 0.0;
+    }
+    let n = curve.len() as f32;
+    // The top max(1, fraction·n) units.
+    let k = ((fraction * n).ceil() as usize).clamp(1, curve.len());
+    curve[k - 1]
+}
+
+/// Mean cumulative-impact share at the given fractions over many
+/// explanations — one Figure 6 series.
+pub fn mean_shares(explanations: &[Explanation], fractions: &[f32]) -> Vec<f32> {
+    if explanations.is_empty() {
+        return vec![0.0; fractions.len()];
+    }
+    let curves: Vec<Vec<f32>> =
+        explanations.iter().map(cumulative_impact_curve).collect();
+    fractions
+        .iter()
+        .map(|&f| {
+            let sum: f32 = curves.iter().map(|c| share_at_fraction(c, f)).sum();
+            sum / curves.len() as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wym_core::ExplainedUnit;
+
+    fn explanation(impacts: &[f32]) -> Explanation {
+        Explanation {
+            record_id: 0,
+            prediction: true,
+            probability: 0.9,
+            units: impacts
+                .iter()
+                .map(|&impact| ExplainedUnit {
+                    left: "a".into(),
+                    right: "b".into(),
+                    attribute: "x".into(),
+                    paired: true,
+                    relevance: 0.0,
+                    impact,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let ex = explanation(&[0.5, -0.3, 0.1, 0.1]);
+        let c = cumulative_impact_curve(&ex);
+        assert_eq!(c.len(), 4);
+        assert!(c.windows(2).all(|w| w[0] <= w[1] + 1e-6));
+        assert!((c[3] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concentrated_impact_has_steep_curve() {
+        let concentrated = explanation(&[10.0, 0.1, 0.1, 0.1, 0.1]);
+        let uniform = explanation(&[1.0, 1.0, 1.0, 1.0, 1.0]);
+        let cc = cumulative_impact_curve(&concentrated);
+        let cu = cumulative_impact_curve(&uniform);
+        assert!(cc[0] > 0.9);
+        assert!((cu[0] - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn share_at_fraction_interpolates() {
+        let ex = explanation(&[1.0; 10]);
+        let c = cumulative_impact_curve(&ex);
+        assert!((share_at_fraction(&c, 0.2) - 0.2).abs() < 1e-6);
+        assert!((share_at_fraction(&c, 1.0) - 1.0).abs() < 1e-6);
+        // Fractions below one unit round up to the first unit.
+        assert!((share_at_fraction(&c, 0.01) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_impact_explanation_is_flat_zero() {
+        let ex = explanation(&[0.0, 0.0]);
+        let c = cumulative_impact_curve(&ex);
+        assert_eq!(c, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_shares_averages() {
+        let a = explanation(&[10.0, 0.0]);
+        let b = explanation(&[1.0, 1.0]);
+        let m = mean_shares(&[a, b], &[0.5]);
+        // a: top 50% (1 unit) = 1.0 ; b: 0.5 → mean 0.75.
+        assert!((m[0] - 0.75).abs() < 1e-6);
+    }
+}

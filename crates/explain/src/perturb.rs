@@ -1,0 +1,171 @@
+//! MoRF / LeRF / Random unit-removal curves (paper §5.2.3, Figure 8).
+//!
+//! "MoRF, where we eliminate for each record the k decision units that
+//! contribute most to the prediction …, LeRF, where the k decision units
+//! that contribute less … are removed …, and Random." Removing MoRF units
+//! should collapse the F1; removing LeRF units should not.
+
+use crate::rebuild::{remove_units, units_by_support};
+use wym_core::{WymModel};
+use wym_data::RecordPair;
+use wym_linalg::Rng64;
+use wym_ml::f1_score;
+
+/// Which units to remove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemovalStrategy {
+    /// Most relevant first (by impact, in the direction of the prediction).
+    MoRF,
+    /// Least relevant first (against the direction of the prediction).
+    LeRF,
+    /// Uniformly random units.
+    Random,
+}
+
+impl RemovalStrategy {
+    /// Display name used in Figure 8.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RemovalStrategy::MoRF => "MoRF",
+            RemovalStrategy::LeRF => "LeRF",
+            RemovalStrategy::Random => "Random",
+        }
+    }
+}
+
+/// Removes `k` units from one record according to the strategy and returns
+/// the perturbed pair.
+pub fn perturb_record(
+    model: &WymModel,
+    pair: &RecordPair,
+    k: usize,
+    strategy: RemovalStrategy,
+    seed: u64,
+) -> RecordPair {
+    let proc = model.process(pair);
+    if proc.units.is_empty() {
+        return pair.clone();
+    }
+    let impacts = model.matcher().impacts(&proc.units, &proc.relevances);
+    let predicted = model.predict_processed(&proc).label;
+    let order = match strategy {
+        RemovalStrategy::MoRF => units_by_support(&impacts, predicted),
+        RemovalStrategy::LeRF => {
+            let mut o = units_by_support(&impacts, predicted);
+            o.reverse();
+            o
+        }
+        RemovalStrategy::Random => {
+            let mut rng = Rng64::new(seed ^ u64::from(pair.id));
+            let mut o: Vec<usize> = (0..proc.units.len()).collect();
+            rng.shuffle(&mut o);
+            o
+        }
+    };
+    let chosen: Vec<usize> = order.into_iter().take(k).collect();
+    remove_units(pair, &proc, &chosen)
+}
+
+/// F1 on `pairs` after removing `k` units per record with the given
+/// strategy (the Figure 8 measurement at one `k`).
+pub fn f1_after_removal(
+    model: &WymModel,
+    pairs: &[RecordPair],
+    k: usize,
+    strategy: RemovalStrategy,
+    seed: u64,
+) -> f32 {
+    let perturbed: Vec<RecordPair> =
+        pairs.iter().map(|p| perturb_record(model, p, k, strategy, seed)).collect();
+    let preds: Vec<u8> =
+        perturbed.iter().map(|p| u8::from(model.predict(p).label)).collect();
+    let gold: Vec<u8> = pairs.iter().map(|p| u8::from(p.label)).collect();
+    f1_score(&preds, &gold)
+}
+
+/// The full Figure 8 sweep: F1 after removing `k = 0..=k_max` units for
+/// each strategy. Index 0 is the unperturbed F1 for every strategy.
+pub fn removal_curves(
+    model: &WymModel,
+    pairs: &[RecordPair],
+    k_max: usize,
+    seed: u64,
+) -> Vec<(RemovalStrategy, Vec<f32>)> {
+    [RemovalStrategy::MoRF, RemovalStrategy::LeRF, RemovalStrategy::Random]
+        .into_iter()
+        .map(|strategy| {
+            let curve: Vec<f32> = (0..=k_max)
+                .map(|k| {
+                    if k == 0 {
+                        model.f1_on(pairs)
+                    } else {
+                        f1_after_removal(model, pairs, k, strategy, seed)
+                    }
+                })
+                .collect();
+            (strategy, curve)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use wym_core::WymConfig;
+    use wym_data::{magellan, split::paper_split, EmDataset};
+    use wym_embed::EmbedderKind;
+    use wym_ml::ClassifierKind;
+    use wym_nn::TrainConfig;
+
+    fn fitted() -> (WymModel, EmDataset, Vec<RecordPair>) {
+        let dataset = magellan::generate_by_name("S-IA", 7).unwrap().subsample(400, 0);
+        let split = paper_split(&dataset, 0);
+        let mut cfg = WymConfig::default();
+        cfg.embed_dim = 32;
+        cfg.embedder_kind = EmbedderKind::Static;
+        cfg.scorer.train = TrainConfig { epochs: 12, batch_size: 128, lr: 2e-3, ..Default::default() };
+        cfg.matcher.kinds = vec![ClassifierKind::LogisticRegression, ClassifierKind::GradientBoosting];
+        let model = WymModel::fit(&dataset, &split, cfg);
+        let test: Vec<RecordPair> = split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+        (model, dataset, test)
+    }
+
+    #[test]
+    fn morf_hurts_more_than_lerf() {
+        let (model, _d, test) = fitted();
+        let base = model.f1_on(&test);
+        let morf = f1_after_removal(&model, &test, 4, RemovalStrategy::MoRF, 0);
+        let lerf = f1_after_removal(&model, &test, 4, RemovalStrategy::LeRF, 0);
+        assert!(base > 0.5, "base F1 {base}");
+        assert!(
+            morf < lerf - 0.1,
+            "removing the most relevant units (F1 {morf}) must hurt clearly more than the \
+             least relevant (F1 {lerf})"
+        );
+        assert!(lerf >= base - 0.1, "LeRF must barely move the F1: base {base}, lerf {lerf}");
+    }
+
+    #[test]
+    fn curves_have_expected_shape() {
+        let (model, _d, test) = fitted();
+        let curves = removal_curves(&model, &test, 2, 0);
+        assert_eq!(curves.len(), 3);
+        for (_, c) in &curves {
+            assert_eq!(c.len(), 3);
+        }
+        // All strategies share the k=0 baseline.
+        let baselines: Vec<f32> = curves.iter().map(|(_, c)| c[0]).collect();
+        assert!(baselines.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-6));
+    }
+
+    #[test]
+    fn perturbing_zero_units_is_identity() {
+        let (model, _d, test) = fitted();
+        let p = perturb_record(&model, &test[0], 0, RemovalStrategy::MoRF, 0);
+        assert_eq!(
+            crate::enumerate_tokens(&p).len(),
+            crate::enumerate_tokens(&test[0]).len()
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Automated readability proxy for the paper's §5.4 user study.
+//!
+//! The study itself (15 human raters) cannot be reproduced mechanically, but
+//! the property the raters preferred can be measured: decision-unit
+//! explanations are *shorter* (one element per concept instead of two) and
+//! *duplication-free* (a shared term appears once with one score, instead of
+//! twice with two different scores — the confusion the paper's introduction
+//! calls out).
+
+use crate::enumerate_tokens;
+use serde::Serialize;
+use wym_core::WymModel;
+use wym_data::RecordPair;
+
+/// Readability statistics of one record's explanations.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReadabilityStats {
+    /// Elements in a feature-based (token) explanation: every token scored.
+    pub token_explanation_size: usize,
+    /// Elements in the WYM explanation: one per decision unit.
+    pub unit_explanation_size: usize,
+    /// Tokens whose surface form appears in *both* descriptions — each such
+    /// term gets two independent scores in a feature-based explanation.
+    pub duplicated_terms: usize,
+    /// Duplicated terms that WYM presents as a single paired unit.
+    pub deduplicated_by_units: usize,
+}
+
+impl ReadabilityStats {
+    /// Relative size reduction of the unit explanation vs the token one.
+    pub fn compression(&self) -> f32 {
+        if self.token_explanation_size == 0 {
+            return 0.0;
+        }
+        1.0 - self.unit_explanation_size as f32 / self.token_explanation_size as f32
+    }
+}
+
+/// Computes the readability proxy for one record.
+pub fn readability(model: &WymModel, pair: &RecordPair) -> ReadabilityStats {
+    let tokens = enumerate_tokens(pair);
+    let token_explanation_size = tokens.len();
+    let proc = model.process(pair);
+    let unit_explanation_size = proc.units.len();
+
+    // Surface forms present on both sides.
+    let left: std::collections::HashSet<&str> =
+        tokens.iter().filter(|(l, _)| l.side == 0).map(|(_, t)| t.as_str()).collect();
+    let right: std::collections::HashSet<&str> =
+        tokens.iter().filter(|(l, _)| l.side == 1).map(|(_, t)| t.as_str()).collect();
+    let duplicated: std::collections::HashSet<&str> =
+        left.intersection(&right).copied().collect();
+    let duplicated_terms = duplicated.len();
+
+    // Paired units whose two members share a surface form.
+    let deduplicated_by_units = proc
+        .units
+        .iter()
+        .filter(|u| {
+            let (l, r) = u.texts(&proc.record);
+            u.is_paired() && l == r
+        })
+        .map(|u| u.texts(&proc.record).0)
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+
+    ReadabilityStats {
+        token_explanation_size,
+        unit_explanation_size,
+        duplicated_terms,
+        deduplicated_by_units,
+    }
+}
+
+/// Mean readability stats over a sample of records.
+pub fn mean_readability(model: &WymModel, pairs: &[RecordPair]) -> (f32, f32, f32) {
+    if pairs.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let stats: Vec<ReadabilityStats> = pairs.iter().map(|p| readability(model, p)).collect();
+    let n = stats.len() as f32;
+    let mean_tokens = stats.iter().map(|s| s.token_explanation_size as f32).sum::<f32>() / n;
+    let mean_units = stats.iter().map(|s| s.unit_explanation_size as f32).sum::<f32>() / n;
+    let mean_compression = stats.iter().map(ReadabilityStats::compression).sum::<f32>() / n;
+    (mean_tokens, mean_units, mean_compression)
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use wym_core::WymConfig;
+    use wym_data::{magellan, split::paper_split};
+    use wym_embed::EmbedderKind;
+    use wym_ml::ClassifierKind;
+    use wym_nn::TrainConfig;
+
+    #[test]
+    fn unit_explanations_are_smaller_on_matches() {
+        let dataset = magellan::generate_by_name("S-FZ", 4).unwrap().subsample(120, 0);
+        let split = paper_split(&dataset, 0);
+        let mut cfg = WymConfig::default();
+        cfg.embed_dim = 32;
+        cfg.embedder_kind = EmbedderKind::Static;
+        cfg.scorer.train = TrainConfig { epochs: 3, batch_size: 128, ..Default::default() };
+        cfg.matcher.kinds = vec![ClassifierKind::LogisticRegression];
+        let model = WymModel::fit(&dataset, &split, cfg);
+
+        let matches: Vec<_> = split
+            .test
+            .iter()
+            .map(|&i| dataset.pairs[i].clone())
+            .filter(|p| p.label)
+            .take(8)
+            .collect();
+        assert!(!matches.is_empty());
+        let (mean_tokens, mean_units, compression) = mean_readability(&model, &matches);
+        assert!(
+            mean_units < mean_tokens,
+            "units {mean_units} must be fewer than tokens {mean_tokens}"
+        );
+        assert!(compression > 0.15, "compression {compression}");
+
+        // Each matching record should deduplicate at least one shared term.
+        let s = readability(&model, &matches[0]);
+        assert!(s.duplicated_terms > 0);
+        assert!(s.deduplicated_by_units > 0);
+    }
+}

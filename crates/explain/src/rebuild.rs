@@ -1,0 +1,240 @@
+//! Rebuilding record pairs with tokens removed or retained.
+//!
+//! The perturbation experiments (Figures 7 and 8) and the surrogate
+//! explainers all need the same primitive: a copy of a record pair in which
+//! a chosen subset of word tokens survives. Rebuilt values are the surviving
+//! tokens joined by spaces; the models re-tokenize them identically.
+
+use crate::TokenLoc;
+use std::collections::HashSet;
+use wym_core::{DecisionUnit, ProcessedRecord, Side};
+use wym_data::{Entity, RecordPair};
+
+/// Rebuilds the pair keeping only the tokens in `keep`.
+pub fn keep_tokens(pair: &RecordPair, keep: &HashSet<TokenLoc>) -> RecordPair {
+    let tokenizer = wym_tokenize::Tokenizer::default();
+    let rebuild = |entity: &Entity, side: usize| -> Entity {
+        let values = entity
+            .values
+            .iter()
+            .enumerate()
+            .map(|(attr, value)| {
+                tokenizer
+                    .tokenize(value)
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(pos, _)| keep.contains(&TokenLoc { side, attr, pos: *pos }))
+                    .map(|(_, t)| t)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        Entity { values }
+    };
+    RecordPair {
+        id: pair.id,
+        label: pair.label,
+        left: rebuild(&pair.left, 0),
+        right: rebuild(&pair.right, 1),
+    }
+}
+
+/// Rebuilds the pair dropping exactly the tokens in `drop`.
+pub fn drop_tokens(pair: &RecordPair, drop: &HashSet<TokenLoc>) -> RecordPair {
+    let all: HashSet<TokenLoc> = crate::enumerate_tokens(pair).into_iter().map(|(l, _)| l).collect();
+    let keep: HashSet<TokenLoc> = all.difference(drop).copied().collect();
+    keep_tokens(pair, &keep)
+}
+
+/// The token locations owned by a set of decision units of a processed
+/// record.
+pub fn unit_token_locs(proc: &ProcessedRecord, unit_indices: &[usize]) -> HashSet<TokenLoc> {
+    let mut out = HashSet::new();
+    for &i in unit_indices {
+        for (side, t) in proc.units[i].members() {
+            out.insert(TokenLoc {
+                side: match side {
+                    Side::Left => 0,
+                    Side::Right => 1,
+                },
+                attr: t.attr as usize,
+                pos: t.pos as usize,
+            });
+        }
+    }
+    out
+}
+
+/// Rebuilds the original pair of a processed record without the tokens of
+/// the chosen units.
+pub fn remove_units(
+    pair: &RecordPair,
+    proc: &ProcessedRecord,
+    unit_indices: &[usize],
+) -> RecordPair {
+    drop_tokens(pair, &unit_token_locs(proc, unit_indices))
+}
+
+/// Rebuilds the pair keeping only the tokens of the chosen units.
+pub fn keep_units(
+    pair: &RecordPair,
+    proc: &ProcessedRecord,
+    unit_indices: &[usize],
+) -> RecordPair {
+    keep_tokens(pair, &unit_token_locs(proc, unit_indices))
+}
+
+/// Maps token-granularity attributions onto a record's decision units by
+/// averaging the weights of each unit's member tokens. Used to compare
+/// post-hoc explainers with WYM at unit granularity (Figure 9).
+pub fn token_weights_to_units(
+    proc: &ProcessedRecord,
+    weights: &[(TokenLoc, f32)],
+) -> Vec<f32> {
+    let lookup: std::collections::HashMap<TokenLoc, f32> = weights.iter().copied().collect();
+    proc.units
+        .iter()
+        .map(|u| {
+            let members = u.members();
+            let mut total = 0.0f32;
+            let mut n = 0usize;
+            for (side, t) in members {
+                let loc = TokenLoc {
+                    side: match side {
+                        Side::Left => 0,
+                        Side::Right => 1,
+                    },
+                    attr: t.attr as usize,
+                    pos: t.pos as usize,
+                };
+                if let Some(w) = lookup.get(&loc) {
+                    total += w;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                0.0
+            } else {
+                total / n as f32
+            }
+        })
+        .collect()
+}
+
+/// Unit indices sorted so the units most supporting `predicted_match` come
+/// first (high positive impact first for a match, most negative first for a
+/// non-match) — the ordering MoRF relies on.
+pub fn units_by_support(impacts: &[f32], predicted_match: bool) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..impacts.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let (va, vb) = if predicted_match {
+            (impacts[a], impacts[b])
+        } else {
+            (-impacts[a], -impacts[b])
+        };
+        vb.total_cmp(&va)
+    });
+    idx
+}
+
+/// Dummy reference to keep `DecisionUnit` in the public docs of this module.
+#[doc(hidden)]
+pub fn _unit_type_anchor(_: &DecisionUnit) {}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use wym_core::{WymConfig, WymModel};
+    use wym_data::{magellan, split::paper_split};
+    use wym_embed::EmbedderKind;
+    use wym_ml::ClassifierKind;
+    use wym_nn::TrainConfig;
+
+    fn pair() -> RecordPair {
+        RecordPair {
+            id: 1,
+            label: true,
+            left: Entity::new(vec!["digital camera lens", "37.63"]),
+            right: Entity::new(vec!["digital camera", "36"]),
+        }
+    }
+
+    #[test]
+    fn drop_tokens_removes_exactly_those() {
+        let p = pair();
+        let mut drop = HashSet::new();
+        drop.insert(TokenLoc { side: 0, attr: 0, pos: 2 }); // "lens"
+        let out = drop_tokens(&p, &drop);
+        assert_eq!(out.left.values[0], "digital camera");
+        assert_eq!(out.right.values[0], "digital camera");
+        assert_eq!(out.left.values[1], "37.63");
+    }
+
+    #[test]
+    fn keep_tokens_retains_exactly_those() {
+        let p = pair();
+        let mut keep = HashSet::new();
+        keep.insert(TokenLoc { side: 0, attr: 0, pos: 0 });
+        keep.insert(TokenLoc { side: 1, attr: 0, pos: 1 });
+        let out = keep_tokens(&p, &keep);
+        assert_eq!(out.left.values[0], "digital");
+        assert_eq!(out.right.values[0], "camera");
+        assert_eq!(out.left.values[1], "");
+    }
+
+    #[test]
+    fn units_by_support_orders_by_prediction_direction() {
+        let impacts = vec![0.5, -0.9, 0.1];
+        assert_eq!(units_by_support(&impacts, true), vec![0, 2, 1]);
+        assert_eq!(units_by_support(&impacts, false), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn remove_and_keep_units_roundtrip_token_counts() {
+        let dataset = magellan::generate_by_name("S-FZ", 3).unwrap().subsample(120, 0);
+        let split = paper_split(&dataset, 0);
+        let mut cfg = WymConfig::default();
+        cfg.embed_dim = 32;
+        cfg.embedder_kind = EmbedderKind::Static;
+        cfg.scorer.train = TrainConfig { epochs: 4, batch_size: 64, ..Default::default() };
+        cfg.matcher.kinds = vec![ClassifierKind::LogisticRegression];
+        let model = WymModel::fit(&dataset, &split, cfg);
+        let p = &dataset.pairs[split.test[0]];
+        let proc = model.process(p);
+        let n = proc.units.len();
+        assert!(n > 0);
+        let all: Vec<usize> = (0..n).collect();
+        let removed_all = remove_units(p, &proc, &all);
+        assert!(
+            removed_all.left.values.iter().all(|v| v.is_empty()),
+            "removing every unit must empty the left entity: {removed_all:?}"
+        );
+        let kept_all = keep_units(p, &proc, &all);
+        let orig_tokens = crate::enumerate_tokens(p).len();
+        let kept_tokens = crate::enumerate_tokens(&kept_all).len();
+        assert_eq!(orig_tokens, kept_tokens, "keeping every unit must keep every token");
+    }
+
+    #[test]
+    fn token_weights_to_units_averages_members() {
+        let dataset = magellan::generate_by_name("S-FZ", 3).unwrap().subsample(60, 0);
+        let split = paper_split(&dataset, 0);
+        let mut cfg = WymConfig::default();
+        cfg.embed_dim = 32;
+        cfg.embedder_kind = EmbedderKind::Static;
+        cfg.scorer.train = TrainConfig { epochs: 2, batch_size: 64, ..Default::default() };
+        cfg.matcher.kinds = vec![ClassifierKind::LogisticRegression];
+        let model = WymModel::fit(&dataset, &split, cfg);
+        let p = &dataset.pairs[split.test[0]];
+        let proc = model.process(p);
+        // Uniform token weights of 1.0 must map every unit to 1.0.
+        let weights: Vec<(TokenLoc, f32)> =
+            crate::enumerate_tokens(p).into_iter().map(|(l, _)| (l, 1.0)).collect();
+        let unit_w = token_weights_to_units(&proc, &weights);
+        assert_eq!(unit_w.len(), proc.units.len());
+        for w in unit_w {
+            assert!((w - 1.0).abs() < 1e-6);
+        }
+    }
+}

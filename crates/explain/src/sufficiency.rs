@@ -1,0 +1,180 @@
+//! Sufficiency / post-hoc accuracy (paper §5.2.2, Eq. 4, Figure 7).
+//!
+//! "For each test data, we select the top v important units based on the
+//! impact attributions for the model to make a prediction and compare it
+//! with the original prediction made on the whole input text."
+
+use crate::rebuild::{keep_tokens, keep_units, units_by_support};
+use crate::{TokenAttribution, TokenLoc};
+use std::collections::HashSet;
+use wym_core::pipeline::EmPredictor;
+use wym_core::WymModel;
+use wym_data::RecordPair;
+
+/// Post-hoc accuracy of WYM explained by its own impact scores at several
+/// `v` values at once: keep the top-`v` units, re-predict, compare with the
+/// full-input prediction. Each record is processed and explained once.
+pub fn post_hoc_accuracy_wym_multi(
+    model: &WymModel,
+    pairs: &[RecordPair],
+    vs: &[usize],
+) -> Vec<f32> {
+    if pairs.is_empty() {
+        return vec![0.0; vs.len()];
+    }
+    let mut agree = vec![0usize; vs.len()];
+    for pair in pairs {
+        let proc = model.process(pair);
+        let full = model.predict_processed(&proc).label;
+        if proc.units.is_empty() {
+            for a in &mut agree {
+                *a += usize::from(!full);
+            }
+            continue;
+        }
+        let impacts = model.matcher().impacts(&proc.units, &proc.relevances);
+        let order = units_by_support(&impacts, full);
+        for (k, &v) in vs.iter().enumerate() {
+            let top: Vec<usize> = order.iter().copied().take(v).collect();
+            let reduced = keep_units(pair, &proc, &top);
+            if model.predict(&reduced).label == full {
+                agree[k] += 1;
+            }
+        }
+    }
+    agree.into_iter().map(|a| a as f32 / pairs.len() as f32).collect()
+}
+
+/// Single-`v` convenience wrapper over [`post_hoc_accuracy_wym_multi`].
+pub fn post_hoc_accuracy_wym(model: &WymModel, pairs: &[RecordPair], v: usize) -> f32 {
+    post_hoc_accuracy_wym_multi(model, pairs, &[v])[0]
+}
+
+/// Post-hoc accuracy of any predictor explained by token-granularity
+/// attributions, at several `v` values at once: keep the `v` tokens that
+/// most support the full-input prediction (largest weights for a predicted
+/// match, smallest for a predicted non-match), re-predict, compare.
+///
+/// `explain` is called once per record, regardless of how many `v` values
+/// are requested — post-hoc explainers cost hundreds of model calls each.
+pub fn post_hoc_accuracy_tokens_multi<F>(
+    model: &dyn EmPredictor,
+    pairs: &[RecordPair],
+    vs: &[usize],
+    mut explain: F,
+) -> Vec<f32>
+where
+    F: FnMut(&RecordPair) -> Vec<TokenAttribution>,
+{
+    if pairs.is_empty() {
+        return vec![0.0; vs.len()];
+    }
+    let mut agree = vec![0usize; vs.len()];
+    for pair in pairs {
+        let full = model.predict_label(pair);
+        let mut atts = explain(pair);
+        if atts.is_empty() {
+            for a in &mut agree {
+                *a += usize::from(model.predict_label(pair) == full);
+            }
+            continue;
+        }
+        atts.sort_by(|a, b| {
+            let (x, y) = if full { (a.weight, b.weight) } else { (-a.weight, -b.weight) };
+            y.total_cmp(&x)
+        });
+        for (k, &v) in vs.iter().enumerate() {
+            let keep: HashSet<TokenLoc> = atts.iter().take(v).map(|a| a.loc).collect();
+            let reduced = keep_tokens(pair, &keep);
+            if model.predict_label(&reduced) == full {
+                agree[k] += 1;
+            }
+        }
+    }
+    agree.into_iter().map(|a| a as f32 / pairs.len() as f32).collect()
+}
+
+/// Single-`v` convenience wrapper over [`post_hoc_accuracy_tokens_multi`].
+pub fn post_hoc_accuracy_tokens<F>(
+    model: &dyn EmPredictor,
+    pairs: &[RecordPair],
+    v: usize,
+    explain: F,
+) -> f32
+where
+    F: FnMut(&RecordPair) -> Vec<TokenAttribution>,
+{
+    post_hoc_accuracy_tokens_multi(model, pairs, &[v], explain)[0]
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::lime::test_model::OverlapModel;
+    use crate::lime::LimeText;
+    use wym_core::WymConfig;
+    use wym_data::{magellan, split::paper_split, Entity};
+    use wym_embed::EmbedderKind;
+    use wym_ml::ClassifierKind;
+    use wym_nn::TrainConfig;
+
+    #[test]
+    fn wym_posthoc_accuracy_increases_with_v() {
+        let dataset = magellan::generate_by_name("S-FZ", 5).unwrap().subsample(300, 0);
+        let split = paper_split(&dataset, 0);
+        let mut cfg = WymConfig::default();
+        cfg.embed_dim = 32;
+        cfg.embedder_kind = EmbedderKind::Static;
+        cfg.scorer.train = TrainConfig { epochs: 12, batch_size: 128, lr: 2e-3, ..Default::default() };
+        cfg.matcher.kinds =
+            vec![ClassifierKind::LogisticRegression, ClassifierKind::GradientBoosting];
+        let model = WymModel::fit(&dataset, &split, cfg);
+        let test: Vec<RecordPair> =
+            split.test.iter().take(40).map(|&i| dataset.pairs[i].clone()).collect();
+        let acc1 = post_hoc_accuracy_wym(&model, &test, 1);
+        let acc10 = post_hoc_accuracy_wym(&model, &test, 10);
+        assert!((0.0..=1.0).contains(&acc1));
+        assert!(
+            acc10 >= acc1,
+            "keeping more top units should not collapse agreement: v=1 {acc1}, v=10 {acc10}"
+        );
+        assert!(
+            acc10 > 0.7,
+            "ten units cover most records, so agreement must be high, got {acc10}"
+        );
+    }
+
+    #[test]
+    fn token_posthoc_with_transparent_model() {
+        // Overlap model + LIME: the top tokens are the shared ones, and a
+        // pair of identical entities keeps predicting match from them.
+        let pairs = vec![
+            RecordPair {
+                id: 0,
+                label: true,
+                left: Entity::new(vec!["camera zoom lens kit"]),
+                right: Entity::new(vec!["camera zoom lens kit"]),
+            },
+            RecordPair {
+                id: 1,
+                label: false,
+                left: Entity::new(vec!["beer ale stout"]),
+                right: Entity::new(vec!["router modem switch"]),
+            },
+        ];
+        let lime = LimeText { n_samples: 150, ..Default::default() };
+        let acc = post_hoc_accuracy_tokens(&OverlapModel, &pairs, 4, |p| {
+            lime.explain(&OverlapModel, p)
+        });
+        assert!(acc >= 0.5, "post-hoc accuracy {acc}");
+    }
+
+    #[test]
+    fn empty_pairs_slice_is_zero() {
+        assert_eq!(
+            post_hoc_accuracy_tokens(&OverlapModel, &[], 3, |_| Vec::new()),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Linear-system solving via Gaussian elimination with partial pivoting.
+//!
+//! Used by the LDA classifier (`Σ_pooled w = (μ1 − μ0)`) and by the ridge
+//! surrogate inside the LIME-style explainer (`(XᵀX + λI) w = Xᵀy`).
+
+use crate::Matrix;
+
+/// Error returned when a system has no unique solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular (or numerically so)")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// Solves `A x = b` for square `A` using Gaussian elimination with partial
+/// pivoting. `A` and `b` are copied; the inputs are untouched.
+///
+/// # Errors
+/// Returns [`SingularMatrix`] when a pivot falls below `1e-10`.
+pub fn solve(a: &Matrix, b: &[f32]) -> Result<Vec<f32>, SingularMatrix> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length must match matrix size");
+
+    // Work in f64 for stability; the covariance systems in LDA are often
+    // poorly conditioned on near-constant features.
+    let mut m = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            m[i * n + j] = a[(i, j)] as f64;
+        }
+    }
+    let mut rhs: Vec<f64> = b.iter().map(|&v| v as f64).collect();
+
+    for col in 0..n {
+        // Partial pivot: largest |entry| in this column at or below the diagonal.
+        let mut pivot_row = col;
+        let mut pivot_val = m[col * n + col].abs();
+        for r in col + 1..n {
+            let v = m[r * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-10 {
+            return Err(SingularMatrix);
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                m.swap(col * n + j, pivot_row * n + j);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m[col * n + col];
+        for r in col + 1..n {
+            let factor = m[r * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                m[r * n + j] -= factor * m[col * n + j];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut acc = rhs[i];
+        for j in i + 1..n {
+            acc -= m[i * n + j] * x[j];
+        }
+        x[i] = acc / m[i * n + i];
+    }
+    Ok(x.into_iter().map(|v| v as f32).collect())
+}
+
+/// Solves the ridge-regularized least squares `(XᵀWX + λI) β = XᵀWy`,
+/// where `w` are per-sample weights. This is the surrogate-model fit used by
+/// perturbation-based explainers.
+pub fn ridge_weighted(
+    x: &Matrix,
+    y: &[f32],
+    w: &[f32],
+    lambda: f32,
+) -> Result<Vec<f32>, SingularMatrix> {
+    let (n, d) = x.shape();
+    assert_eq!(y.len(), n);
+    assert_eq!(w.len(), n);
+    let mut xtx = Matrix::zeros(d, d);
+    let mut xty = vec![0.0f32; d];
+    for i in 0..n {
+        let row = x.row(i);
+        let wi = w[i];
+        for a in 0..d {
+            let va = row[a] * wi;
+            if va == 0.0 {
+                continue;
+            }
+            for b in 0..d {
+                xtx[(a, b)] += va * row[b];
+            }
+            xty[a] += va * y[i];
+        }
+    }
+    for a in 0..d {
+        xtx[(a, a)] += lambda.max(1e-6);
+    }
+    solve(&xtx, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng64;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-5);
+        assert!((x[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn solve_identity_returns_rhs() {
+        let x = solve(&Matrix::identity(3), &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the first diagonal entry: naive elimination would divide by 0.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-6);
+        assert!((x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_residual_small_on_random_system() {
+        let mut rng = Rng64::new(99);
+        let a = Matrix::randn(8, 8, 1.0, &mut rng);
+        let b: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let x = solve(&a, &b).unwrap();
+        // Verify A x ≈ b.
+        for i in 0..8 {
+            let got: f32 = (0..8).map(|j| a[(i, j)] * x[j]).sum();
+            assert!((got - b[i]).abs() < 1e-3, "row {i}: {got} vs {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn ridge_recovers_linear_coefficients() {
+        // y = 2*x0 - x1, plenty of samples, tiny lambda.
+        let mut rng = Rng64::new(4);
+        let x = Matrix::randn(200, 2, 1.0, &mut rng);
+        let y: Vec<f32> = x.iter_rows().map(|r| 2.0 * r[0] - r[1]).collect();
+        let w = vec![1.0; 200];
+        let beta = ridge_weighted(&x, &y, &w, 1e-4).unwrap();
+        assert!((beta[0] - 2.0).abs() < 0.01, "{beta:?}");
+        assert!((beta[1] + 1.0).abs() < 0.01, "{beta:?}");
+    }
+
+    #[test]
+    fn ridge_respects_sample_weights() {
+        // Two populations with conflicting slopes; weights select the first.
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[1.0], &[2.0]]);
+        let y = vec![1.0, 2.0, -1.0, -2.0]; // slope +1 vs slope -1
+        let w = vec![1.0, 1.0, 0.0, 0.0];
+        let beta = ridge_weighted(&x, &y, &w, 1e-4).unwrap();
+        assert!((beta[0] - 1.0).abs() < 0.01, "{beta:?}");
+    }
+}

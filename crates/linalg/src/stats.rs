@@ -1,0 +1,126 @@
+//! Statistical helpers shared by the evaluation harness.
+
+/// Pearson correlation coefficient between two equally sized samples.
+///
+/// Returns `None` when either sample is constant or shorter than 2, matching
+/// how the paper's Figure 9 experiment must skip degenerate records (all-zero
+/// explanation vectors have no defined correlation).
+pub fn pearson(a: &[f32], b: &[f32]) -> Option<f32> {
+    assert_eq!(a.len(), b.len(), "pearson requires equal lengths");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let ma = a.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let mb = b.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let (mut cov, mut va, mut vb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x as f64 - ma;
+        let dy = y as f64 - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va <= 1e-18 || vb <= 1e-18 {
+        return None;
+    }
+    Some((cov / (va.sqrt() * vb.sqrt())) as f32)
+}
+
+/// Spearman rank correlation (Pearson on ranks, average ranks for ties).
+pub fn spearman(a: &[f32], b: &[f32]) -> Option<f32> {
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Average ranks (1-based); ties receive the mean of their rank range.
+pub fn ranks(v: &[f32]) -> Vec<f32> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
+    let mut out = vec![0.0f32; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f32 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Quantile via linear interpolation on the sorted sample; `q` in `[0,1]`.
+pub fn quantile(v: &[f32], q: f32) -> f32 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut s: Vec<f32> = v.to_vec();
+    s.sort_by(|x, y| x.total_cmp(y));
+    let pos = q.clamp(0.0, 1.0) * (s.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        let frac = pos - lo as f32;
+        s[lo] * (1.0 - frac) + s[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b).unwrap() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_constant_is_none() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn pearson_independent_near_zero() {
+        let a = [1.0, -1.0, 1.0, -1.0];
+        let b = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&a, &b).unwrap().abs() < 1e-6);
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 8.0, 27.0, 64.0];
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_median_and_extremes() {
+        let v = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,218 @@
+//! Free-function kernels on `&[f32]` slices.
+//!
+//! These are the hot inner loops of the system: cosine similarity drives the
+//! stable-marriage pairing over token embeddings, and `axpy`/`dot` drive the
+//! matrix products of the relevance scorer.
+
+/// Dot product. Panics in debug builds on length mismatch.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `y += alpha * x`, in place.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Cosine similarity in `[-1, 1]`; 0.0 when either vector is all-zero.
+///
+/// The all-zero case matters: WYM represents the missing side of an unpaired
+/// decision unit with a zero `[UNP]` embedding, and its similarity to
+/// anything is defined as 0 rather than NaN.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na <= f32::EPSILON || nb <= f32::EPSILON {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Normalizes to unit L2 norm in place; leaves all-zero vectors untouched.
+#[inline]
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > f32::EPSILON {
+        for v in a {
+            *v /= n;
+        }
+    }
+}
+
+/// Element-wise mean of two equally sized vectors.
+pub fn mean2(a: &[f32], b: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| 0.5 * (x + y)).collect()
+}
+
+/// Element-wise absolute difference of two equally sized vectors.
+pub fn abs_diff(a: &[f32], b: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).collect()
+}
+
+/// Arithmetic mean of a slice; 0.0 for the empty slice.
+pub fn mean(a: &[f32]) -> f32 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().map(|&v| v as f64).sum::<f64>() as f32 / a.len() as f32
+    }
+}
+
+/// Population standard deviation; 0.0 for slices shorter than 2.
+pub fn std_dev(a: &[f32]) -> f32 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a) as f64;
+    let var = a.iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / a.len() as f64;
+    var.sqrt() as f32
+}
+
+/// Median (average of the two middle values for even lengths); 0.0 when empty.
+pub fn median(a: &[f32]) -> f32 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f32> = a.to_vec();
+    v.sort_by(|x, y| x.total_cmp(y));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Index of the maximum element; `None` when empty. Ties break to the first.
+pub fn argmax(a: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        match best {
+            Some((_, b)) if v <= b => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Numerically stable softmax.
+pub fn softmax(a: &[f32]) -> Vec<f32> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let max = a.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = a.iter().map(|v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let v = [0.3, -1.2, 4.0];
+        assert!((cosine(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_opposite_is_minus_one() {
+        let v = [1.0, 2.0];
+        let w = [-1.0, -2.0];
+        assert!((cosine(&v, &w) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero_not_nan() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean2_and_abs_diff_symmetry() {
+        let a = [1.0, -2.0];
+        let b = [3.0, 2.0];
+        assert_eq!(mean2(&a, &b), mean2(&b, &a));
+        assert_eq!(abs_diff(&a, &b), abs_diff(&b, &a));
+        assert_eq!(abs_diff(&a, &b), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_constant_is_zero() {
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_picks_first_max() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_monotone() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[0] < p[1] && p[1] < p[2]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Linear Discriminant Analysis.
+
+use crate::{Classifier, ClassifierKind};
+use serde::{Deserialize, Serialize};
+use wym_linalg::solve::solve;
+use wym_linalg::vector::dot;
+use wym_linalg::Matrix;
+
+fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Two-class LDA with shrinkage-regularized pooled covariance.
+///
+/// The discriminant direction solves `Σ w = μ₁ − μ₀`; the intercept places
+/// the boundary at the midpoint adjusted by the class priors. Shrinkage
+/// `Σ ← (1−γ)Σ + γ·tr(Σ)/d·I` keeps the system solvable on the engineered
+/// WYM features, which often contain near-constant columns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearDiscriminantAnalysis {
+    /// Shrinkage intensity γ in `[0, 1]`.
+    pub shrinkage: f32,
+    coef: Vec<f32>,
+    intercept: f32,
+}
+
+impl Default for LinearDiscriminantAnalysis {
+    fn default() -> Self {
+        Self { shrinkage: 0.1, coef: Vec::new(), intercept: 0.0 }
+    }
+}
+
+impl LinearDiscriminantAnalysis {
+    /// Fitted discriminant coefficients.
+    pub fn coefficients(&self) -> &[f32] {
+        &self.coef
+    }
+}
+
+impl Classifier for LinearDiscriminantAnalysis {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) {
+        assert_eq!(x.rows(), y.len(), "x / y length mismatch");
+        assert!(!y.is_empty(), "cannot fit on an empty dataset");
+        let d = x.cols();
+        let idx1: Vec<usize> = (0..y.len()).filter(|&i| y[i] == 1).collect();
+        let idx0: Vec<usize> = (0..y.len()).filter(|&i| y[i] == 0).collect();
+        // Degenerate single-class training data: constant prediction.
+        if idx0.is_empty() || idx1.is_empty() {
+            self.coef = vec![0.0; d];
+            self.intercept = if idx0.is_empty() { 10.0 } else { -10.0 };
+            return;
+        }
+        let x1 = x.select_rows(&idx1);
+        let x0 = x.select_rows(&idx0);
+        let mu1 = x1.col_mean();
+        let mu0 = x0.col_mean();
+
+        // Pooled within-class covariance.
+        let mut cov = Matrix::zeros(d, d);
+        for (part, mu) in [(&x1, &mu1), (&x0, &mu0)] {
+            for row in part.iter_rows() {
+                for a in 0..d {
+                    let da = row[a] - mu[a];
+                    if da == 0.0 {
+                        continue;
+                    }
+                    for b in 0..d {
+                        cov[(a, b)] += da * (row[b] - mu[b]);
+                    }
+                }
+            }
+        }
+        let denom = (y.len() - 2).max(1) as f32;
+        cov.scale_inplace(1.0 / denom);
+
+        // Shrinkage toward the scaled identity.
+        let trace: f32 = (0..d).map(|i| cov[(i, i)]).sum();
+        let target = (trace / d.max(1) as f32).max(1e-6);
+        let g = self.shrinkage.clamp(0.0, 1.0);
+        cov.scale_inplace(1.0 - g);
+        for i in 0..d {
+            cov[(i, i)] += g * target;
+        }
+
+        let diff: Vec<f32> = mu1.iter().zip(&mu0).map(|(a, b)| a - b).collect();
+        self.coef = match solve(&cov, &diff) {
+            Ok(w) => w,
+            // Fall back to the diagonal approximation on singular systems.
+            Err(_) => diff
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v / cov[(i, i)].max(1e-6))
+                .collect(),
+        };
+        let mid: Vec<f32> = mu1.iter().zip(&mu0).map(|(a, b)| 0.5 * (a + b)).collect();
+        let prior = (idx1.len() as f32 / idx0.len() as f32).ln();
+        self.intercept = prior - dot(&self.coef, &mid);
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert_eq!(x.cols(), self.coef.len(), "model fitted on different width");
+        x.iter_rows().map(|row| sigmoid(dot(row, &self.coef) + self.intercept)).collect()
+    }
+
+    fn kind(&self) -> ClassifierKind {
+        ClassifierKind::Lda
+    }
+
+    fn snapshot(&self) -> crate::serial::AnyClassifier {
+        crate::serial::AnyClassifier::Lda(self.clone())
+    }
+
+    fn signed_importance(&self) -> Vec<f32> {
+        self.coef.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_data::{blobs, single_feature};
+
+    #[test]
+    fn learns_blobs() {
+        let (x, y) = blobs(50, 3, 21);
+        let mut lda = LinearDiscriminantAnalysis::default();
+        lda.fit(&x, &y);
+        let acc = lda.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(acc >= 97, "accuracy {acc}/100");
+    }
+
+    #[test]
+    fn informative_feature_dominates() {
+        let (x, y) = single_feature(500, 3, 22);
+        let mut lda = LinearDiscriminantAnalysis::default();
+        lda.fit(&x, &y);
+        let imp = lda.signed_importance();
+        assert!(imp[0] > imp[1].abs() && imp[0] > imp[2].abs(), "{imp:?}");
+    }
+
+    #[test]
+    fn survives_constant_column() {
+        // A constant column makes the covariance singular without shrinkage.
+        let x = Matrix::from_rows(&[
+            &[1.0, 5.0],
+            &[2.0, 5.0],
+            &[-1.0, 5.0],
+            &[-2.0, 5.0],
+        ]);
+        let y = vec![1, 1, 0, 0];
+        let mut lda = LinearDiscriminantAnalysis::default();
+        lda.fit(&x, &y);
+        assert_eq!(lda.predict(&x), y);
+    }
+
+    #[test]
+    fn single_class_training_is_constant() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let mut lda = LinearDiscriminantAnalysis::default();
+        lda.fit(&x, &[1, 1]);
+        let p = lda.predict_proba(&Matrix::from_rows(&[&[5.0]]));
+        assert!(p[0] > 0.99);
+    }
+
+    #[test]
+    fn priors_shift_the_boundary() {
+        // Same geometry, heavily imbalanced classes: boundary moves toward
+        // the rare class.
+        let mut xb = Matrix::zeros(0, 1);
+        let mut yb = vec![0u8; 90];
+        yb.extend(vec![1u8; 10]);
+        for _ in 0..90 {
+            xb.push_row(&[-1.0]);
+        }
+        for _ in 0..10 {
+            xb.push_row(&[1.0]);
+        }
+        let mut lda = LinearDiscriminantAnalysis::default();
+        lda.fit(&xb, &yb);
+        let p_mid = lda.predict_proba(&Matrix::from_rows(&[&[0.0]]))[0];
+        assert!(p_mid < 0.5, "midpoint must lean to the majority class, p = {p_mid}");
+    }
+}

@@ -1,0 +1,251 @@
+//! Linear models: logistic regression and a linear SVM.
+
+use crate::{Classifier, ClassifierKind};
+use serde::{Deserialize, Serialize};
+use wym_linalg::vector::dot;
+use wym_linalg::Matrix;
+
+fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// L2-regularized logistic regression trained by full-batch gradient descent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    /// Gradient-descent learning rate.
+    pub lr: f32,
+    /// Number of gradient steps.
+    pub iters: usize,
+    /// L2 regularization strength.
+    pub l2: f32,
+    coef: Vec<f32>,
+    intercept: f32,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self { lr: 0.3, iters: 400, l2: 1e-3, coef: Vec::new(), intercept: 0.0 }
+    }
+}
+
+impl LogisticRegression {
+    /// Fitted coefficients (one per feature).
+    pub fn coefficients(&self) -> &[f32] {
+        &self.coef
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f32 {
+        self.intercept
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) {
+        assert_eq!(x.rows(), y.len(), "x / y length mismatch");
+        assert!(!y.is_empty(), "cannot fit on an empty dataset");
+        let (n, d) = x.shape();
+        self.coef = vec![0.0; d];
+        self.intercept = 0.0;
+        let inv_n = 1.0 / n as f32;
+        let mut grad = vec![0.0f32; d];
+        for _ in 0..self.iters {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut gb = 0.0f32;
+            for (i, row) in x.iter_rows().enumerate() {
+                let err = sigmoid(dot(row, &self.coef) + self.intercept) - y[i] as f32;
+                for (g, &v) in grad.iter_mut().zip(row) {
+                    *g += err * v;
+                }
+                gb += err;
+            }
+            for (c, g) in self.coef.iter_mut().zip(&grad) {
+                *c -= self.lr * (g * inv_n + self.l2 * *c);
+            }
+            self.intercept -= self.lr * gb * inv_n;
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert_eq!(x.cols(), self.coef.len(), "model fitted on different width");
+        x.iter_rows().map(|row| sigmoid(dot(row, &self.coef) + self.intercept)).collect()
+    }
+
+    fn kind(&self) -> ClassifierKind {
+        ClassifierKind::LogisticRegression
+    }
+
+    fn snapshot(&self) -> crate::serial::AnyClassifier {
+        crate::serial::AnyClassifier::Lr(self.clone())
+    }
+
+    fn signed_importance(&self) -> Vec<f32> {
+        self.coef.clone()
+    }
+}
+
+/// Linear SVM with squared-hinge loss, trained by full-batch gradient
+/// descent; probabilities come from a logistic link on the margin
+/// (monotone, uncalibrated — sufficient for 0.5-threshold decisions and
+/// top-k rankings).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearSvm {
+    /// Gradient-descent learning rate.
+    pub lr: f32,
+    /// Number of gradient steps.
+    pub iters: usize,
+    /// L2 regularization strength.
+    pub l2: f32,
+    coef: Vec<f32>,
+    intercept: f32,
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        Self { lr: 0.1, iters: 400, l2: 1e-3, coef: Vec::new(), intercept: 0.0 }
+    }
+}
+
+impl LinearSvm {
+    /// Raw decision margins `w·x + b`.
+    pub fn decision_function(&self, x: &Matrix) -> Vec<f32> {
+        x.iter_rows().map(|row| dot(row, &self.coef) + self.intercept).collect()
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) {
+        assert_eq!(x.rows(), y.len(), "x / y length mismatch");
+        assert!(!y.is_empty(), "cannot fit on an empty dataset");
+        let (n, d) = x.shape();
+        self.coef = vec![0.0; d];
+        self.intercept = 0.0;
+        let targets: Vec<f32> = y.iter().map(|&v| if v == 1 { 1.0 } else { -1.0 }).collect();
+        let inv_n = 1.0 / n as f32;
+        let mut grad = vec![0.0f32; d];
+        for _ in 0..self.iters {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut gb = 0.0f32;
+            for (i, row) in x.iter_rows().enumerate() {
+                let t = targets[i];
+                let margin = t * (dot(row, &self.coef) + self.intercept);
+                if margin < 1.0 {
+                    // d/dw of (1 - m)^2 = -2 (1 - m) t x
+                    let scale = -2.0 * (1.0 - margin) * t;
+                    for (g, &v) in grad.iter_mut().zip(row) {
+                        *g += scale * v;
+                    }
+                    gb += scale;
+                }
+            }
+            for (c, g) in self.coef.iter_mut().zip(&grad) {
+                *c -= self.lr * (g * inv_n + self.l2 * *c);
+            }
+            self.intercept -= self.lr * gb * inv_n;
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert_eq!(x.cols(), self.coef.len(), "model fitted on different width");
+        self.decision_function(x).into_iter().map(sigmoid).collect()
+    }
+
+    fn kind(&self) -> ClassifierKind {
+        ClassifierKind::Svm
+    }
+
+    fn snapshot(&self) -> crate::serial::AnyClassifier {
+        crate::serial::AnyClassifier::Svm(self.clone())
+    }
+
+    fn signed_importance(&self) -> Vec<f32> {
+        self.coef.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_data::{blobs, single_feature};
+
+    #[test]
+    fn lr_learns_blobs_and_coefficients_are_positive() {
+        let (x, y) = blobs(50, 3, 1);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y);
+        let acc = lr.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(acc >= 97, "accuracy {acc}/100");
+        for &c in lr.coefficients() {
+            assert!(c > 0.0, "coef {c} should be positive for blobs");
+        }
+    }
+
+    #[test]
+    fn lr_ranks_informative_feature_highest() {
+        let (x, y) = single_feature(400, 4, 3);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y);
+        let imp = lr.signed_importance();
+        let max_idx =
+            imp.iter().enumerate().max_by(|a, b| a.1.abs().total_cmp(&b.1.abs())).unwrap().0;
+        assert_eq!(max_idx, 0, "importances {imp:?}");
+    }
+
+    #[test]
+    fn lr_probabilities_track_labels() {
+        let (x, y) = blobs(30, 2, 5);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y);
+        let p = lr.predict_proba(&x);
+        for (pi, &yi) in p.iter().zip(&y) {
+            if yi == 1 {
+                assert!(*pi > 0.5, "p {pi} for positive");
+            } else {
+                assert!(*pi < 0.5, "p {pi} for negative");
+            }
+        }
+    }
+
+    #[test]
+    fn svm_learns_blobs() {
+        let (x, y) = blobs(50, 3, 2);
+        let mut svm = LinearSvm::default();
+        svm.fit(&x, &y);
+        let acc = svm.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(acc >= 97, "accuracy {acc}/100");
+    }
+
+    #[test]
+    fn svm_margin_sign_matches_prediction() {
+        let (x, y) = blobs(20, 2, 9);
+        let mut svm = LinearSvm::default();
+        svm.fit(&x, &y);
+        let margins = svm.decision_function(&x);
+        let preds = svm.predict(&x);
+        for (m, p) in margins.iter().zip(preds) {
+            assert_eq!(u8::from(*m >= 0.0), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn lr_rejects_empty() {
+        let mut lr = LogisticRegression::default();
+        lr.fit(&Matrix::zeros(0, 2), &[]);
+    }
+
+    #[test]
+    fn deterministic_fits() {
+        let (x, y) = blobs(20, 2, 4);
+        let mut a = LogisticRegression::default();
+        let mut b = LogisticRegression::default();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.coefficients(), b.coefficients());
+    }
+}

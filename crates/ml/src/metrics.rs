@@ -1,0 +1,154 @@
+//! Binary classification metrics.
+//!
+//! The paper evaluates everything with the F1 score of the match class,
+//! the standard EM convention (match is the rare class, so accuracy is
+//! uninformative).
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts for a binary task where `1` is the positive class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryConfusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryConfusion {
+    /// Tallies predictions against gold labels.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    pub fn from_preds(preds: &[u8], gold: &[u8]) -> Self {
+        assert_eq!(preds.len(), gold.len(), "predictions / labels length mismatch");
+        let mut c = Self::default();
+        for (&p, &g) in preds.iter().zip(gold) {
+            match (p != 0, g != 0) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision of the positive class; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f32 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f32 / denom as f32
+        }
+    }
+
+    /// Recall of the positive class; 0 when there are no positives.
+    pub fn recall(&self) -> f32 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f32 / denom as f32
+        }
+    }
+
+    /// F1 of the positive class; 0 when precision + recall is 0.
+    pub fn f1(&self) -> f32 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f32 / total as f32
+        }
+    }
+
+    /// Total number of examples tallied.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+}
+
+/// Convenience: F1 of the positive class directly from label slices.
+pub fn f1_score(preds: &[u8], gold: &[u8]) -> f32 {
+    BinaryConfusion::from_preds(preds, gold).f1()
+}
+
+/// Convenience: accuracy directly from label slices.
+pub fn accuracy(preds: &[u8], gold: &[u8]) -> f32 {
+    BinaryConfusion::from_preds(preds, gold).accuracy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let c = BinaryConfusion::from_preds(&[1, 0, 1, 0], &[1, 0, 1, 0]);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_confusion_counts() {
+        let preds = [1, 1, 0, 0, 1];
+        let gold = [1, 0, 0, 1, 1];
+        let c = BinaryConfusion::from_preds(&preds, &gold);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 1, 1));
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_cases_return_zero_not_nan() {
+        // No positive predictions at all.
+        let c = BinaryConfusion::from_preds(&[0, 0], &[1, 1]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        // No positives in gold.
+        let c = BinaryConfusion::from_preds(&[0, 0], &[0, 0]);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let c = BinaryConfusion::from_preds(&[1, 0], &[0, 1]);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = BinaryConfusion::from_preds(&[1], &[1, 0]);
+    }
+
+    #[test]
+    fn f1_score_helper_agrees() {
+        let preds = [1, 0, 1];
+        let gold = [1, 1, 1];
+        assert_eq!(f1_score(&preds, &gold), BinaryConfusion::from_preds(&preds, &gold).f1());
+    }
+}

@@ -1,0 +1,103 @@
+//! Feature standardization.
+//!
+//! The pool's linear members (LR, SVM, LDA) and KNN are scale-sensitive;
+//! the matcher standardizes the engineered feature matrix once and feeds
+//! every pool member the same scaled view, exactly like a scikit-learn
+//! `Pipeline(StandardScaler(), model)` per classifier.
+
+use serde::{Deserialize, Serialize};
+use wym_linalg::Matrix;
+
+/// Per-column standardizer `x ↦ (x − μ) / σ` (σ floored at 1e-6 so constant
+/// columns map to 0 instead of NaN).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StandardScaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Learns column means and standard deviations from `x`.
+    pub fn fit(x: &Matrix) -> Self {
+        let mean = x.col_mean();
+        let std = x.col_std().into_iter().map(|s| s.max(1e-6)).collect();
+        Self { mean, std }
+    }
+
+    /// Applies the learned transform.
+    ///
+    /// # Panics
+    /// Panics if the column count differs from the fitted matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mean.len(), "scaler width mismatch");
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for ((v, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Fit followed by transform.
+    pub fn fit_transform(x: &Matrix) -> (Self, Matrix) {
+        let scaler = Self::fit(x);
+        let scaled = scaler.transform(x);
+        (scaler, scaled)
+    }
+
+    /// The learned per-column scale factors (σ), needed to map model
+    /// coefficients back to the original feature space.
+    pub fn scales(&self) -> &[f32] {
+        &self.std
+    }
+
+    /// The learned per-column means.
+    pub fn means(&self) -> &[f32] {
+        &self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transforms_to_zero_mean_unit_std() {
+        let x = Matrix::from_rows(&[&[1.0, 100.0], &[3.0, 300.0], &[5.0, 500.0]]);
+        let (_, scaled) = StandardScaler::fit_transform(&x);
+        let mean = scaled.col_mean();
+        let std = scaled.col_std();
+        for m in mean {
+            assert!(m.abs() < 1e-5);
+        }
+        for s in std {
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_columns_map_to_zero() {
+        let x = Matrix::from_rows(&[&[7.0], &[7.0], &[7.0]]);
+        let (_, scaled) = StandardScaler::fit_transform(&x);
+        assert!(scaled.as_slice().iter().all(|v| v.abs() < 1e-6));
+        assert!(!scaled.has_non_finite());
+    }
+
+    #[test]
+    fn transform_applies_train_statistics_to_new_data() {
+        let train = Matrix::from_rows(&[&[0.0], &[10.0]]);
+        let scaler = StandardScaler::fit(&train);
+        let test = Matrix::from_rows(&[&[5.0]]);
+        let out = scaler.transform(&test);
+        assert!(out[(0, 0)].abs() < 1e-6, "5 is the train mean, must map to 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_wrong_width() {
+        let scaler = StandardScaler::fit(&Matrix::zeros(2, 3));
+        let _ = scaler.transform(&Matrix::zeros(2, 4));
+    }
+}

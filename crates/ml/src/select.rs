@@ -1,0 +1,235 @@
+//! Classifier-pool training and best-model selection.
+//!
+//! "WYM relies on a pool of ten interpretable classifiers … and the one
+//! obtaining the best F1 score is selected" (§4.3). Features are
+//! standardized once; each model trains on the scaled matrix, is scored on
+//! the validation split, and the argmax-F1 model wins (ties break by the
+//! paper's Table 5 column order).
+
+use crate::metrics::f1_score;
+use crate::scaler::StandardScaler;
+use crate::serial::AnyClassifier;
+use crate::{Classifier, ClassifierKind};
+use serde::{Deserialize, Serialize};
+use wym_linalg::Matrix;
+
+/// The outcome of pool selection.
+pub struct SelectedModel {
+    /// The winning fitted model.
+    pub model: Box<dyn Classifier>,
+    /// Which pool member won.
+    pub kind: ClassifierKind,
+    /// Validation F1 of the winner.
+    pub val_f1: f32,
+    /// Validation F1 of every pool member, in [`ClassifierKind::ALL`] order.
+    pub all_scores: Vec<(ClassifierKind, f32)>,
+    /// The scaler fitted on the training features.
+    pub scaler: StandardScaler,
+}
+
+impl SelectedModel {
+    /// Probability of match for raw (unscaled) features.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        self.model.predict_proba(&self.scaler.transform(x))
+    }
+
+    /// Hard predictions for raw (unscaled) features.
+    pub fn predict(&self, x: &Matrix) -> Vec<u8> {
+        self.model.predict(&self.scaler.transform(x))
+    }
+
+    /// Signed importances mapped back to the *raw* feature space by undoing
+    /// the standardization (coefficient on scaled feature j corresponds to
+    /// `coef_j / σ_j` on the raw feature).
+    pub fn raw_signed_importance(&self) -> Vec<f32> {
+        self.model
+            .signed_importance()
+            .iter()
+            .zip(self.scaler.scales())
+            .map(|(c, s)| c / s.max(1e-6))
+            .collect()
+    }
+}
+
+/// Serializable form of a [`SelectedModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedSelectedModel {
+    /// Snapshot of the winning fitted model.
+    pub model: AnyClassifier,
+    /// Which pool member won.
+    pub kind: ClassifierKind,
+    /// Validation F1 of the winner.
+    pub val_f1: f32,
+    /// Validation F1 of every pool member.
+    pub all_scores: Vec<(ClassifierKind, f32)>,
+    /// The fitted scaler.
+    pub scaler: StandardScaler,
+}
+
+impl SelectedModel {
+    /// A serializable snapshot of the selection outcome.
+    pub fn to_saved(&self) -> SavedSelectedModel {
+        SavedSelectedModel {
+            model: self.model.snapshot(),
+            kind: self.kind,
+            val_f1: self.val_f1,
+            all_scores: self.all_scores.clone(),
+            scaler: self.scaler.clone(),
+        }
+    }
+
+    /// Rehydrates a snapshot.
+    pub fn from_saved(saved: SavedSelectedModel) -> SelectedModel {
+        SelectedModel {
+            model: saved.model.into_boxed(),
+            kind: saved.kind,
+            val_f1: saved.val_f1,
+            all_scores: saved.all_scores,
+            scaler: saved.scaler,
+        }
+    }
+}
+
+/// Trains every pool member and selects the best by validation F1.
+///
+/// ```
+/// use wym_ml::{ClassifierPool, ClassifierKind};
+/// use wym_linalg::Matrix;
+///
+/// let x = Matrix::from_rows(&[&[-1.0], &[-2.0], &[1.0], &[2.0]]);
+/// let y = vec![0, 0, 1, 1];
+/// let pool = ClassifierPool {
+///     kinds: vec![ClassifierKind::LogisticRegression, ClassifierKind::NaiveBayes],
+///     seed: 0,
+/// };
+/// let selected = pool.fit_select(&x, &y, &x, &y);
+/// assert_eq!(selected.predict(&x), y);
+/// ```
+pub struct ClassifierPool {
+    /// Which kinds to include (defaults to all ten).
+    pub kinds: Vec<ClassifierKind>,
+    /// Model seed.
+    pub seed: u64,
+}
+
+impl Default for ClassifierPool {
+    fn default() -> Self {
+        Self { kinds: ClassifierKind::ALL.to_vec(), seed: 0 }
+    }
+}
+
+impl ClassifierPool {
+    /// Fits all members on `(x_train, y_train)`, scores them on
+    /// `(x_val, y_val)`, and returns the winner refitted on the union of
+    /// train and validation data (the standard final-fit protocol).
+    ///
+    /// # Panics
+    /// Panics if the training set is empty or widths mismatch.
+    pub fn fit_select(
+        &self,
+        x_train: &Matrix,
+        y_train: &[u8],
+        x_val: &Matrix,
+        y_val: &[u8],
+    ) -> SelectedModel {
+        assert!(!y_train.is_empty(), "empty training set");
+        assert_eq!(x_train.cols(), x_val.cols(), "train / val width mismatch");
+        let (scaler, xs_train) = StandardScaler::fit_transform(x_train);
+        let xs_val = scaler.transform(x_val);
+
+        let mut all_scores = Vec::with_capacity(self.kinds.len());
+        let mut best: Option<(ClassifierKind, f32)> = None;
+        for &kind in &self.kinds {
+            let mut model = kind.build(self.seed);
+            model.fit(&xs_train, y_train);
+            let f1 = if y_val.is_empty() {
+                f1_score(&model.predict(&xs_train), y_train)
+            } else {
+                f1_score(&model.predict(&xs_val), y_val)
+            };
+            all_scores.push((kind, f1));
+            if best.is_none_or(|(_, b)| f1 > b) {
+                best = Some((kind, f1));
+            }
+        }
+        let (kind, val_f1) = best.expect("pool must be non-empty");
+
+        // Final fit on train + validation with a scaler over the union.
+        let mut x_all = x_train.clone();
+        for row in x_val.iter_rows() {
+            x_all.push_row(row);
+        }
+        let mut y_all = y_train.to_vec();
+        y_all.extend_from_slice(y_val);
+        let (scaler, xs_all) = StandardScaler::fit_transform(&x_all);
+        let mut model = kind.build(self.seed);
+        model.fit(&xs_all, &y_all);
+
+        SelectedModel { model, kind, val_f1, all_scores, scaler }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_data::{blobs, xor};
+
+    #[test]
+    fn selects_a_well_performing_model_on_blobs() {
+        let (x, y) = blobs(60, 3, 81);
+        let (xv, yv) = blobs(20, 3, 82);
+        let selected = ClassifierPool::default().fit_select(&x, &y, &xv, &yv);
+        assert!(selected.val_f1 > 0.95, "val F1 {}", selected.val_f1);
+        assert_eq!(selected.all_scores.len(), 10);
+        let (xt, yt) = blobs(20, 3, 83);
+        let f1 = f1_score(&selected.predict(&xt), &yt);
+        assert!(f1 > 0.9, "test F1 {f1}");
+    }
+
+    #[test]
+    fn nonlinear_task_prefers_nonlinear_model() {
+        let (x, y) = xor(500, 84);
+        let (xv, yv) = xor(150, 85);
+        let selected = ClassifierPool::default().fit_select(&x, &y, &xv, &yv);
+        assert!(
+            !matches!(
+                selected.kind,
+                ClassifierKind::LogisticRegression | ClassifierKind::Svm | ClassifierKind::Lda
+            ),
+            "XOR should not be won by a linear model, got {:?} (scores {:?})",
+            selected.kind,
+            selected.all_scores
+        );
+        assert!(selected.val_f1 > 0.8);
+    }
+
+    #[test]
+    fn restricted_pool_only_trains_requested_kinds() {
+        let (x, y) = blobs(30, 2, 86);
+        let pool = ClassifierPool {
+            kinds: vec![ClassifierKind::LogisticRegression, ClassifierKind::NaiveBayes],
+            seed: 0,
+        };
+        let selected = pool.fit_select(&x, &y, &x, &y);
+        assert_eq!(selected.all_scores.len(), 2);
+        assert!(matches!(
+            selected.kind,
+            ClassifierKind::LogisticRegression | ClassifierKind::NaiveBayes
+        ));
+    }
+
+    #[test]
+    fn empty_validation_falls_back_to_train_f1() {
+        let (x, y) = blobs(30, 2, 87);
+        let empty_x = Matrix::zeros(0, 2);
+        let selected = ClassifierPool::default().fit_select(&x, &y, &empty_x, &[]);
+        assert!(selected.val_f1 > 0.9);
+    }
+
+    #[test]
+    fn raw_importance_has_feature_width() {
+        let (x, y) = blobs(30, 4, 88);
+        let selected = ClassifierPool::default().fit_select(&x, &y, &x, &y);
+        assert_eq!(selected.raw_signed_importance().len(), 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! A dense (fully connected) layer with manual backpropagation.
+
+use crate::activation::Activation;
+use serde::{Deserialize, Serialize};
+use wym_linalg::{Matrix, Rng64};
+
+/// A dense layer `A = act(X · W + b)` with `W: in × out`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight matrix, `in_dim × out_dim`.
+    pub w: Matrix,
+    /// Bias vector, length `out_dim`.
+    pub b: Vec<f32>,
+    /// Activation applied to the pre-activation.
+    pub activation: Activation,
+}
+
+/// Per-layer cache produced by the forward pass and consumed by backward.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    /// Input to the layer (`n × in_dim`).
+    pub input: Matrix,
+    /// Pre-activation `X·W + b` (`n × out_dim`).
+    pub pre: Matrix,
+}
+
+/// Gradients of a dense layer's parameters.
+#[derive(Debug, Clone)]
+pub struct DenseGrad {
+    /// `∂L/∂W`, same shape as `w`.
+    pub dw: Matrix,
+    /// `∂L/∂b`, same length as `b`.
+    pub db: Vec<f32>,
+}
+
+impl Dense {
+    /// He-initialized dense layer (suited to ReLU hidden units).
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut Rng64) -> Self {
+        let std = (2.0 / in_dim.max(1) as f32).sqrt();
+        Self { w: Matrix::randn(in_dim, out_dim, std, rng), b: vec![0.0; out_dim], activation }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass; returns the activated output and a cache for backward.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, DenseCache) {
+        let mut pre = x.matmul(&self.w);
+        pre.add_row_broadcast(&self.b);
+        let act = self.activation;
+        let out = pre.map(|z| act.apply(z));
+        (out, DenseCache { input: x.clone(), pre })
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut pre = x.matmul(&self.w);
+        pre.add_row_broadcast(&self.b);
+        let act = self.activation;
+        pre.map_inplace(|z| act.apply(z));
+        pre
+    }
+
+    /// Backward pass.
+    ///
+    /// `d_out` is `∂L/∂A` (gradient w.r.t. the activated output). Returns the
+    /// parameter gradients and `∂L/∂X` to propagate to the previous layer.
+    pub fn backward(&self, cache: &DenseCache, d_out: &Matrix) -> (DenseGrad, Matrix) {
+        // δ = ∂L/∂Z = ∂L/∂A ⊙ act'(Z)
+        let act = self.activation;
+        let mut delta = d_out.clone();
+        for i in 0..delta.rows() {
+            let pre_row = cache.pre.row(i).to_vec();
+            for (d, z) in delta.row_mut(i).iter_mut().zip(pre_row) {
+                *d *= act.derivative(z);
+            }
+        }
+        let dw = cache.input.t_matmul(&delta);
+        let db = delta.col_sum();
+        let dx = delta.matmul_t(&self.w);
+        (DenseGrad { dw, db }, dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut layer = Dense::new(2, 1, Activation::Identity, &mut Rng64::new(0));
+        layer.w = Matrix::from_rows(&[&[2.0], &[3.0]]);
+        layer.b = vec![1.0];
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 2.0]]);
+        let (out, _) = layer.forward(&x);
+        assert_eq!(out.row(0), &[6.0]);
+        assert_eq!(out.row(1), &[7.0]);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = Rng64::new(1);
+        let layer = Dense::new(4, 3, Activation::Relu, &mut rng);
+        let x = Matrix::randn(5, 4, 1.0, &mut rng);
+        let (out, _) = layer.forward(&x);
+        let inf = layer.infer(&x);
+        assert_eq!(out, inf);
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // Numeric vs analytic gradient of L = sum(A) for a tanh layer.
+        let mut rng = Rng64::new(5);
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::randn(4, 3, 1.0, &mut rng);
+
+        let loss = |l: &Dense| -> f32 { l.infer(&x).as_slice().iter().sum() };
+        let (out, cache) = layer.forward(&x);
+        let d_out = Matrix::filled(out.rows(), out.cols(), 1.0); // dL/dA = 1
+        let (grad, _) = layer.backward(&cache, &d_out);
+
+        let eps = 1e-3;
+        for i in 0..layer.w.rows() {
+            for j in 0..layer.w.cols() {
+                let orig = layer.w[(i, j)];
+                layer.w[(i, j)] = orig + eps;
+                let up = loss(&layer);
+                layer.w[(i, j)] = orig - eps;
+                let down = loss(&layer);
+                layer.w[(i, j)] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                let analytic = grad.dw[(i, j)];
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "dW[{i},{j}]: numeric {numeric} analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_bias_and_input() {
+        let mut rng = Rng64::new(6);
+        let mut layer = Dense::new(2, 2, Activation::Sigmoid, &mut rng);
+        let x = Matrix::randn(3, 2, 1.0, &mut rng);
+        let (out, cache) = layer.forward(&x);
+        let d_out = Matrix::filled(out.rows(), out.cols(), 1.0);
+        let (grad, dx) = layer.backward(&cache, &d_out);
+
+        let eps = 1e-3;
+        // Bias gradient.
+        for j in 0..layer.b.len() {
+            let orig = layer.b[j];
+            layer.b[j] = orig + eps;
+            let up: f32 = layer.infer(&x).as_slice().iter().sum();
+            layer.b[j] = orig - eps;
+            let down: f32 = layer.infer(&x).as_slice().iter().sum();
+            layer.b[j] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!((numeric - grad.db[j]).abs() < 1e-2, "db[{j}]");
+        }
+        // Input gradient.
+        let mut x2 = x.clone();
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let orig = x2[(i, j)];
+                x2[(i, j)] = orig + eps;
+                let up: f32 = layer.infer(&x2).as_slice().iter().sum();
+                x2[(i, j)] = orig - eps;
+                let down: f32 = layer.infer(&x2).as_slice().iter().sum();
+                x2[(i, j)] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                assert!((numeric - dx[(i, j)]).abs() < 1e-2, "dx[{i},{j}]");
+            }
+        }
+    }
+}

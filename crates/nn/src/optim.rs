@@ -1,0 +1,162 @@
+//! Optimizers: Adam (default, as used for the relevance scorer) and plain SGD.
+
+use crate::layer::{Dense, DenseGrad};
+use serde::{Deserialize, Serialize};
+use wym_linalg::Matrix;
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate (the paper uses 3e-5 for the scorer).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// L2 weight decay applied to weights (not biases).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+/// Per-layer Adam state.
+#[derive(Debug, Clone)]
+struct AdamSlot {
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f32>,
+    vb: Vec<f32>,
+}
+
+/// Adam optimizer over a stack of dense layers.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    config: AdamConfig,
+    slots: Vec<AdamSlot>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates optimizer state matching the given layer stack.
+    pub fn new(config: AdamConfig, layers: &[Dense]) -> Self {
+        let slots = layers
+            .iter()
+            .map(|l| AdamSlot {
+                mw: Matrix::zeros(l.w.rows(), l.w.cols()),
+                vw: Matrix::zeros(l.w.rows(), l.w.cols()),
+                mb: vec![0.0; l.b.len()],
+                vb: vec![0.0; l.b.len()],
+            })
+            .collect();
+        Self { config, slots, t: 0 }
+    }
+
+    /// Applies one Adam step given per-layer gradients.
+    ///
+    /// # Panics
+    /// Panics if `grads.len()` differs from the layer count at construction.
+    pub fn step(&mut self, layers: &mut [Dense], grads: &[DenseGrad]) {
+        assert_eq!(layers.len(), self.slots.len(), "layer count changed under optimizer");
+        assert_eq!(grads.len(), self.slots.len(), "gradient count mismatch");
+        self.t += 1;
+        let c = self.config;
+        let bc1 = 1.0 - c.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - c.beta2.powi(self.t as i32);
+        for ((layer, grad), slot) in layers.iter_mut().zip(grads).zip(&mut self.slots) {
+            // Weights.
+            let n = layer.w.as_slice().len();
+            for k in 0..n {
+                let g = grad.dw.as_slice()[k] + c.weight_decay * layer.w.as_slice()[k];
+                let m = &mut slot.mw.as_mut_slice()[k];
+                *m = c.beta1 * *m + (1.0 - c.beta1) * g;
+                let v = &mut slot.vw.as_mut_slice()[k];
+                *v = c.beta2 * *v + (1.0 - c.beta2) * g * g;
+                let m_hat = slot.mw.as_slice()[k] / bc1;
+                let v_hat = slot.vw.as_slice()[k] / bc2;
+                layer.w.as_mut_slice()[k] -= c.lr * m_hat / (v_hat.sqrt() + c.eps);
+            }
+            // Biases (no weight decay).
+            for k in 0..layer.b.len() {
+                let g = grad.db[k];
+                slot.mb[k] = c.beta1 * slot.mb[k] + (1.0 - c.beta1) * g;
+                slot.vb[k] = c.beta2 * slot.vb[k] + (1.0 - c.beta2) * g * g;
+                let m_hat = slot.mb[k] / bc1;
+                let v_hat = slot.vb[k] / bc2;
+                layer.b[k] -= c.lr * m_hat / (v_hat.sqrt() + c.eps);
+            }
+        }
+    }
+}
+
+/// Plain SGD step (used by the siamese trainer, where Adam's adaptivity is
+/// unnecessary and determinism across refactors is more valuable).
+pub fn sgd_step(layers: &mut [Dense], grads: &[DenseGrad], lr: f32) {
+    for (layer, grad) in layers.iter_mut().zip(grads) {
+        for (w, g) in layer.w.as_mut_slice().iter_mut().zip(grad.dw.as_slice()) {
+            *w -= lr * g;
+        }
+        for (b, g) in layer.b.iter_mut().zip(&grad.db) {
+            *b -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use wym_linalg::Rng64;
+
+    /// Minimizing f(w) = (w - 3)^2 with Adam should converge near 3.
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut rng = Rng64::new(0);
+        let mut layers = vec![Dense::new(1, 1, Activation::Identity, &mut rng)];
+        layers[0].w[(0, 0)] = 0.0;
+        layers[0].b[0] = 0.0;
+        let mut adam = Adam::new(AdamConfig { lr: 0.05, ..AdamConfig::default() }, &layers);
+        for _ in 0..500 {
+            let w = layers[0].w[(0, 0)];
+            let grad = DenseGrad {
+                dw: Matrix::from_rows(&[&[2.0 * (w - 3.0)]]),
+                db: vec![0.0],
+            };
+            adam.step(&mut layers, &[grad]);
+        }
+        assert!((layers[0].w[(0, 0)] - 3.0).abs() < 0.05, "w = {}", layers[0].w[(0, 0)]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = Rng64::new(0);
+        let mut layers = vec![Dense::new(1, 1, Activation::Identity, &mut rng)];
+        layers[0].w[(0, 0)] = 5.0;
+        let mut adam = Adam::new(
+            AdamConfig { lr: 0.1, weight_decay: 1.0, ..AdamConfig::default() },
+            &layers,
+        );
+        for _ in 0..200 {
+            let grad = DenseGrad { dw: Matrix::zeros(1, 1), db: vec![0.0] };
+            adam.step(&mut layers, &[grad]);
+        }
+        assert!(layers[0].w[(0, 0)].abs() < 0.5, "decay should pull weight toward 0");
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient() {
+        let mut rng = Rng64::new(2);
+        let mut layers = vec![Dense::new(1, 1, Activation::Identity, &mut rng)];
+        layers[0].w[(0, 0)] = 1.0;
+        layers[0].b[0] = 1.0;
+        let grad = DenseGrad { dw: Matrix::from_rows(&[&[2.0]]), db: vec![-4.0] };
+        sgd_step(&mut layers, &[grad], 0.5);
+        assert_eq!(layers[0].w[(0, 0)], 0.0);
+        assert_eq!(layers[0].b[0], 3.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Siamese contrastive projection — the SBERT-substitute trainer.
+//!
+//! Sentence-BERT fine-tunes BERT with "siamese and triplet network
+//! structures" (paper §4.1.1). Our embedding substrate reproduces the same
+//! training *shape*: a shared linear projection `P` applied to both sides of
+//! a pair, trained with a margin contrastive loss so that representations of
+//! matching records move together and non-matching records move apart.
+//! Initializing `P` near the identity means an untrained projection degrades
+//! gracefully to the static embeddings.
+
+use crate::layer::{Dense, DenseGrad};
+use crate::optim::sgd_step;
+use crate::Activation;
+use serde::{Deserialize, Serialize};
+use wym_linalg::{vector, Matrix, Rng64};
+
+/// Configuration of the siamese trainer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiameseConfig {
+    /// Margin of the contrastive loss for negative pairs.
+    pub margin: f32,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Training epochs over the pair set.
+    pub epochs: usize,
+    /// Shuffling / initialization seed.
+    pub seed: u64,
+    /// Scale of the identity perturbation at init.
+    pub init_noise: f32,
+}
+
+impl Default for SiameseConfig {
+    fn default() -> Self {
+        Self { margin: 1.0, lr: 0.05, epochs: 10, seed: 0, init_noise: 0.01 }
+    }
+}
+
+/// A learned shared projection `v ↦ P v`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiameseProjection {
+    p: Matrix,
+}
+
+impl SiameseProjection {
+    /// Identity-plus-noise initialization of dimension `dim`.
+    pub fn new(dim: usize, config: &SiameseConfig) -> Self {
+        let mut rng = Rng64::new(config.seed);
+        let mut p = Matrix::identity(dim);
+        let noise = Matrix::randn(dim, dim, config.init_noise, &mut rng);
+        p.add_assign(&noise);
+        Self { p }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// Projects a vector (result is L2-normalized).
+    pub fn project(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.p.rows(), "dimension mismatch");
+        let mut out = vec![0.0f32; self.p.cols()];
+        for (k, &a) in v.iter().enumerate() {
+            if a != 0.0 {
+                vector::axpy(a, self.p.row(k), &mut out);
+            }
+        }
+        vector::normalize(&mut out);
+        out
+    }
+
+    /// Trains the projection on `(left, right, is_match)` pairs with the
+    /// margin contrastive loss. Returns the mean loss of each epoch.
+    pub fn train(
+        &mut self,
+        pairs: &[(Vec<f32>, Vec<f32>, bool)],
+        config: &SiameseConfig,
+    ) -> Vec<f32> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let dim = self.dim();
+        let mut rng = Rng64::new(config.seed ^ 0xDEAD_BEEF);
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+
+        // Reuse Dense as the parameter container so sgd_step applies.
+        let mut layer = Dense {
+            w: self.p.clone(),
+            b: vec![0.0; dim],
+            activation: Activation::Identity,
+        };
+
+        let mut epoch_losses = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            rng.shuffle(&mut order);
+            let mut total = 0.0f64;
+            for &i in &order {
+                let (x, y, is_match) = &pairs[i];
+                debug_assert_eq!(x.len(), dim);
+                // u = Pᵀ… careful: project uses rows as input index, i.e.
+                // out = Σ_k v_k · row_k(P) = vᵀP, matching Dense's X·W.
+                let u = mat_vec(&layer.w, x);
+                let v = mat_vec(&layer.w, y);
+                let mut d: Vec<f32> = u.iter().zip(&v).map(|(a, b)| a - b).collect();
+                let dist = vector::norm(&d);
+                let (loss, scale_u) = if *is_match {
+                    // L = dist², dL/du = 2 d
+                    (dist * dist, 2.0)
+                } else if dist < config.margin && dist > 1e-9 {
+                    // L = (m − dist)², dL/du = −2 (m − dist) / dist · d
+                    let gap = config.margin - dist;
+                    (gap * gap, -2.0 * gap / dist)
+                } else {
+                    (0.0, 0.0)
+                };
+                total += loss as f64;
+                if scale_u != 0.0 {
+                    for di in &mut d {
+                        *di *= scale_u;
+                    }
+                    // dL/dP = x · dᵀ  +  y · (−d)ᵀ  (outer products).
+                    let mut dw = Matrix::zeros(dim, dim);
+                    for (k, (&xk, &yk)) in x.iter().zip(y).enumerate() {
+                        let row = dw.row_mut(k);
+                        for (j, &dj) in d.iter().enumerate() {
+                            row[j] += xk * dj - yk * dj;
+                        }
+                    }
+                    let grad = DenseGrad { dw, db: vec![0.0; dim] };
+                    sgd_step(std::slice::from_mut(&mut layer), &[grad], config.lr);
+                }
+            }
+            epoch_losses.push((total / pairs.len() as f64) as f32);
+        }
+        self.p = layer.w;
+        epoch_losses
+    }
+}
+
+/// `vᵀ · M` (treating `v` as a row vector), returning a dense vector.
+fn mat_vec(m: &Matrix, v: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; m.cols()];
+    for (k, &a) in v.iter().enumerate() {
+        if a != 0.0 {
+            vector::axpy(a, m.row(k), &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wym_linalg::vector::cosine;
+
+    fn unit(v: Vec<f32>) -> Vec<f32> {
+        let mut v = v;
+        vector::normalize(&mut v);
+        v
+    }
+
+    #[test]
+    fn untrained_projection_is_near_identity() {
+        let cfg = SiameseConfig::default();
+        let proj = SiameseProjection::new(4, &cfg);
+        let v = unit(vec![1.0, 0.0, 0.0, 0.0]);
+        let p = proj.project(&v);
+        assert!(cosine(&v, &p) > 0.95, "cos {}", cosine(&v, &p));
+    }
+
+    #[test]
+    fn training_pulls_matches_together_pushes_negatives_apart() {
+        // Two clusters along different axes; matches straddle a small
+        // perturbation, negatives cross clusters.
+        let a1 = unit(vec![1.0, 0.1, 0.0, 0.0]);
+        let a2 = unit(vec![1.0, -0.1, 0.05, 0.0]);
+        let b1 = unit(vec![0.0, 0.1, 1.0, 0.0]);
+        let b2 = unit(vec![0.05, -0.1, 1.0, 0.0]);
+        let pairs = vec![
+            (a1.clone(), a2.clone(), true),
+            (b1.clone(), b2.clone(), true),
+            (a1.clone(), b1.clone(), false),
+            (a2.clone(), b2.clone(), false),
+        ];
+        let cfg = SiameseConfig { epochs: 60, lr: 0.05, ..SiameseConfig::default() };
+        let mut proj = SiameseProjection::new(4, &cfg);
+        let losses = proj.train(&pairs, &cfg);
+        assert!(losses.last().unwrap() < &losses[0], "loss should decrease: {losses:?}");
+
+        let pos = cosine(&proj.project(&a1), &proj.project(&a2));
+        let neg = cosine(&proj.project(&a1), &proj.project(&b1));
+        assert!(pos > neg, "pos {pos} should exceed neg {neg}");
+    }
+
+    #[test]
+    fn empty_pairs_is_a_noop() {
+        let cfg = SiameseConfig::default();
+        let mut proj = SiameseProjection::new(3, &cfg);
+        let before = proj.project(&[1.0, 2.0, 3.0]);
+        assert!(proj.train(&[], &cfg).is_empty());
+        assert_eq!(before, proj.project(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn projection_output_is_normalized() {
+        let cfg = SiameseConfig::default();
+        let proj = SiameseProjection::new(3, &cfg);
+        let p = proj.project(&[4.0, -2.0, 7.0]);
+        assert!((vector::norm(&p) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = SiameseConfig { epochs: 3, ..SiameseConfig::default() };
+        let pairs =
+            vec![(unit(vec![1.0, 0.0]), unit(vec![0.8, 0.2]), true)];
+        let mut p1 = SiameseProjection::new(2, &cfg);
+        let mut p2 = SiameseProjection::new(2, &cfg);
+        p1.train(&pairs, &cfg);
+        p2.train(&pairs, &cfg);
+        assert_eq!(p1.project(&[0.3, 0.7]), p2.project(&[0.3, 0.7]));
+    }
+}

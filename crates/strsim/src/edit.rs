@@ -1,0 +1,88 @@
+//! Levenshtein edit distance and its normalized similarity.
+
+/// Levenshtein distance with the classic two-row dynamic program.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 - dist / max(|a|, |b|)`, in `[0, 1]`.
+pub fn levenshtein_sim(a: &str, b: &str) -> f32 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f32 / max as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kitten_sitting_is_three() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn empty_and_identical() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn single_edit_kinds() {
+        assert_eq!(levenshtein("cat", "cut"), 1); // substitution
+        assert_eq!(levenshtein("cat", "cats"), 1); // insertion
+        assert_eq!(levenshtein("cats", "cat"), 1); // deletion
+    }
+
+    #[test]
+    fn symmetry_and_triangle() {
+        let words = ["exch", "srvr", "server", "exchange"];
+        for a in words {
+            for b in words {
+                assert_eq!(levenshtein(a, b), levenshtein(b, a));
+                for c in words {
+                    assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_similarity_bounds() {
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert_eq!(levenshtein_sim("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_sim("abc", "xyz"), 0.0);
+        let v = levenshtein_sim("kitten", "sitting");
+        assert!((v - (1.0 - 3.0 / 7.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein_sim("éé", "éé"), 1.0);
+    }
+}

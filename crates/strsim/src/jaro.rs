@@ -1,0 +1,128 @@
+//! Jaro and Jaro–Winkler similarity.
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Matches characters within the standard window of
+/// `max(|a|,|b|)/2 - 1`, then counts transpositions among matches.
+pub fn jaro(a: &str, b: &str) -> f32 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> =
+        b.iter().zip(&b_used).filter(|(_, &used)| used).map(|(&c, _)| c).collect();
+    let transpositions =
+        matches_a.iter().zip(&matches_b).filter(|(x, y)| x != y).count() as f32 / 2.0;
+    let m = m as f32;
+    (m / a.len() as f32 + m / b.len() as f32 + (m - transpositions) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by a shared prefix of up to 4
+/// characters with the standard scaling factor `p = 0.1`.
+///
+/// ```
+/// use wym_strsim::jaro_winkler;
+/// assert!(jaro_winkler("exchange", "exchng") > 0.9);
+/// assert_eq!(jaro_winkler("sony", "sony"), 1.0);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f32 {
+    let j = jaro(a, b);
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count() as f32;
+    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn identical_strings() {
+        assert_eq!(jaro("martha", "martha"), 1.0);
+        assert_eq!(jaro_winkler("martha", "martha"), 1.0);
+    }
+
+    #[test]
+    fn classic_martha_marhta() {
+        // Canonical textbook value: jaro = 0.944..., jw = 0.961...
+        assert!(close(jaro("martha", "marhta"), 0.9444));
+        assert!(close(jaro_winkler("martha", "marhta"), 0.9611));
+    }
+
+    #[test]
+    fn classic_dixon_dicksonx() {
+        assert!(close(jaro("dixon", "dicksonx"), 0.7667));
+        assert!(close(jaro_winkler("dixon", "dicksonx"), 0.8133));
+    }
+
+    #[test]
+    fn disjoint_strings_zero() {
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("", "a"), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("kitten", "sitting"), ("39400416", "39400415"), ("exch", "exchange")] {
+            assert!(close(jaro(a, b), jaro(b, a)));
+            assert!(close(jaro_winkler(a, b), jaro_winkler(b, a)));
+        }
+    }
+
+    #[test]
+    fn prefix_boost_ordering() {
+        // Same Jaro base, shared prefix must score at least as high.
+        let no_prefix = jaro_winkler("xabcd", "yabcd");
+        let with_prefix = jaro_winkler("abcdx", "abcdy");
+        assert!(with_prefix > no_prefix);
+    }
+
+    #[test]
+    fn bounded_unit_interval() {
+        for (a, b) in [("a", "ab"), ("abcdefgh", "abcdefg"), ("sony", "nikon")] {
+            let v = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&v), "{a} vs {b}: {v}");
+        }
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert!(jaro("café", "cafe") > 0.8);
+        assert_eq!(jaro("ü", "ü"), 1.0);
+    }
+}

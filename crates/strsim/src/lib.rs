@@ -1,0 +1,106 @@
+//! String-similarity substrate for the WYM entity-matching system.
+//!
+//! The paper's ablation study (Table 4) replaces the embedding-based decision
+//! unit generator with one driven by the Jaro–Winkler distance, "a well known
+//! measure, performing well on many benchmark problems". This crate provides
+//! that measure plus the companions used by the baseline matchers and the
+//! dataset generator: Levenshtein, Jaccard / Dice over token sets, a numeric
+//! similarity, and the common-prefix test used for product codes.
+
+pub mod edit;
+pub mod jaro;
+pub mod sets;
+
+pub use edit::{levenshtein, levenshtein_sim};
+pub use jaro::{jaro, jaro_winkler};
+pub use sets::{dice_tokens, jaccard_tokens, overlap_tokens};
+
+/// Similarity of two numeric strings as the relative closeness of their
+/// parsed values, in `[0, 1]`; falls back to Jaro–Winkler when either side
+/// does not parse as a number.
+///
+/// The running example of the paper pairs prices like `42166` and `22575`:
+/// numeric tokens need a similarity notion that is not purely orthographic.
+pub fn numeric_sim(a: &str, b: &str) -> f32 {
+    match (parse_number(a), parse_number(b)) {
+        (Some(x), Some(y)) => {
+            let denom = x.abs().max(y.abs());
+            if denom < f64::EPSILON {
+                1.0
+            } else {
+                (1.0 - ((x - y).abs() / denom)).max(0.0) as f32
+            }
+        }
+        _ => jaro_winkler(a, b),
+    }
+}
+
+/// Parses a token as a number, tolerating a currency sign and thousands commas.
+pub fn parse_number(s: &str) -> Option<f64> {
+    let cleaned: String =
+        s.chars().filter(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+    if cleaned.is_empty() || cleaned.chars().all(|c| !c.is_ascii_digit()) {
+        return None;
+    }
+    // Require that the original token is mostly numeric, so "dslra200w"
+    // is NOT treated as the number 200.
+    let digits = s.chars().filter(|c| c.is_ascii_digit()).count();
+    if digits * 2 < s.chars().count() {
+        return None;
+    }
+    cleaned.parse().ok()
+}
+
+/// Heuristic from the paper's error analysis (§5.1.1): a token "looks like a
+/// product code" when it is alphanumeric, at least 5 characters, and mixes
+/// digits with letters or is all digits with length ≥ 5.
+pub fn looks_like_code(s: &str) -> bool {
+    if s.chars().count() < 5 || !s.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return false;
+    }
+    let digits = s.chars().filter(|c| c.is_ascii_digit()).count();
+    let letters = s.chars().filter(|c| c.is_ascii_alphabetic()).count();
+    (digits >= 2 && letters >= 1) || (letters == 0 && digits >= 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_sim_close_values() {
+        assert!(numeric_sim("100", "100") > 0.999);
+        assert!(numeric_sim("100", "90") > 0.85);
+        assert!(numeric_sim("100", "1") < 0.1);
+    }
+
+    #[test]
+    fn numeric_sim_currency_and_commas() {
+        assert!(numeric_sim("$1,000", "1000") > 0.999);
+    }
+
+    #[test]
+    fn numeric_sim_falls_back_to_jw_for_words() {
+        let s = numeric_sim("camera", "camera");
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_number_rejects_mostly_alpha() {
+        assert_eq!(parse_number("dslra200w"), None);
+        assert!(parse_number("37.63").is_some());
+        assert!(parse_number("-5").is_some());
+        assert_eq!(parse_number("abc"), None);
+    }
+
+    #[test]
+    fn code_detection() {
+        assert!(looks_like_code("39400416"));
+        assert!(looks_like_code("dslra200w"));
+        assert!(looks_like_code("5811a"));
+        assert!(!looks_like_code("sony"));
+        assert!(!looks_like_code("led"));
+        assert!(!looks_like_code("4k"));
+        assert!(!looks_like_code("ab-123456")); // punctuation
+    }
+}

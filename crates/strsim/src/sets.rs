@@ -1,0 +1,87 @@
+//! Set similarities over token multisets, used by the baseline matchers
+//! (DeepMatcher+/CorDEL proxies summarize attributes via token overlap).
+
+use std::collections::HashSet;
+
+fn to_set<'a>(tokens: &'a [&'a str]) -> HashSet<&'a str> {
+    tokens.iter().copied().collect()
+}
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|`; 1.0 when both are empty.
+pub fn jaccard_tokens(a: &[&str], b: &[&str]) -> f32 {
+    let sa = to_set(a);
+    let sb = to_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f32;
+    let union = sa.union(&sb).count() as f32;
+    inter / union
+}
+
+/// Dice coefficient `2|A ∩ B| / (|A| + |B|)`; 1.0 when both are empty.
+pub fn dice_tokens(a: &[&str], b: &[&str]) -> f32 {
+    let sa = to_set(a);
+    let sb = to_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f32;
+    2.0 * inter / (sa.len() + sb.len()) as f32
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)`; 1.0 when either is empty.
+pub fn overlap_tokens(a: &[&str], b: &[&str]) -> f32 {
+    let sa = to_set(a);
+    let sb = to_set(b);
+    let min = sa.len().min(sb.len());
+    if min == 0 {
+        return 1.0;
+    }
+    sa.intersection(&sb).count() as f32 / min as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_basic() {
+        assert_eq!(jaccard_tokens(&["a", "b"], &["b", "c"]), 1.0 / 3.0);
+        assert_eq!(jaccard_tokens(&[], &[]), 1.0);
+        assert_eq!(jaccard_tokens(&["a"], &[]), 0.0);
+        assert_eq!(jaccard_tokens(&["a", "b"], &["a", "b"]), 1.0);
+    }
+
+    #[test]
+    fn jaccard_ignores_duplicates() {
+        assert_eq!(jaccard_tokens(&["a", "a", "b"], &["a", "b"]), 1.0);
+    }
+
+    #[test]
+    fn dice_basic() {
+        assert_eq!(dice_tokens(&["a", "b"], &["b", "c"]), 0.5);
+        assert_eq!(dice_tokens(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn overlap_subset_is_one() {
+        assert_eq!(overlap_tokens(&["a"], &["a", "b", "c"]), 1.0);
+    }
+
+    #[test]
+    fn all_symmetric() {
+        let a = ["digital", "camera", "lens"];
+        let b = ["digital", "camera", "case"];
+        assert_eq!(jaccard_tokens(&a, &b), jaccard_tokens(&b, &a));
+        assert_eq!(dice_tokens(&a, &b), dice_tokens(&b, &a));
+        assert_eq!(overlap_tokens(&a, &b), overlap_tokens(&b, &a));
+    }
+
+    #[test]
+    fn ordering_dice_geq_jaccard() {
+        let a = ["x", "y", "z"];
+        let b = ["x", "w"];
+        assert!(dice_tokens(&a, &b) >= jaccard_tokens(&a, &b));
+    }
+}

@@ -1,0 +1,146 @@
+//! Tokenization substrate for the WYM entity-matching system.
+//!
+//! WYM concatenates the attribute values of a record and applies "word-piece
+//! tokenization with stop word removal" (paper §4.1.1). Decision units live at
+//! the level of *words*, so the public tokenizer produces word tokens:
+//! lower-cased alphanumeric runs with decimal numbers kept intact and English
+//! stop words removed. A word-piece-style greedy subword splitter is provided
+//! separately ([`wordpiece`]) and is used by the embedding substrate to build
+//! sub-token character features, mirroring how BERT's subword vocabulary sits
+//! *below* the word level.
+
+pub mod stopwords;
+pub mod wordpiece;
+
+use serde::{Deserialize, Serialize};
+
+/// Configurable word tokenizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tokenizer {
+    /// Lower-case the input before splitting (default true).
+    pub lowercase: bool,
+    /// Drop English stop words (default true, per the paper).
+    pub remove_stopwords: bool,
+    /// Drop tokens shorter than this many characters (default 1 = keep all).
+    pub min_len: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self { lowercase: true, remove_stopwords: true, min_len: 1 }
+    }
+}
+
+impl Tokenizer {
+    /// A tokenizer that keeps everything (no stop word removal).
+    pub fn keep_all() -> Self {
+        Self { lowercase: true, remove_stopwords: false, min_len: 1 }
+    }
+
+    /// Splits `text` into word tokens.
+    ///
+    /// Tokens are maximal runs of alphanumeric characters; a single `.` or
+    /// `,` flanked by digits stays inside the token so prices like `37.63`
+    /// survive as one token (matching the paper's running example).
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let source: String = if self.lowercase { text.to_lowercase() } else { text.to_string() };
+        let chars: Vec<char> = source.chars().collect();
+        let mut tokens = Vec::new();
+        let mut cur = String::new();
+        for (i, &c) in chars.iter().enumerate() {
+            let digit_separator = (c == '.' || c == ',')
+                && !cur.is_empty()
+                && cur.chars().last().is_some_and(|p| p.is_ascii_digit())
+                && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit());
+            if c.is_alphanumeric() || digit_separator {
+                cur.push(c);
+            } else if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            tokens.push(cur);
+        }
+        tokens.retain(|t| {
+            t.chars().count() >= self.min_len
+                && !(self.remove_stopwords && stopwords::is_stopword(t))
+        });
+        tokens
+    }
+
+    /// Tokenizes each attribute value separately, returning one token list
+    /// per attribute. This is the entry point used by the decision unit
+    /// generator, which needs to know the attribute each token came from.
+    pub fn tokenize_attributes(&self, values: &[String]) -> Vec<Vec<String>> {
+        values.iter().map(|v| self.tokenize(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_lowercases() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("Exch Srvr, External/SA!"), vec!["exch", "srvr", "external", "sa"]);
+    }
+
+    #[test]
+    fn keeps_decimal_numbers_whole() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("price: 37.63 usd"), vec!["price", "37.63", "usd"]);
+        assert_eq!(t.tokenize("1,000 units"), vec!["1,000", "units"]);
+    }
+
+    #[test]
+    fn trailing_dot_is_not_glued() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("price 42."), vec!["price", "42"]);
+    }
+
+    #[test]
+    fn removes_stopwords_by_default() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("the camera with a lens"), vec!["camera", "lens"]);
+    }
+
+    #[test]
+    fn keep_all_retains_stopwords() {
+        let t = Tokenizer::keep_all();
+        assert_eq!(t.tokenize("the camera"), vec!["the", "camera"]);
+    }
+
+    #[test]
+    fn alphanumeric_codes_survive() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("dslra200w (5811)"), vec!["dslra200w", "5811"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        let t = Tokenizer::default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("  \t\n ").is_empty());
+        assert!(t.tokenize("?!...").is_empty());
+    }
+
+    #[test]
+    fn min_len_filters_short_tokens() {
+        let t = Tokenizer { min_len: 2, ..Tokenizer::default() };
+        assert_eq!(t.tokenize("a 4 tv xx"), vec!["tv", "xx"]);
+    }
+
+    #[test]
+    fn tokenize_attributes_keeps_attribute_boundaries() {
+        let t = Tokenizer::default();
+        let out = t.tokenize_attributes(&["sony camera".into(), "37.63".into()]);
+        assert_eq!(out, vec![vec!["sony".to_string(), "camera".into()], vec!["37.63".into()]]);
+    }
+
+    #[test]
+    fn unicode_words() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("Café Zürich"), vec!["café", "zürich"]);
+    }
+}

@@ -1,0 +1,51 @@
+//! A compact English stop-word list.
+//!
+//! The list mirrors the short function-word inventory used by classic IR
+//! toolkits; EM entity descriptions are noun-heavy, so a small list removes
+//! almost all function words without touching domain terms.
+
+/// Sorted list of stop words (binary-searchable).
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "all", "am", "an", "and", "any", "are", "as", "at",
+    "be", "because", "been", "before", "being", "below", "between", "both", "but", "by", "can",
+    "did", "do", "does", "doing", "down", "during", "each", "few", "for", "from", "further",
+    "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if",
+    "in", "into", "is", "it", "its", "itself", "just", "me", "more", "most", "my", "no", "nor",
+    "not", "now", "of", "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over",
+    "own", "per", "same", "she", "so", "some", "such", "than", "that", "the", "their", "theirs",
+    "them", "then", "there", "these", "they", "this", "those", "through", "to", "too", "under",
+    "until", "up", "very", "was", "we", "were", "what", "when", "where", "which", "while", "who",
+    "whom", "why", "will", "with", "you", "your", "yours",
+];
+
+/// Returns true when `token` (already lower-cased) is a stop word.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduped() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted for binary search");
+    }
+
+    #[test]
+    fn common_words_detected() {
+        for w in ["the", "with", "a", "of", "and"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn domain_terms_kept() {
+        for w in ["camera", "sony", "microsoft", "licenses", "price"] {
+            assert!(!is_stopword(w), "{w} must not be a stopword");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Word-piece-lite: a greedy longest-match subword splitter.
+//!
+//! BERT's word-piece tokenizer splits out-of-vocabulary words into subword
+//! units (`dslra200w → dsl ##ra ##200 ##w`). The paper's error analysis
+//! (§5.1.1) traces WYM's product-code mistakes to exactly this mechanism.
+//! We reproduce it below the word level: a frequency-built vocabulary of
+//! subword pieces plus greedy longest-prefix segmentation. The embedding
+//! substrate uses the pieces as features; the decision units themselves stay
+//! at word granularity (as in the paper's figures).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A learned subword vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WordPieceVocab {
+    pieces: HashSet<String>,
+    max_piece_len: usize,
+}
+
+impl WordPieceVocab {
+    /// Builds a vocabulary from a corpus of word tokens.
+    ///
+    /// All substrings of length 1..=`max_piece_len` occurring at least
+    /// `min_count` times become pieces; single characters are always included
+    /// so segmentation can never fail.
+    pub fn build<'a>(
+        corpus: impl IntoIterator<Item = &'a str>,
+        max_piece_len: usize,
+        min_count: usize,
+    ) -> Self {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for word in corpus {
+            let chars: Vec<char> = word.chars().collect();
+            for start in 0..chars.len() {
+                for len in 1..=max_piece_len.min(chars.len() - start) {
+                    let piece: String = chars[start..start + len].iter().collect();
+                    *counts.entry(piece).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut pieces: HashSet<String> = counts
+            .into_iter()
+            .filter(|(p, c)| *c >= min_count || p.chars().count() == 1)
+            .map(|(p, _)| p)
+            .collect();
+        // Safety net: cover ASCII alphanumerics even if unseen.
+        for c in ('a'..='z').chain('0'..='9') {
+            pieces.insert(c.to_string());
+        }
+        Self { pieces, max_piece_len }
+    }
+
+    /// Number of pieces in the vocabulary.
+    pub fn len(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// True when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// True when `piece` is in the vocabulary.
+    pub fn contains(&self, piece: &str) -> bool {
+        self.pieces.contains(piece)
+    }
+
+    /// Greedy longest-match segmentation of a word into pieces.
+    ///
+    /// Unknown characters fall back to single-character pieces, so the
+    /// concatenation of the output always equals the input.
+    pub fn segment(&self, word: &str) -> Vec<String> {
+        let chars: Vec<char> = word.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let max_len = self.max_piece_len.min(chars.len() - i);
+            let mut matched = 1;
+            for len in (1..=max_len).rev() {
+                let cand: String = chars[i..i + len].iter().collect();
+                if self.pieces.contains(&cand) {
+                    matched = len;
+                    break;
+                }
+            }
+            out.push(chars[i..i + matched].iter().collect());
+            i += matched;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> WordPieceVocab {
+        let corpus = ["camera", "camera", "camcorder", "digital", "digital", "case"];
+        WordPieceVocab::build(corpus.iter().copied(), 4, 2)
+    }
+
+    #[test]
+    fn frequent_substrings_become_pieces() {
+        let v = vocab();
+        assert!(v.contains("cam")); // in camera×2 + camcorder
+        assert!(v.contains("digi"));
+    }
+
+    #[test]
+    fn segmentation_concatenates_to_input() {
+        let v = vocab();
+        for word in ["camera", "camcorder", "zzz999", "dslra200w"] {
+            let pieces = v.segment(word);
+            assert_eq!(pieces.concat(), word, "pieces {pieces:?}");
+            assert!(!pieces.is_empty());
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_longest_match() {
+        let v = vocab();
+        let pieces = v.segment("camera");
+        assert_eq!(pieces[0].chars().count(), 4, "expected 4-char greedy piece, got {pieces:?}");
+    }
+
+    #[test]
+    fn unknown_chars_fall_back_to_singletons() {
+        let v = vocab();
+        let pieces = v.segment("ωφ");
+        assert_eq!(pieces, vec!["ω".to_string(), "φ".to_string()]);
+    }
+
+    #[test]
+    fn empty_word_yields_no_pieces() {
+        assert!(vocab().segment("").is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Bibliographic record linkage — DBLP-vs-Scholar style citations, the
+//! paper's largest benchmark family, including the dirty variant where
+//! attribute values migrate into the title.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example bibliography_dedup
+//! ```
+
+use wym::core::pipeline::{WymConfig, WymModel};
+use wym::data::split::paper_split;
+use wym::data::{magellan, RecordPair};
+use wym::ml::ClassifierKind;
+use wym::nn::TrainConfig;
+
+fn config() -> WymConfig {
+    let mut cfg = WymConfig::default().with_seed(3);
+    cfg.scorer.train = TrainConfig { epochs: 15, batch_size: 256, ..TrainConfig::default() };
+    cfg.matcher.kinds = vec![
+        ClassifierKind::LogisticRegression,
+        ClassifierKind::GradientBoosting,
+        ClassifierKind::RandomForest,
+    ];
+    cfg
+}
+
+fn run(name: &str) -> f32 {
+    let dataset = magellan::generate_by_name(name, 3).expect("known dataset").subsample(1200, 0);
+    let split = paper_split(&dataset, 0);
+    let test: Vec<RecordPair> = split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+    let model = WymModel::fit(&dataset, &split, config());
+    let f1 = model.f1_on(&test);
+    println!("\n=== {name}: test F1 {f1:.3} (classifier {:?}) ===", model.classifier());
+
+    // Explain a citation match: paired decision units should carry the
+    // title words, with the venue/year units contributing less.
+    if let Some(m) = test.iter().find(|p| p.label) {
+        println!("left : {}", m.left.full_text());
+        println!("right: {}", m.right.full_text());
+        let ex = model.explain(m);
+        println!("top-5 decision units by |impact|:");
+        for u in ex.top_units(5) {
+            println!(
+                "  {:<34} [{}] impact {:+.4} relevance {:+.3}",
+                u.display_pair(),
+                u.attribute,
+                u.impact,
+                u.relevance
+            );
+        }
+    }
+    f1
+}
+
+fn main() {
+    let clean = run("S-DA"); // DBLP-ACM, clean
+    let dirty = run("D-DA"); // DBLP-ACM, dirty (values moved into the title)
+    println!(
+        "\nclean {clean:.3} vs dirty {dirty:.3} — the inter-attribute search space \
+         (threshold η) is what keeps the dirty variant close to the clean one"
+    );
+}

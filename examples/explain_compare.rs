@@ -1,0 +1,68 @@
+//! Comparing WYM's intrinsic explanations against post-hoc explainers
+//! (LIME, Landmark, LEMON) on the same record — the qualitative side of the
+//! paper's Figures 7 and 9.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example explain_compare
+//! ```
+
+use wym::core::pipeline::{EmPredictor, WymConfig, WymModel};
+use wym::data::split::paper_split;
+use wym::data::{magellan, RecordPair};
+use wym::explain::{LemonLite, LimeText, Landmark};
+use wym::linalg::stats::pearson;
+use wym::ml::ClassifierKind;
+use wym::nn::TrainConfig;
+
+fn main() {
+    let dataset = magellan::generate_by_name("S-BR", 5).expect("known dataset");
+    let split = paper_split(&dataset, 0);
+    let mut cfg = WymConfig::default().with_seed(5);
+    cfg.scorer.train = TrainConfig { epochs: 15, ..TrainConfig::default() };
+    cfg.matcher.kinds =
+        vec![ClassifierKind::LogisticRegression, ClassifierKind::GradientBoosting];
+    let model = WymModel::fit(&dataset, &split, cfg);
+
+    let test: Vec<RecordPair> = split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+    let pair = test.iter().find(|p| p.label).expect("a test match");
+    println!("record: {}  <=>  {}", pair.left.full_text(), pair.right.full_text());
+    println!("WYM prediction: p(match) = {:.3}\n", model.proba(pair));
+
+    // Intrinsic explanation — free, exact, unit granularity.
+    let ex = model.explain(pair);
+    println!("WYM decision units (intrinsic):");
+    for u in ex.top_units(6) {
+        println!("  {:<30} impact {:+.4}", u.display_pair(), u.impact);
+    }
+
+    // Post-hoc explainers — hundreds of model calls each, token granularity.
+    let lime = LimeText { n_samples: 150, ..LimeText::default() };
+    let landmark = Landmark { n_perturbations: 60, ..Landmark::default() };
+    let lemon = LemonLite { n_samples: 100, ..LemonLite::default() };
+    for (name, atts) in [
+        ("LIME", lime.explain(&model, pair)),
+        ("Landmark", landmark.explain(&model, pair)),
+        ("LEMON", lemon.explain(&model, pair)),
+    ] {
+        let mut sorted = atts.clone();
+        sorted.sort_by(|a, b| b.weight.abs().total_cmp(&a.weight.abs()));
+        println!("\n{name} top tokens (post-hoc):");
+        for a in sorted.iter().take(6) {
+            println!(
+                "  {:<20} side {} weight {:+.4}",
+                a.token,
+                if a.loc.side == 0 { "L" } else { "R" },
+                a.weight
+            );
+        }
+        // Agreement with the intrinsic impacts at unit granularity.
+        let weights: Vec<_> = atts.iter().map(|a| (a.loc, a.weight)).collect();
+        let proc = model.process(pair);
+        let impacts = model.matcher().impacts(&proc.units, &proc.relevances);
+        let merged = wym::explain::rebuild::token_weights_to_units(&proc, &weights);
+        if let Some(r) = pearson(&impacts, &merged) {
+            println!("  Pearson correlation with WYM impacts: {r:+.3}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Product-catalog deduplication — the scenario from the paper's
+//! introduction (two electronics catalogs, dirty values, product codes).
+//!
+//! Shows the §5.1.1 domain-knowledge extension: product codes may only pair
+//! when they are exactly equal, which the paper reports lifting T-AB from
+//! 0.645 to 0.754.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example product_catalog
+//! ```
+
+use wym::core::pipeline::{WymConfig, WymModel};
+use wym::data::split::paper_split;
+use wym::data::{magellan, RecordPair};
+use wym::ml::ClassifierKind;
+use wym::nn::TrainConfig;
+
+fn config(code_heuristic: bool) -> WymConfig {
+    let mut cfg = WymConfig::default().with_seed(7);
+    cfg.discovery.code_heuristic = code_heuristic;
+    cfg.scorer.train = TrainConfig { epochs: 15, batch_size: 256, ..TrainConfig::default() };
+    cfg.matcher.kinds = vec![
+        ClassifierKind::LogisticRegression,
+        ClassifierKind::GradientBoosting,
+        ClassifierKind::RandomForest,
+    ];
+    cfg
+}
+
+fn main() {
+    // Walmart-Amazon-style electronics with hard same-brand negatives.
+    let dataset =
+        magellan::generate_by_name("S-WA", 7).expect("known dataset").subsample(1200, 0);
+    let split = paper_split(&dataset, 0);
+    let test: Vec<RecordPair> = split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+
+    println!("== plain WYM ==");
+    let plain = WymModel::fit(&dataset, &split, config(false));
+    let f1_plain = plain.f1_on(&test);
+    println!("test F1 without the code heuristic: {f1_plain:.3}");
+
+    println!("\n== WYM + product-code domain knowledge (§5.1.1 extension) ==");
+    let guarded = WymModel::fit(&dataset, &split, config(true));
+    let f1_guarded = guarded.f1_on(&test);
+    println!("test F1 with the code heuristic:    {f1_guarded:.3}");
+
+    // Find a hard negative — same brand, different model number — and show
+    // how each model explains it.
+    let hard_negative = test.iter().find(|p| {
+        !p.label
+            && p.left.values.get(2) == p.right.values.get(2) // same brand
+            && p.left.values.get(3) != p.right.values.get(3) // different model
+    });
+    if let Some(pair) = hard_negative {
+        println!("\n--- hard negative: same brand, different model ---");
+        println!("left : {}", pair.left.full_text());
+        println!("right: {}", pair.right.full_text());
+        println!("\nwithout heuristic:\n{}", plain.explain(pair));
+        println!("with heuristic:\n{}", guarded.explain(pair));
+    }
+
+    // Catalog-scale scan: rank the most confident matches in the test set.
+    println!("--- top predicted matches in the test slice ---");
+    let mut scored: Vec<(f32, &RecordPair)> =
+        test.iter().map(|p| (guarded.predict(p).probability, p)).collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (proba, pair) in scored.iter().take(5) {
+        println!(
+            "p={proba:.3} [{}] {} <=> {}",
+            if pair.label { "gold match" } else { "gold non-match" },
+            pair.left.values[0],
+            pair.right.values[0]
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: fit WYM on a small benchmark dataset, predict, and print
+//! decision-unit explanations — including the paper's Table 1 running
+//! example.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wym::core::pipeline::{WymConfig, WymModel};
+use wym::data::split::paper_split;
+use wym::data::{magellan, Entity, RecordPair};
+use wym::ml::ClassifierKind;
+use wym::nn::TrainConfig;
+
+fn main() {
+    // 1. A benchmark dataset: the Fodors-Zagats restaurants data
+    //    (regenerated synthetically — see DESIGN.md §2).
+    let dataset = magellan::generate_by_name("S-FZ", 42).expect("known dataset");
+    println!(
+        "dataset {}: {} record pairs, {:.1}% matches",
+        dataset.name,
+        dataset.len(),
+        dataset.match_rate_pct()
+    );
+
+    // 2. The paper's 60-20-20 split and a lightweight configuration.
+    let split = paper_split(&dataset, 0);
+    let mut config = WymConfig::default().with_seed(42);
+    config.scorer.train = TrainConfig { epochs: 15, batch_size: 256, ..TrainConfig::default() };
+    config.matcher.kinds = vec![
+        ClassifierKind::LogisticRegression,
+        ClassifierKind::GradientBoosting,
+        ClassifierKind::RandomForest,
+    ];
+
+    // 3. Fit the full pipeline: embedder → decision units → relevance
+    //    scorer → explainable matcher.
+    let model = WymModel::fit(&dataset, &split, config);
+    println!("fitted; selected classifier: {:?}", model.classifier());
+
+    // 4. Evaluate on the held-out test pairs.
+    let test: Vec<RecordPair> = split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+    println!("test F1 = {:.3}\n", model.f1_on(&test));
+
+    // 5. Explain one test match and one test non-match.
+    if let Some(m) = test.iter().find(|p| p.label) {
+        println!("--- a matching record ---\n{}", model.explain(m));
+    }
+    if let Some(n) = test.iter().find(|p| !p.label) {
+        println!("--- a non-matching record ---\n{}", model.explain(n));
+    }
+
+    // 6. The paper's Table 1 fragment, explained by the restaurant model's
+    //    sibling trained on software products.
+    let software =
+        magellan::generate_by_name("S-AG", 42).expect("known dataset").subsample(1200, 0);
+    let sw_split = paper_split(&software, 0);
+    let mut sw_cfg = WymConfig::default().with_seed(42);
+    sw_cfg.scorer.train = TrainConfig { epochs: 15, ..TrainConfig::default() };
+    sw_cfg.matcher.kinds =
+        vec![ClassifierKind::LogisticRegression, ClassifierKind::GradientBoosting];
+    let sw_model = WymModel::fit(&software, &sw_split, sw_cfg);
+
+    let table1_match = RecordPair {
+        id: 9001,
+        label: true,
+        left: Entity::new(vec!["exch srvr external sa eng 39400416", "microsoft licenses", "42166"]),
+        right: Entity::new(vec!["39400416 exch svr external l/sa", "microsoft licenses", "22575"]),
+    };
+    println!("--- Table 1, row 1 (matching software licenses) ---");
+    println!("{}", sw_model.explain(&table1_match));
+}

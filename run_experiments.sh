@@ -1,0 +1,12 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper. Default scale (cap 800)
+# keeps the full suite under ~1.5 h on a laptop; pass --full for paper scale.
+set -u
+cd "$(dirname "$0")"
+ARGS="${@:-}"
+mkdir -p results
+for exp in table2 figure4 table3 table5 figure6 figure8 figure9 timing user_study_proxy threshold_sweep hybrid_units error_analysis table4 figure5 figure7; do
+  echo "=== $exp ==="
+  ./target/release/$exp $ARGS 2>&1 | tee results/$exp.log
+done
+echo "ALL EXPERIMENTS DONE"

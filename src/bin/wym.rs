@@ -1,0 +1,255 @@
+//! `wym` — command-line interface to the WYM entity-matching system.
+//!
+//! ```text
+//! wym generate --dataset S-FZ --out restaurants.csv [--seed 42] [--cap N]
+//! wym eval     --data restaurants.csv [--epochs 15] [--seed 42]
+//! wym explain  --data restaurants.csv --id 12 [--epochs 15]
+//! wym match    --data restaurants.csv --left "a|b|c" --right "x|y|z"
+//! wym train    --data restaurants.csv --model model.json
+//! wym apply    --model model.json --data more.csv [--explain]
+//! wym datasets
+//! ```
+//!
+//! CSV layout: `id,label,left_<attr>…,right_<attr>…` (see `wym::data::csv`).
+
+use std::path::Path;
+use std::process::ExitCode;
+use wym::core::pipeline::{SavedWymModel, WymConfig, WymModel};
+use wym::data::split::paper_split;
+use wym::data::{csv, magellan, DatasetType, EmDataset, Entity, RecordPair};
+use wym::nn::TrainConfig;
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = iter
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .map(|v| {
+                        iter.next();
+                        v
+                    })
+                    .unwrap_or_default(); // presence-only flags store ""
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(a);
+            }
+        }
+        Self { positional, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        match self.get(name) {
+            None => Err(format!("missing required flag --{name}")),
+            Some("") => Err(format!("flag --{name} needs a value")),
+            Some(v) => Ok(v),
+        }
+    }
+
+    /// Numeric flag with a default; a present-but-unparsable value is an
+    /// error rather than a silent fallback.
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: flag --{name} needs a number, got {v:?}");
+                std::process::exit(2);
+            }),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  wym generate --dataset <NAME> --out <FILE> [--seed N] [--cap N]\n  \
+     wym eval     --data <FILE> [--epochs N] [--seed N]\n  \
+     wym explain  --data <FILE> --id <RECORD_ID> [--epochs N]\n  \
+     wym match    --data <FILE> --left \"a|b|c\" --right \"x|y|z\"\n  \
+     wym train    --data <FILE> --model <OUT.json> [--epochs N]\n  \
+     wym apply    --model <MODEL.json> --data <FILE> [--explain]\n  \
+     wym datasets"
+}
+
+fn load(path: &str) -> Result<EmDataset, String> {
+    csv::read_csv(Path::new(path), "user-data", DatasetType::Structured)
+        .map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn fit(dataset: &EmDataset, args: &Args) -> (WymModel, Vec<RecordPair>) {
+    let seed = args.num("seed", 42u64);
+    let split = paper_split(dataset, seed);
+    let mut cfg = WymConfig::default().with_seed(seed);
+    cfg.scorer.train = TrainConfig {
+        epochs: args.num("epochs", 15usize),
+        batch_size: 256,
+        ..TrainConfig::default()
+    };
+    eprintln!(
+        "fitting WYM on {} pairs ({} train / {} val)…",
+        dataset.len(),
+        split.train.len(),
+        split.val.len()
+    );
+    let model = WymModel::fit(dataset, &split, cfg);
+    let test = split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+    (model, test)
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse();
+    let command = args.positional.first().map(String::as_str).unwrap_or("");
+    match command {
+        "datasets" => {
+            println!("{:<6} {:<20} {:>7} {:>8}  type", "name", "source", "size", "% match");
+            for c in magellan::all_configs() {
+                println!(
+                    "{:<6} {:<20} {:>7} {:>8.2}  {}",
+                    c.name,
+                    c.full_name,
+                    c.size,
+                    c.match_pct,
+                    c.dataset_type.as_str()
+                );
+            }
+            Ok(())
+        }
+        "generate" => {
+            let name = args.require("dataset")?;
+            let out = args.require("out")?;
+            let seed = args.num("seed", 42u64);
+            let mut dataset = magellan::generate_by_name(name, seed)
+                .ok_or_else(|| format!("unknown dataset {name}; see `wym datasets`"))?;
+            if let Some(cap) = args.get("cap") {
+                let cap: usize = cap.parse().map_err(|_| "--cap needs a number")?;
+                dataset = dataset.subsample(cap, seed);
+            }
+            csv::write_csv(&dataset, Path::new(out)).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} pairs ({:.1}% matches) to {out}",
+                dataset.len(),
+                dataset.match_rate_pct()
+            );
+            Ok(())
+        }
+        "eval" => {
+            let dataset = load(args.require("data")?)?;
+            let (model, test) = fit(&dataset, &args);
+            println!("selected classifier: {:?}", model.classifier());
+            println!("pool validation F1:");
+            for (kind, f1) in model.matcher().pool_scores() {
+                println!("  {:<4} {f1:.3}", kind.short_name());
+            }
+            println!("test F1: {:.3}", model.f1_on(&test));
+            Ok(())
+        }
+        "explain" => {
+            let dataset = load(args.require("data")?)?;
+            let id: u32 = args
+                .require("id")?
+                .parse()
+                .map_err(|_| "--id needs a record id".to_string())?;
+            let pair = dataset
+                .pairs
+                .iter()
+                .find(|p| p.id == id)
+                .ok_or_else(|| format!("no record with id {id}"))?
+                .clone();
+            let (model, _) = fit(&dataset, &args);
+            println!("left : {}", pair.left.full_text());
+            println!("right: {}", pair.right.full_text());
+            println!("gold : {}", if pair.label { "match" } else { "non-match" });
+            println!("{}", model.explain(&pair));
+            Ok(())
+        }
+        "match" => {
+            let dataset = load(args.require("data")?)?;
+            let parse_entity = |s: &str| -> Entity {
+                Entity { values: s.split('|').map(str::to_string).collect() }
+            };
+            let left = parse_entity(args.require("left")?);
+            let right = parse_entity(args.require("right")?);
+            if left.values.len() != dataset.schema.len()
+                || right.values.len() != dataset.schema.len()
+            {
+                return Err(format!(
+                    "entities need {} '|'-separated values (schema: {})",
+                    dataset.schema.len(),
+                    dataset.schema.attributes.join(", ")
+                ));
+            }
+            let pair = RecordPair { id: u32::MAX, label: false, left, right };
+            let (model, _) = fit(&dataset, &args);
+            println!("{}", model.explain(&pair));
+            Ok(())
+        }
+        "train" => {
+            let dataset = load(args.require("data")?)?;
+            let out = args.require("model")?;
+            let (model, test) = fit(&dataset, &args);
+            println!("test F1: {:.3} ({:?})", model.f1_on(&test), model.classifier());
+            let json = serde_json::to_vec(&model.to_saved())
+                .map_err(|e| format!("cannot serialize model: {e}"))?;
+            std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("model saved to {out}");
+            Ok(())
+        }
+        "apply" => {
+            let model_path = args.require("model")?;
+            let bytes = std::fs::read(model_path)
+                .map_err(|e| format!("cannot read {model_path}: {e}"))?;
+            let saved: SavedWymModel = serde_json::from_slice(&bytes)
+                .map_err(|e| format!("cannot parse model: {e}"))?;
+            let model = WymModel::from_saved(saved);
+            let dataset = load(args.require("data")?)?;
+            let explain = args.get("explain").is_some();
+            let mut predicted_matches = 0usize;
+            for pair in &dataset.pairs {
+                let p = model.predict(pair);
+                if explain {
+                    println!("{}", model.explain(pair));
+                } else {
+                    println!(
+                        "{}\t{}\t{:.4}",
+                        pair.id,
+                        if p.label { "match" } else { "non-match" },
+                        p.probability
+                    );
+                }
+                predicted_matches += usize::from(p.label);
+            }
+            eprintln!(
+                "{predicted_matches} predicted matches out of {} pairs",
+                dataset.len()
+            );
+            Ok(())
+        }
+        "" | "help" | "--help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # WYM — Why do You Match?
+//!
+//! Umbrella crate for the Rust reproduction of *"An Intrinsically
+//! Interpretable Entity Matching System"* (EDBT 2023). It re-exports the
+//! workspace crates under stable module names so downstream users need a
+//! single dependency:
+//!
+//! ```
+//! use wym::core::pipeline::WymConfig;
+//! use wym::data::magellan;
+//!
+//! let dataset = magellan::generate_by_name("S-FZ", 42).expect("known dataset");
+//! assert_eq!(dataset.name, "S-FZ");
+//! let _config = WymConfig::default();
+//! ```
+//!
+//! See the crate-level docs of each module for the component it implements:
+//!
+//! * [`core`] — decision units, stable-marriage pairing, relevance scorer,
+//!   explainable matcher (the paper's contribution);
+//! * [`data`] — dataset model and the synthetic Magellan benchmark;
+//! * [`embed`] — the BERT/SBERT-substitute embedding stack;
+//! * [`explain`] — post-hoc explainer baselines and explanation metrics;
+//! * [`baselines`] — DeepMatcher+/AutoML/CorDEL/DITTO proxies;
+//! * [`nn`], [`ml`], [`linalg`], [`strsim`], [`tokenize`] — substrates.
+
+pub use wym_baselines as baselines;
+pub use wym_core as core;
+pub use wym_data as data;
+pub use wym_embed as embed;
+pub use wym_explain as explain;
+pub use wym_linalg as linalg;
+pub use wym_ml as ml;
+pub use wym_nn as nn;
+pub use wym_strsim as strsim;
+pub use wym_tokenize as tokenize;

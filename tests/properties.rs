@@ -1,0 +1,194 @@
+//! Property-based tests over the core data structures and invariants,
+//! using proptest with random token soups and random score vectors.
+
+use proptest::prelude::*;
+use wym::core::algorithm1::{check_constraints, discover_units, DiscoveryConfig};
+use wym::core::features::{
+    contributions, evaluate, featurize, full_specs, simplified_specs, FeatureSpec, Scope, Stat,
+};
+use wym::core::pairing::{get_sm_pairs, is_stable, PairingSim};
+use wym::core::record::{Side, TokenRef, TokenizedRecord};
+use wym::core::scorer::{eq2_target, unit_features};
+use wym::core::units::DecisionUnit;
+use wym::data::{Entity, RecordPair};
+use wym::embed::Embedder;
+use wym::strsim::{jaro_winkler, levenshtein};
+use wym::tokenize::Tokenizer;
+
+/// Strategy: a small vocabulary word.
+fn word() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "camera", "digital", "sony", "nikon", "lens", "kit", "case", "zoom", "39400416",
+        "dslra200w", "exch", "server", "license", "price", "router",
+    ])
+    .prop_map(str::to_string)
+}
+
+/// Strategy: an entity value of 0..6 words.
+fn value() -> impl Strategy<Value = String> {
+    prop::collection::vec(word(), 0..6).prop_map(|w| w.join(" "))
+}
+
+/// Strategy: a record pair over a 2-attribute schema.
+fn record_pair() -> impl Strategy<Value = RecordPair> {
+    (value(), value(), value(), value(), any::<bool>()).prop_map(|(a, b, c, d, label)| {
+        RecordPair {
+            id: 0,
+            label,
+            left: Entity::new(vec![a, b]),
+            right: Entity::new(vec![c, d]),
+        }
+    })
+}
+
+fn tokenize(pair: &RecordPair) -> TokenizedRecord {
+    TokenizedRecord::from_pair(pair, &Tokenizer::default(), &Embedder::new_static(32, 0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §3.1.1 constraints hold for every input: every token in ≥1 unit,
+    /// no token both paired and unpaired.
+    #[test]
+    fn discovery_constraints_always_hold(pair in record_pair()) {
+        let rec = tokenize(&pair);
+        let units = discover_units(&rec, &DiscoveryConfig::default());
+        prop_assert!(check_constraints(&rec, &units).is_ok());
+    }
+
+    /// The stable-marriage output never contains a blocking pair.
+    #[test]
+    fn stable_marriage_is_stable(pair in record_pair(), threshold in 0.1f32..0.95) {
+        let rec = tokenize(&pair);
+        let left = rec.left.all_refs();
+        let right = rec.right.all_refs();
+        let pairs = get_sm_pairs(&rec, &left, &right, threshold, PairingSim::Embedding, false);
+        prop_assert!(is_stable(&rec, &left, &right, &pairs, threshold, PairingSim::Embedding));
+        // Every emitted similarity respects the threshold.
+        for (_, _, s) in &pairs {
+            prop_assert!(*s >= threshold);
+        }
+        // One-to-one within the call.
+        let mut lefts: Vec<_> = pairs.iter().map(|(l, _, _)| *l).collect();
+        lefts.sort_by_key(|t| (t.attr, t.pos));
+        let n = lefts.len();
+        lefts.dedup();
+        prop_assert_eq!(lefts.len(), n);
+    }
+
+    /// Unit features are symmetric in the two sides (challenge R3).
+    #[test]
+    fn scorer_features_are_side_symmetric(a in word(), b in word()) {
+        let p1 = RecordPair {
+            id: 0, label: true,
+            left: Entity::new(vec![a.clone()]),
+            right: Entity::new(vec![b.clone()]),
+        };
+        let p2 = RecordPair {
+            id: 0, label: true,
+            left: Entity::new(vec![b]),
+            right: Entity::new(vec![a]),
+        };
+        let r1 = tokenize(&p1);
+        let r2 = tokenize(&p2);
+        let u = DecisionUnit::Paired {
+            left: TokenRef::new(0, 0),
+            right: TokenRef::new(0, 0),
+            similarity: 0.5,
+        };
+        let f1 = unit_features(&r1, &u);
+        let f2 = unit_features(&r2, &u);
+        for (x, y) in f1.iter().zip(&f2) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// Eq. 2 targets are always in {-1, 0, 1} and obey the sign discipline:
+    /// matches never produce -1, non-matches never produce +1.
+    #[test]
+    fn eq2_targets_are_well_formed(sim in -1.0f32..1.0, label in any::<bool>(),
+                                   alpha in 0.3f32..0.9, beta in 0.1f32..0.8) {
+        let unit = DecisionUnit::Paired {
+            left: TokenRef::new(0, 0),
+            right: TokenRef::new(0, 0),
+            similarity: sim,
+        };
+        let t = eq2_target(&unit, label, alpha, beta);
+        prop_assert!(t == -1.0 || t == 0.0 || t == 1.0);
+        if label { prop_assert!(t >= 0.0); } else { prop_assert!(t <= 0.0); }
+    }
+
+    /// Inverse feature engineering conserves mass for the linear stats:
+    /// Σᵢ wᵢ·scoreᵢ equals the feature value for Sum and Mean.
+    #[test]
+    fn contribution_mass_conservation(
+        scores in prop::collection::vec(-1.0f32..1.0, 1..12),
+        paired_mask in prop::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let n = scores.len().min(paired_mask.len());
+        let units: Vec<DecisionUnit> = (0..n)
+            .map(|i| if paired_mask[i] {
+                DecisionUnit::Paired {
+                    left: TokenRef::new(0, i),
+                    right: TokenRef::new(0, i),
+                    similarity: 0.5,
+                }
+            } else {
+                DecisionUnit::Unpaired { token: TokenRef::new(0, i), side: Side::Left }
+            })
+            .collect();
+        let scores = &scores[..n];
+        for stat in [Stat::Sum, Stat::Mean] {
+            let spec = FeatureSpec {
+                scope: Scope::Record { polarity: wym::core::features::Polarity::All },
+                stat,
+            };
+            let value = evaluate(&spec, &units, scores);
+            let recon: f32 = contributions(&spec, &units, scores)
+                .iter()
+                .map(|(i, w)| w * scores[*i])
+                .sum();
+            prop_assert!((recon - value).abs() < 1e-4,
+                "{stat:?}: reconstructed {recon} vs {value}");
+        }
+    }
+
+    /// Featurization has fixed arity regardless of the units, and empty
+    /// unit lists produce the all-zero vector.
+    #[test]
+    fn featurize_fixed_arity(scores in prop::collection::vec(-1.0f32..1.0, 0..10)) {
+        let units: Vec<DecisionUnit> = (0..scores.len())
+            .map(|i| DecisionUnit::Unpaired { token: TokenRef::new(0, i), side: Side::Right })
+            .collect();
+        for specs in [full_specs(3), simplified_specs()] {
+            let v = featurize(&specs, &units, &scores);
+            prop_assert_eq!(v.len(), specs.len());
+            if units.is_empty() {
+                prop_assert!(v.iter().all(|x| *x == 0.0));
+            }
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    /// String similarities are symmetric and bounded.
+    #[test]
+    fn strsim_symmetry_and_bounds(a in "[a-z0-9]{0,12}", b in "[a-z0-9]{0,12}") {
+        let jw1 = jaro_winkler(&a, &b);
+        let jw2 = jaro_winkler(&b, &a);
+        prop_assert!((jw1 - jw2).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&jw1));
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    /// The tokenizer never produces empty tokens and is idempotent on its
+    /// own output.
+    #[test]
+    fn tokenizer_idempotent(text in "[a-zA-Z0-9 ,.$/-]{0,60}") {
+        let t = Tokenizer::default();
+        let once = t.tokenize(&text);
+        prop_assert!(once.iter().all(|tok| !tok.is_empty()));
+        let again = t.tokenize(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+}
