@@ -4,8 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wym_bench::{bench_dataset_hard, fitted_model};
+use wym_core::algorithm1::{
+    discover_units, discover_units_cached, discover_units_reference, DiscoveryConfig,
+};
 use wym_core::features::{featurize, full_specs};
-use wym_core::pairing::{get_sm_pairs, PairingSim};
+use wym_core::pairing::{get_sm_pairs, get_sm_pairs_cached, PairingSim, SimMatrix};
 use wym_core::TokenizedRecord;
 use wym_embed::Embedder;
 use wym_linalg::vector::cosine;
@@ -46,6 +49,89 @@ fn bench(c: &mut Criterion) {
         c.bench_function("pairing_stable_marriage", |bch| {
             bch.iter(|| get_sm_pairs(&rec, &left, &right, 0.6, PairingSim::Embedding, false))
         });
+    }
+
+    // This PR's perf targets: similarity caching in discovery, blocked GEMM.
+    {
+        let mut g = c.benchmark_group("simcache");
+        let dataset = bench_dataset_hard(10);
+        let tok = Tokenizer::default();
+        let emb = Embedder::new_static(64, 0);
+        let rec = TokenizedRecord::from_pair(&dataset.pairs[0], &tok, &emb);
+        let left = rec.left.all_refs();
+        let right = rec.right.all_refs();
+        let matrix = SimMatrix::build(&rec, PairingSim::Embedding);
+        let config = DiscoveryConfig::default();
+        g.bench_function("sm_pairs_uncached", |bch| {
+            bch.iter(|| get_sm_pairs(&rec, &left, &right, 0.6, PairingSim::Embedding, false))
+        });
+        g.bench_function("sm_pairs_cached", |bch| {
+            bch.iter(|| get_sm_pairs_cached(&matrix, &left, &right, 0.6, false))
+        });
+        // Full discovery over the 10-record S-WA workload: the shipped
+        // cached path, the prebuilt-matrix variant, and the per-lookup
+        // reference (the pre-caching implementation) for the speedup ratio.
+        let recs: Vec<TokenizedRecord> = dataset
+            .pairs
+            .iter()
+            .map(|p| TokenizedRecord::from_pair(p, &tok, &emb))
+            .collect();
+        g.bench_function("simmatrix_build_swa10", |bch| {
+            bch.iter(|| {
+                recs.iter()
+                    .map(|r| SimMatrix::build(r, config.sim).sim(
+                        wym_core::record::TokenRef { attr: 0, pos: 0 },
+                        wym_core::record::TokenRef { attr: 0, pos: 0 },
+                        false,
+                    ))
+                    .sum::<f32>()
+            })
+        });
+        g.bench_function("discover_units_swa10", |bch| {
+            bch.iter(|| recs.iter().map(|r| discover_units(r, &config).len()).sum::<usize>())
+        });
+        g.bench_function("discover_units_swa10_prebuilt", |bch| {
+            bch.iter(|| {
+                recs.iter()
+                    .map(|r| {
+                        let m = SimMatrix::build(r, config.sim);
+                        discover_units_cached(r, &m, &config).len()
+                    })
+                    .sum::<usize>()
+            })
+        });
+        g.bench_function("discover_units_swa10_reference", |bch| {
+            bch.iter(|| {
+                recs.iter().map(|r| discover_units_reference(r, &config).len()).sum::<usize>()
+            })
+        });
+        g.finish();
+
+        // The two GEMM shapes the relevance scorer hits hardest: the input
+        // layer (batch 256, 300 -> 64) and the hidden layer (batch 256,
+        // 64 -> 32). The `ikj_axpy` entries reproduce the pre-blocking
+        // kernel (one axpy per scalar of A) as the before/after reference.
+        let ikj_axpy = |a: &Matrix, b: &Matrix| -> Matrix {
+            let mut out = Matrix::zeros(a.rows(), b.cols());
+            for i in 0..a.rows() {
+                for (k, &v) in a.row(i).iter().enumerate() {
+                    if v != 0.0 {
+                        wym_linalg::vector::axpy(v, b.row(k), out.row_mut(i));
+                    }
+                }
+            }
+            out
+        };
+        let mut g = c.benchmark_group("gemm");
+        let a = Matrix::randn(256, 300, 1.0, &mut rng);
+        let b = Matrix::randn(300, 64, 1.0, &mut rng);
+        g.bench_function("matmul_256x300x64", |bch| bch.iter(|| a.matmul(&b)));
+        g.bench_function("matmul_256x300x64_ikj_axpy", |bch| bch.iter(|| ikj_axpy(&a, &b)));
+        let a2 = Matrix::randn(256, 64, 1.0, &mut rng);
+        let b2 = Matrix::randn(64, 32, 1.0, &mut rng);
+        g.bench_function("matmul_256x64x32", |bch| bch.iter(|| a2.matmul(&b2)));
+        g.bench_function("matmul_256x64x32_ikj_axpy", |bch| bch.iter(|| ikj_axpy(&a2, &b2)));
+        g.finish();
     }
 
     // Scoring + featurization + impacts on a fitted model.

@@ -15,11 +15,10 @@
 //! least one decision unit, and a token in an unpaired unit belongs to no
 //! paired unit.
 
-use crate::pairing::{get_sm_pairs, PairingSim};
+use crate::pairing::{get_sm_pairs, get_sm_pairs_cached, PairingSim, SimMatrix, SmPair};
 use crate::record::{Side, TokenRef, TokenizedRecord};
 use crate::units::DecisionUnit;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// Thresholds and options of the decision unit generator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -51,6 +50,52 @@ impl Default for DiscoveryConfig {
 /// Runs Algorithm 1 on a tokenized record, returning paired units followed
 /// by unpaired units.
 pub fn discover_units(record: &TokenizedRecord, config: &DiscoveryConfig) -> Vec<DecisionUnit> {
+    // All three phases (and their overlapping θ/η/ε probes) read from one
+    // similarity matrix computed up front — see [`SimMatrix`]. The §5.1.1
+    // code mask is only computed when this config will actually consult it.
+    let matrix = if config.code_heuristic {
+        SimMatrix::build(record, config.sim)
+    } else {
+        SimMatrix::build_unmasked(record, config.sim)
+    };
+    discover_units_cached(record, &matrix, config)
+}
+
+/// [`discover_units`] over a caller-supplied [`SimMatrix`] (which must have
+/// been built from the same record and `config.sim`).
+pub fn discover_units_cached(
+    record: &TokenizedRecord,
+    matrix: &SimMatrix,
+    config: &DiscoveryConfig,
+) -> Vec<DecisionUnit> {
+    discover_units_with(record, config, |left, right, threshold| {
+        get_sm_pairs_cached(matrix, left, right, threshold, config.code_heuristic)
+    })
+}
+
+/// [`discover_units`] with per-lookup similarity — no caching anywhere.
+///
+/// This is the pre-[`SimMatrix`] implementation, retained so the property
+/// suite can assert the cached pipeline is bit-identical to it and so the
+/// benches can report the caching speedup against a live baseline. Not for
+/// production use.
+pub fn discover_units_reference(
+    record: &TokenizedRecord,
+    config: &DiscoveryConfig,
+) -> Vec<DecisionUnit> {
+    discover_units_with(record, config, |left, right, threshold| {
+        get_sm_pairs(record, left, right, threshold, config.sim, config.code_heuristic)
+    })
+}
+
+/// The three-phase Algorithm 1 skeleton, parameterized over the stable
+/// marriage probe so the cached and reference variants share one body and
+/// can only differ in how a similarity is produced.
+fn discover_units_with(
+    record: &TokenizedRecord,
+    config: &DiscoveryConfig,
+    probe: impl Fn(&[TokenRef], &[TokenRef], f32) -> Vec<SmPair>,
+) -> Vec<DecisionUnit> {
     let mut paired: Vec<DecisionUnit> = Vec::new();
     let mut nx: Vec<TokenRef> = Vec::new();
     let mut ny: Vec<TokenRef> = Vec::new();
@@ -60,11 +105,11 @@ pub fn discover_units(record: &TokenizedRecord, config: &DiscoveryConfig) -> Vec
     for a in 0..attrs {
         let ex = record.left.attr_refs(a);
         let ey = record.right.attr_refs(a);
-        let m = get_sm_pairs(record, &ex, &ey, config.theta, config.sim, config.code_heuristic);
-        let used_l: HashSet<TokenRef> = m.iter().map(|(l, _, _)| *l).collect();
-        let used_r: HashSet<TokenRef> = m.iter().map(|(_, r, _)| *r).collect();
-        nx.extend(ex.into_iter().filter(|t| !used_l.contains(t)));
-        ny.extend(ey.into_iter().filter(|t| !used_r.contains(t)));
+        let m = probe(&ex, &ey, config.theta);
+        // Match lists are a handful of entries, so linear membership scans
+        // beat hashing `TokenRef`s (here and in the phases below).
+        nx.extend(ex.into_iter().filter(|t| !m.iter().any(|(l, _, _)| l == t)));
+        ny.extend(ey.into_iter().filter(|t| !m.iter().any(|(_, r, _)| r == t)));
         paired.extend(m.into_iter().map(|(left, right, similarity)| DecisionUnit::Paired {
             left,
             right,
@@ -81,11 +126,9 @@ pub fn discover_units(record: &TokenizedRecord, config: &DiscoveryConfig) -> Vec
     }
 
     // Phase 2 — inter-attribute correspondences (lines 9-12).
-    let m = get_sm_pairs(record, &nx, &ny, config.eta, config.sim, config.code_heuristic);
-    let used_l: HashSet<TokenRef> = m.iter().map(|(l, _, _)| *l).collect();
-    let used_r: HashSet<TokenRef> = m.iter().map(|(_, r, _)| *r).collect();
-    nx.retain(|t| !used_l.contains(t));
-    ny.retain(|t| !used_r.contains(t));
+    let m = probe(&nx, &ny, config.eta);
+    nx.retain(|t| !m.iter().any(|(l, _, _)| l == t));
+    ny.retain(|t| !m.iter().any(|(_, r, _)| r == t));
     paired.extend(m.into_iter().map(|(left, right, similarity)| DecisionUnit::Paired {
         left,
         right,
@@ -108,28 +151,18 @@ pub fn discover_units(record: &TokenizedRecord, config: &DiscoveryConfig) -> Vec
             _ => None,
         })
         .collect();
-    let mx =
-        get_sm_pairs(record, &nx, &paired_right, config.epsilon, config.sim, config.code_heuristic);
-    let used_l: HashSet<TokenRef> = mx.iter().map(|(l, _, _)| *l).collect();
-    nx.retain(|t| !used_l.contains(t));
+    let mx = probe(&nx, &paired_right, config.epsilon);
+    nx.retain(|t| !mx.iter().any(|(l, _, _)| l == t));
 
     // Symmetric call: unmatched right tokens propose to paired left tokens.
-    // `get_sm_pairs` is left→right directional, so swap roles by probing
-    // with reversed similarity (similarity is symmetric for both measures).
-    let my: Vec<(TokenRef, TokenRef, f32)> = {
-        // Build a temporary reversed view by calling with sides swapped:
-        // candidates are (paired_left as "right side of proposals").
-        let reversed = get_sm_pairs_reversed(
-            record,
-            &ny,
-            &paired_left,
-            config.epsilon,
-            config.sim,
-            config.code_heuristic,
-        );
-        let used_r: HashSet<TokenRef> = reversed.iter().map(|(r, _, _)| *r).collect();
-        ny.retain(|t| !used_r.contains(t));
-        reversed.into_iter().map(|(r, l, s)| (l, r, s)).collect()
+    // The probe is left→right directional, so swap roles at the call site
+    // (similarity is symmetric for both measures) and un-swap the result.
+    let my: Vec<(TokenRef, TokenRef, f32)> = if ny.is_empty() || paired_left.is_empty() {
+        Vec::new()
+    } else {
+        let reversed = probe(&paired_left, &ny, config.epsilon);
+        ny.retain(|t| !reversed.iter().any(|(_, r, _)| r == t));
+        reversed
     };
     paired.extend(mx.into_iter().map(|(left, right, similarity)| DecisionUnit::Paired {
         left,
@@ -147,25 +180,6 @@ pub fn discover_units(record: &TokenizedRecord, config: &DiscoveryConfig) -> Vec
     units.extend(nx.into_iter().map(|token| DecisionUnit::Unpaired { token, side: Side::Left }));
     units.extend(ny.into_iter().map(|token| DecisionUnit::Unpaired { token, side: Side::Right }));
     units
-}
-
-/// Stable marriage with proposers on the *right* side; returns
-/// `(right_token, left_token, sim)` triples.
-fn get_sm_pairs_reversed(
-    record: &TokenizedRecord,
-    right_proposers: &[TokenRef],
-    left_candidates: &[TokenRef],
-    threshold: f32,
-    sim: PairingSim,
-    code_heuristic: bool,
-) -> Vec<(TokenRef, TokenRef, f32)> {
-    // token_similarity(l, r) is symmetric in the measure, so reuse the
-    // forward implementation with arguments swapped at the probe site.
-    if right_proposers.is_empty() || left_candidates.is_empty() {
-        return Vec::new();
-    }
-    let fwd = get_sm_pairs(record, left_candidates, right_proposers, threshold, sim, code_heuristic);
-    fwd.into_iter().map(|(l, r, s)| (r, l, s)).collect()
 }
 
 /// Verifies the §3.1.1 decision-unit constraints; used by tests and the

@@ -17,11 +17,20 @@ pub struct MatcherConfig {
     pub kinds: Vec<ClassifierKind>,
     /// Model seed.
     pub seed: u64,
+    /// Threads for pool fitting (0 = all cores). [`crate::WymModel::fit`]
+    /// overrides this with the pipeline-wide `WymConfig::n_threads`. The
+    /// fitted matcher is identical for every value.
+    pub n_threads: usize,
 }
 
 impl Default for MatcherConfig {
     fn default() -> Self {
-        Self { simplified_features: false, kinds: ClassifierKind::ALL.to_vec(), seed: 0 }
+        Self {
+            simplified_features: false,
+            kinds: ClassifierKind::ALL.to_vec(),
+            seed: 0,
+            n_threads: 0,
+        }
     }
 }
 
@@ -79,7 +88,11 @@ impl ExplainableMatcher {
         };
         let (x_train, y_train) = build(train);
         let (x_val, y_val) = build(val);
-        let pool = ClassifierPool { kinds: config.kinds.clone(), seed: config.seed };
+        let pool = ClassifierPool {
+            kinds: config.kinds.clone(),
+            seed: config.seed,
+            n_threads: config.n_threads,
+        };
         let selected = pool.fit_select(&x_train, &y_train, &x_val, &y_val);
         ExplainableMatcher { specs, selected }
     }

@@ -10,7 +10,7 @@
 
 use crate::record::{Side, TokenRef, TokenizedRecord};
 use serde::{Deserialize, Serialize};
-use wym_linalg::vector::cosine;
+use wym_linalg::vector::{cosine, norm};
 use wym_strsim::{jaro_winkler, looks_like_code};
 
 /// Which similarity drives the preference lists.
@@ -46,6 +46,178 @@ pub fn token_similarity(
 /// One stable assignment `(left, right, similarity)`.
 pub type SmPair = (TokenRef, TokenRef, f32);
 
+/// All left×right token similarities of one record, computed once.
+///
+/// Algorithm 1 probes the same token pairs in up to three discovery passes
+/// (θ/η/ε) plus stability checks; recomputing [`token_similarity`] each time
+/// costs an O(d) cosine — and three O(d) norms — per probe. The matrix
+/// computes every pair once, with per-token norms and `looks_like_code`
+/// flags hoisted out of the inner loop.
+///
+/// Entries are **bit-identical** to [`token_similarity`]: the embedding path
+/// evaluates the exact expression of [`wym_linalg::vector::cosine`]
+/// (`(dot / (norm_l * norm_r)).clamp(-1, 1)` with the same zero-norm guard),
+/// just with the two norms precomputed per token instead of per pair.
+/// Embeddings are deliberately *not* pre-normalized into unit vectors —
+/// that would reorder the float ops and could flip threshold comparisons.
+pub struct SimMatrix {
+    n_right: usize,
+    left_offsets: Vec<usize>,
+    right_offsets: Vec<usize>,
+    /// Row-major `[flat_left × flat_right]` measure similarities.
+    sims: Vec<f32>,
+    /// Pairs suppressed by the §5.1.1 product-code heuristic; empty (= no
+    /// pair blocked) when neither side contains a code-like token.
+    blocked: Vec<bool>,
+    /// Whether `blocked` was computed — [`Self::build_unmasked`] skips it,
+    /// which makes `code_heuristic = true` lookups invalid.
+    masked: bool,
+}
+
+impl SimMatrix {
+    /// Computes the full similarity matrix of a record under `sim`,
+    /// including the §5.1.1 code-heuristic mask (valid for lookups with
+    /// either `code_heuristic` setting).
+    pub fn build(record: &TokenizedRecord, sim: PairingSim) -> SimMatrix {
+        Self::build_impl(record, sim, true)
+    }
+
+    /// [`Self::build`] without the §5.1.1 mask. [`Self::sim`] on the result
+    /// must be called with `code_heuristic = false`; in exchange the token
+    /// surface forms are never scanned. Discovery uses this when its config
+    /// has the heuristic off (the default).
+    pub fn build_unmasked(record: &TokenizedRecord, sim: PairingSim) -> SimMatrix {
+        Self::build_impl(record, sim, false)
+    }
+
+    fn build_impl(record: &TokenizedRecord, sim: PairingSim, masked: bool) -> SimMatrix {
+        let left_offsets = Self::offsets(&record.left.tokens);
+        let right_offsets = Self::offsets(&record.right.tokens);
+        let n_left = record.left.token_count();
+        let n_right = record.right.token_count();
+
+        let mut sims = vec![0.0f32; n_left * n_right];
+        match sim {
+            PairingSim::Embedding => {
+                let left_emb: Vec<&[f32]> =
+                    record.left.embeds.iter().flatten().map(Vec::as_slice).collect();
+                let right_emb: Vec<&[f32]> =
+                    record.right.embeds.iter().flatten().map(Vec::as_slice).collect();
+                let left_norm: Vec<f32> = left_emb.iter().map(|e| norm(e)).collect();
+                let right_norm: Vec<f32> = right_emb.iter().map(|e| norm(e)).collect();
+                // Pack the right embeddings into groups of four tokens,
+                // element-major within the group (`packed[g][e][lane]`),
+                // so four dot products advance as four SIMD lanes. Each
+                // lane is its own accumulator chain fed in ascending
+                // element order — the addition order, and therefore every
+                // similarity bit, is identical to a lone `vector::dot`
+                // call. The tail group is zero-padded; padding lanes are
+                // simply never read back.
+                let dim = right_emb.first().map_or(0, |e| e.len());
+                let groups = n_right.div_ceil(4);
+                let mut packed = vec![0.0f32; groups * dim * 4];
+                for (j, b) in right_emb.iter().enumerate() {
+                    let (g, lane) = (j / 4, j % 4);
+                    for (e, &v) in b.iter().take(dim).enumerate() {
+                        packed[(g * dim + e) * 4 + lane] = v;
+                    }
+                }
+                for i in 0..n_left {
+                    let row = &mut sims[i * n_right..(i + 1) * n_right];
+                    if left_norm[i] <= f32::EPSILON {
+                        continue; // cosine defines zero-vector similarity as 0
+                    }
+                    let a = left_emb[i];
+                    for g in 0..groups {
+                        let blk = &packed[g * dim * 4..(g + 1) * dim * 4];
+                        let mut acc = [0.0f32; 4];
+                        for (&av, quad) in a.iter().zip(blk.chunks_exact(4)) {
+                            for (s, &v) in acc.iter_mut().zip(quad) {
+                                *s += av * v;
+                            }
+                        }
+                        for (lane, &s) in acc.iter().enumerate() {
+                            let j = g * 4 + lane;
+                            if j >= n_right {
+                                break;
+                            }
+                            if right_norm[j] > f32::EPSILON {
+                                row[j] =
+                                    (s / (left_norm[i] * right_norm[j])).clamp(-1.0, 1.0);
+                            }
+                        }
+                    }
+                }
+            }
+            PairingSim::JaroWinkler => {
+                let left_toks: Vec<&str> =
+                    record.left.tokens.iter().flatten().map(String::as_str).collect();
+                let right_toks: Vec<&str> =
+                    record.right.tokens.iter().flatten().map(String::as_str).collect();
+                for i in 0..n_left {
+                    let row = &mut sims[i * n_right..(i + 1) * n_right];
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot = jaro_winkler(left_toks[i], right_toks[j]);
+                    }
+                }
+            }
+        }
+
+        let mut blocked = Vec::new();
+        if masked {
+            let left_toks: Vec<&str> =
+                record.left.tokens.iter().flatten().map(String::as_str).collect();
+            let right_toks: Vec<&str> =
+                record.right.tokens.iter().flatten().map(String::as_str).collect();
+            let left_code: Vec<bool> = left_toks.iter().map(|t| looks_like_code(t)).collect();
+            let right_code: Vec<bool> = right_toks.iter().map(|t| looks_like_code(t)).collect();
+            if left_code.iter().any(|&c| c) || right_code.iter().any(|&c| c) {
+                blocked = vec![false; n_left * n_right];
+                for i in 0..n_left {
+                    for j in 0..n_right {
+                        blocked[i * n_right + j] = (left_code[i] || right_code[j])
+                            && left_toks[i] != right_toks[j];
+                    }
+                }
+            }
+        }
+
+        SimMatrix { n_right, left_offsets, right_offsets, sims, blocked, masked }
+    }
+
+    fn offsets(tokens: &[Vec<String>]) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(tokens.len());
+        let mut acc = 0;
+        for attr in tokens {
+            offsets.push(acc);
+            acc += attr.len();
+        }
+        offsets
+    }
+
+    #[inline]
+    fn index(&self, l: TokenRef, r: TokenRef) -> usize {
+        let li = self.left_offsets[l.attr as usize] + l.pos as usize;
+        let rj = self.right_offsets[r.attr as usize] + r.pos as usize;
+        li * self.n_right + rj
+    }
+
+    /// Cached similarity of a left/right token pair; identical to
+    /// [`token_similarity`] with the same `code_heuristic` setting.
+    #[inline]
+    pub fn sim(&self, l: TokenRef, r: TokenRef, code_heuristic: bool) -> f32 {
+        debug_assert!(
+            !code_heuristic || self.masked,
+            "code_heuristic lookup on a matrix from build_unmasked"
+        );
+        let idx = self.index(l, r);
+        if code_heuristic && !self.blocked.is_empty() && self.blocked[idx] {
+            return 0.0;
+        }
+        self.sims[idx]
+    }
+}
+
 /// Stable marriage between two token sets: pairs with similarity ≥
 /// `threshold`, stable w.r.t. the continuous preferences.
 ///
@@ -59,31 +231,161 @@ pub fn get_sm_pairs(
     sim: PairingSim,
     code_heuristic: bool,
 ) -> Vec<SmPair> {
+    sm_pairs_with(left, right, threshold, |l, r| {
+        token_similarity(record, l, r, sim, code_heuristic)
+    })
+}
+
+/// [`get_sm_pairs`] over a precomputed [`SimMatrix`]: identical output,
+/// no similarity recomputation.
+///
+/// Builds the preference lists by walking matrix rows directly — the flat
+/// right-token indices are resolved once per call instead of once per
+/// (left, right) lookup in the O(|L|·|R|) scan. The list contents (values,
+/// candidate order) are exactly what per-lookup [`SimMatrix::sim`] yields.
+pub fn get_sm_pairs_cached(
+    matrix: &SimMatrix,
+    left: &[TokenRef],
+    right: &[TokenRef],
+    threshold: f32,
+    code_heuristic: bool,
+) -> Vec<SmPair> {
     if left.is_empty() || right.is_empty() {
         return Vec::new();
     }
-    // Preference lists: candidates above threshold, best first.
-    let mut prefs: Vec<Vec<(usize, f32)>> = Vec::with_capacity(left.len());
-    for &l in left {
-        let mut row: Vec<(usize, f32)> = right
-            .iter()
-            .enumerate()
-            .filter_map(|(j, &r)| {
-                let s = token_similarity(record, l, r, sim, code_heuristic);
-                (s >= threshold).then_some((j, s))
-            })
-            .collect();
-        row.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        prefs.push(row);
+    debug_assert!(
+        !code_heuristic || matrix.masked,
+        "code_heuristic lookup on a matrix from build_unmasked"
+    );
+    // Discovery fires several probes per record; a thread-local scratch
+    // keeps their working buffers warm instead of paying ~7 allocations
+    // per probe. Every buffer is fully rewritten before use, so results
+    // do not depend on what ran before on this thread.
+    SM_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let SmScratch { rjs, pref_arena, pref_ranges, next, engaged_to, free } = scratch;
+        rjs.clear();
+        rjs.extend(
+            right.iter().map(|r| matrix.right_offsets[r.attr as usize] + r.pos as usize),
+        );
+        let masked = code_heuristic && !matrix.blocked.is_empty();
+        pref_arena.clear();
+        pref_ranges.clear();
+        for &l in left {
+            let li = matrix.left_offsets[l.attr as usize] + l.pos as usize;
+            let row = &matrix.sims[li * matrix.n_right..(li + 1) * matrix.n_right];
+            let start = pref_arena.len();
+            if masked {
+                let brow = &matrix.blocked[li * matrix.n_right..(li + 1) * matrix.n_right];
+                for (j, &rj) in rjs.iter().enumerate() {
+                    let s = if brow[rj] { 0.0 } else { row[rj] };
+                    if s >= threshold {
+                        pref_arena.push((j, s));
+                    }
+                }
+            } else {
+                for (j, &rj) in rjs.iter().enumerate() {
+                    let s = row[rj];
+                    if s >= threshold {
+                        pref_arena.push((j, s));
+                    }
+                }
+            }
+            pref_arena[start..].sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            pref_ranges.push((start, pref_arena.len()));
+        }
+        sm_pairs_from_prefs(left, right, pref_arena, pref_ranges, next, engaged_to, free)
+    })
+}
+
+/// Reusable buffers for one stable-marriage probe (see
+/// [`get_sm_pairs_cached`]); lives in a thread-local so repeated probes
+/// recycle their allocations.
+#[derive(Default)]
+struct SmScratch {
+    rjs: Vec<usize>,
+    pref_arena: Vec<(usize, f32)>,
+    pref_ranges: Vec<(usize, usize)>,
+    next: Vec<usize>,
+    engaged_to: Vec<Option<(usize, f32)>>,
+    free: Vec<usize>,
+}
+
+thread_local! {
+    static SM_SCRATCH: std::cell::RefCell<SmScratch> =
+        std::cell::RefCell::new(SmScratch::default());
+}
+
+/// Deferred acceptance over an arbitrary similarity oracle — the shared
+/// core of the cached and uncached entry points, so their outputs agree
+/// by construction.
+fn sm_pairs_with(
+    left: &[TokenRef],
+    right: &[TokenRef],
+    threshold: f32,
+    similarity: impl Fn(TokenRef, TokenRef) -> f32,
+) -> Vec<SmPair> {
+    if left.is_empty() || right.is_empty() {
+        return Vec::new();
     }
+    // Preference lists: candidates above threshold, best first. One flat
+    // arena plus per-left ranges instead of a Vec per left token — same
+    // lists, one allocation. The sorts are unstable: both comparators break
+    // similarity ties by index, i.e. they are total orders over the rows,
+    // so the sorted result is identical to a stable sort's.
+    let mut pref_arena: Vec<(usize, f32)> = Vec::with_capacity(left.len() * right.len());
+    let mut pref_ranges: Vec<(usize, usize)> = Vec::with_capacity(left.len());
+    for &l in left {
+        let start = pref_arena.len();
+        for (j, &r) in right.iter().enumerate() {
+            let s = similarity(l, r);
+            if s >= threshold {
+                pref_arena.push((j, s));
+            }
+        }
+        pref_arena[start..].sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        pref_ranges.push((start, pref_arena.len()));
+    }
+    let (mut next, mut engaged_to, mut free) = (Vec::new(), Vec::new(), Vec::new());
+    sm_pairs_from_prefs(
+        left,
+        right,
+        &pref_arena,
+        &pref_ranges,
+        &mut next,
+        &mut engaged_to,
+        &mut free,
+    )
+}
+
+/// Deferred acceptance over already-built preference lists (`pref_arena`
+/// segment `pref_ranges[i]` = left token `i`'s candidates, best first).
+/// `next`/`engaged_to`/`free` are caller-provided working buffers; their
+/// incoming contents are discarded.
+fn sm_pairs_from_prefs(
+    left: &[TokenRef],
+    right: &[TokenRef],
+    pref_arena: &[(usize, f32)],
+    pref_ranges: &[(usize, usize)],
+    next: &mut Vec<usize>,
+    engaged_to: &mut Vec<Option<(usize, f32)>>,
+    free: &mut Vec<usize>,
+) -> Vec<SmPair> {
+    let prefs = |i: usize| -> &[(usize, f32)] {
+        let (start, end) = pref_ranges[i];
+        &pref_arena[start..end]
+    };
 
     // Deferred acceptance: left proposes in preference order.
-    let mut next: Vec<usize> = vec![0; left.len()];
-    let mut engaged_to: Vec<Option<(usize, f32)>> = vec![None; right.len()];
-    let mut free: Vec<usize> = (0..left.len()).rev().collect();
+    next.clear();
+    next.resize(left.len(), 0);
+    engaged_to.clear();
+    engaged_to.resize(right.len(), None);
+    free.clear();
+    free.extend((0..left.len()).rev());
     while let Some(i) = free.pop() {
-        while next[i] < prefs[i].len() {
-            let (j, s) = prefs[i][next[i]];
+        while next[i] < prefs(i).len() {
+            let (j, s) = prefs(i)[next[i]];
             next[i] += 1;
             match engaged_to[j] {
                 None => {
@@ -104,11 +406,13 @@ pub fn get_sm_pairs(
     }
 
     let mut out: Vec<SmPair> = engaged_to
-        .into_iter()
+        .iter()
         .enumerate()
         .filter_map(|(j, e)| e.map(|(i, s)| (left[i], right[j], s)))
         .collect();
-    out.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.attr.cmp(&b.0.attr)).then(a.0.pos.cmp(&b.0.pos)));
+    out.sort_unstable_by(|a, b| {
+        b.2.total_cmp(&a.2).then(a.0.attr.cmp(&b.0.attr)).then(a.0.pos.cmp(&b.0.pos))
+    });
     out
 }
 
@@ -123,23 +427,45 @@ pub fn is_stable(
     threshold: f32,
     sim: PairingSim,
 ) -> bool {
-    let partner_sim_l = |l: &TokenRef| {
-        pairs.iter().find(|(pl, _, _)| pl == l).map(|(_, _, s)| *s)
-    };
-    let partner_sim_r = |r: &TokenRef| {
-        pairs.iter().find(|(_, pr, _)| pr == r).map(|(_, _, s)| *s)
-    };
-    for &l in left {
-        for &r in right {
-            let s = token_similarity(record, l, r, sim, false);
+    is_stable_cached(&SimMatrix::build(record, sim), left, right, pairs, threshold)
+}
+
+/// [`is_stable`] over a precomputed [`SimMatrix`]. Partner similarities are
+/// looked up in hash maps built once, so the check is O(|L|·|R|) instead of
+/// O(|L|·|R|·|pairs|) — property tests on larger records stay fast.
+pub fn is_stable_cached(
+    matrix: &SimMatrix,
+    left: &[TokenRef],
+    right: &[TokenRef],
+    pairs: &[SmPair],
+    threshold: f32,
+) -> bool {
+    // Partner lookups keyed by position in `left`/`right` instead of by
+    // hashing `TokenRef`s: the slices are a few dozen tokens at most, so a
+    // linear position scan per pair beats SipHash and the verdict is the
+    // same — each token appears in at most one pair.
+    let mut partner_of_l: Vec<Option<(TokenRef, f32)>> = vec![None; left.len()];
+    let mut partner_sim_r: Vec<Option<f32>> = vec![None; right.len()];
+    for &(pl, pr, s) in pairs {
+        if let Some(i) = left.iter().position(|&l| l == pl) {
+            partner_of_l[i] = Some((pr, s));
+        }
+        if let Some(j) = right.iter().position(|&r| r == pr) {
+            partner_sim_r[j] = Some(s);
+        }
+    }
+    for (i, &l) in left.iter().enumerate() {
+        for (j, &r) in right.iter().enumerate() {
+            let s = matrix.sim(l, r, false);
             if s < threshold {
                 continue;
             }
-            if pairs.iter().any(|(pl, pr, _)| *pl == l && *pr == r) {
-                continue;
+            let l_partner = partner_of_l[i];
+            if l_partner.is_some_and(|(pr, _)| pr == r) {
+                continue; // already matched to each other
             }
-            let l_better = partner_sim_l(&l).is_none_or(|cur| s > cur + 1e-6);
-            let r_better = partner_sim_r(&r).is_none_or(|cur| s > cur + 1e-6);
+            let l_better = l_partner.is_none_or(|(_, cur)| s > cur + 1e-6);
+            let r_better = partner_sim_r[j].is_none_or(|cur| s > cur + 1e-6);
             if l_better && r_better {
                 return false; // blocking pair
             }

@@ -31,6 +31,11 @@ pub struct WymConfig {
     /// Domain-knowledge rules applied to relevance scores after the scorer
     /// (the paper's §6 "rules on decision units" future-work direction).
     pub rules: Vec<UnitRule>,
+    /// Worker threads for the per-record stages of [`WymModel::fit`]
+    /// (tokenize → embed → discover → score). `0` = all available cores.
+    /// The fitted model is identical for every value — per-record work is
+    /// independent and results land in input order.
+    pub n_threads: usize,
     /// Global seed.
     pub seed: u64,
 }
@@ -45,6 +50,7 @@ impl Default for WymConfig {
             matcher: MatcherConfig::default(),
             max_embed_train_records: 400,
             rules: Vec::new(),
+            n_threads: 0,
             seed: 0,
         }
     }
@@ -117,6 +123,19 @@ pub struct SavedWymModel {
     pub attr_names: Vec<String>,
 }
 
+/// Wall-clock seconds spent in each stage of [`WymModel::fit_timed`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FitTimings {
+    /// Embedder fitting (stage 1).
+    pub embed_fit_s: f64,
+    /// Tokenize + embed + unit discovery over train and validation (stage 2).
+    pub discover_s: f64,
+    /// Relevance-scorer training (stage 3).
+    pub score_train_s: f64,
+    /// Unit scoring plus classifier-pool fitting (stages 4–5).
+    pub pool_fit_s: f64,
+}
+
 /// A fitted WYM model.
 pub struct WymModel {
     config: WymConfig,
@@ -144,6 +163,21 @@ impl WymModel {
     /// # Panics
     /// Panics when the training split is empty.
     pub fn fit(dataset: &EmDataset, split: &SplitIndices, config: WymConfig) -> WymModel {
+        Self::fit_timed(dataset, split, config).0
+    }
+
+    /// [`WymModel::fit`] plus per-stage wall-clock timings, for the perf
+    /// harness (`wym-experiments`' timing binary).
+    ///
+    /// # Panics
+    /// Panics when the training split is empty.
+    pub fn fit_timed(
+        dataset: &EmDataset,
+        split: &SplitIndices,
+        config: WymConfig,
+    ) -> (WymModel, FitTimings) {
+        let mut timings = FitTimings::default();
+        let stage_start = std::time::Instant::now();
         assert!(!split.train.is_empty(), "training split is empty");
         let tokenizer = Tokenizer::default();
 
@@ -163,36 +197,39 @@ impl WymModel {
             .collect();
         let embedder =
             Embedder::fit(config.embedder_kind, config.embed_dim, config.seed, &embed_train);
+        timings.embed_fit_s = stage_start.elapsed().as_secs_f64();
 
         // 2. Tokenize + discover units for train and validation records.
+        // Per-record work is independent, so this fans out over the
+        // configured worker threads; results come back in input order.
         let process = |idx: &[usize]| -> Vec<(TokenizedRecord, Vec<DecisionUnit>)> {
-            idx.iter()
-                .map(|&i| {
-                    let rec =
-                        TokenizedRecord::from_pair(&dataset.pairs[i], &tokenizer, &embedder);
-                    let units = discover_units(&rec, &config.discovery);
-                    (rec, units)
-                })
-                .collect()
+            wym_par::map_indexed(idx, config.n_threads, |_, &i| {
+                let rec = TokenizedRecord::from_pair(&dataset.pairs[i], &tokenizer, &embedder);
+                let units = discover_units(&rec, &config.discovery);
+                (rec, units)
+            })
         };
+        let stage_start = std::time::Instant::now();
         let train_proc = process(&split.train);
         let val_proc = process(&split.val);
+        timings.discover_s = stage_start.elapsed().as_secs_f64();
 
         // 3. Relevance scorer.
         let scorer_input: Vec<(&TokenizedRecord, &[DecisionUnit])> =
             train_proc.iter().map(|(r, u)| (r, u.as_slice())).collect();
         let mut scorer_cfg = config.scorer.clone();
         scorer_cfg.seed = config.seed;
+        let stage_start = std::time::Instant::now();
         let scorer = RelevanceScorer::fit(scorer_cfg, &scorer_input);
+        timings.score_train_s = stage_start.elapsed().as_secs_f64();
 
-        // 4. Score units, 5. fit the matcher.
+        // 4. Score units (also per-record independent), 5. fit the matcher.
+        let stage_start = std::time::Instant::now();
         let score_all = |proc: &[(TokenizedRecord, Vec<DecisionUnit>)]| -> Vec<Vec<f32>> {
-            proc.iter()
-                .map(|(r, u)| {
-                    let raw = scorer.score_units(r, u);
-                    apply_rules(&config.rules, r, u, &raw)
-                })
-                .collect()
+            wym_par::map_indexed(proc, config.n_threads, |_, (r, u)| {
+                let raw = scorer.score_units(r, u);
+                apply_rules(&config.rules, r, u, &raw)
+            })
         };
         let train_scores = score_all(&train_proc);
         let val_scores = score_all(&val_proc);
@@ -207,21 +244,21 @@ impl WymModel {
         }
         let train_rows = rows(&train_proc, &train_scores);
         let val_rows = rows(&val_proc, &val_scores);
-        let matcher = ExplainableMatcher::fit(
-            &config.matcher,
-            dataset.schema.len(),
-            &train_rows,
-            &val_rows,
-        );
+        let mut matcher_cfg = config.matcher.clone();
+        matcher_cfg.n_threads = config.n_threads;
+        let matcher =
+            ExplainableMatcher::fit(&matcher_cfg, dataset.schema.len(), &train_rows, &val_rows);
+        timings.pool_fit_s = stage_start.elapsed().as_secs_f64();
 
-        WymModel {
+        let model = WymModel {
             config,
             tokenizer,
             embedder,
             scorer,
             matcher,
             attr_names: dataset.schema.attributes.clone(),
-        }
+        };
+        (model, timings)
     }
 
     /// The model configuration.
@@ -268,36 +305,20 @@ impl WymModel {
         pairs.iter().map(|p| self.process(p)).collect()
     }
 
-    /// Processes many record pairs on `n_threads` worker threads.
+    /// Processes many record pairs on `n_threads` worker threads
+    /// (`0` = all available cores).
     ///
-    /// Results are returned in input order; each record's processing is
-    /// independent and deterministic, so the output is identical to
-    /// [`WymModel::process_many`].
+    /// Workers claim records one at a time from a shared atomic counter
+    /// (work stealing), so a few expensive records cannot straggle a whole
+    /// statically assigned chunk. Results are returned in input order; each
+    /// record's processing is independent and deterministic, so the output
+    /// is identical to [`WymModel::process_many`] for any thread count.
     pub fn process_many_parallel(
         &self,
         pairs: &[RecordPair],
         n_threads: usize,
     ) -> Vec<ProcessedRecord> {
-        let n_threads = n_threads.max(1);
-        if n_threads == 1 || pairs.len() < 2 * n_threads {
-            return self.process_many(pairs);
-        }
-        let chunk = pairs.len().div_ceil(n_threads);
-        let mut out: Vec<Option<ProcessedRecord>> = Vec::new();
-        out.resize_with(pairs.len(), || None);
-        crossbeam::thread::scope(|scope| {
-            for (slot_chunk, pair_chunk) in
-                out.chunks_mut(chunk).zip(pairs.chunks(chunk))
-            {
-                scope.spawn(move |_| {
-                    for (slot, pair) in slot_chunk.iter_mut().zip(pair_chunk) {
-                        *slot = Some(self.process(pair));
-                    }
-                });
-            }
-        })
-        .expect("worker thread panicked");
-        out.into_iter().map(|o| o.expect("every slot filled")).collect()
+        wym_par::map_indexed(pairs, n_threads, |_, pair| self.process(pair))
     }
 
     /// Predicts from an already processed record.

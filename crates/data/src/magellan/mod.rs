@@ -24,7 +24,10 @@ use wym_linalg::rng::hash64;
 use wym_linalg::Rng64;
 
 /// Recipe for one benchmark dataset.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+///
+/// Serializes (for experiment manifests) but does not deserialize: the
+/// `&'static str` names only exist in the compiled-in Table 2 recipes.
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct MagellanConfig {
     /// Short benchmark name (Table 2's first column).
     pub name: &'static str,

@@ -24,10 +24,42 @@ struct Row {
     impact_pct: f64,
 }
 
+/// Machine-readable per-stage wall-clock record (`results/BENCH_timing.json`)
+/// so later perf work has a trajectory to compare against. Training-side
+/// stages come from [`wym_core::pipeline::FitTimings`]; inference-side
+/// stages are absolute seconds over the explained test slice.
+#[derive(Serialize)]
+struct BenchRow {
+    dataset: String,
+    n_train: usize,
+    n_explained: usize,
+    /// Total `WymModel::fit` wall-clock.
+    fit_s: f64,
+    /// Embedder fitting inside `fit`.
+    embed_fit_s: f64,
+    /// Tokenize + embed + discovery inside `fit`.
+    discover_fit_s: f64,
+    /// Relevance-scorer training inside `fit`.
+    score_train_s: f64,
+    /// Unit scoring + classifier-pool fitting inside `fit`.
+    pool_fit_s: f64,
+    /// Per-record tokenize + embed over the test slice.
+    embed_s: f64,
+    /// Per-record unit discovery over the test slice.
+    discover_s: f64,
+    /// Per-record relevance scoring over the test slice.
+    score_s: f64,
+    /// Per-record match prediction over the test slice.
+    predict_s: f64,
+    /// Per-record impact computation over the test slice.
+    impact_s: f64,
+}
+
 fn main() {
     let opts = HarnessOpts::from_args();
     let tokenizer = Tokenizer::default();
     let mut rows_json = Vec::new();
+    let mut bench_json = Vec::new();
     let mut rows = Vec::new();
     for dataset in opts.datasets() {
         eprintln!("[timing] {}", dataset.name);
@@ -68,6 +100,21 @@ fn main() {
         }
         let total = (t_embed + t_discover + t_score + t_predict + t_impact).max(1e-9);
         let pct = |t: f64| 100.0 * t / total;
+        bench_json.push(BenchRow {
+            dataset: dataset.name.clone(),
+            n_train,
+            n_explained: sample.len(),
+            fit_s: run.fit_seconds,
+            embed_fit_s: run.fit_timings.embed_fit_s,
+            discover_fit_s: run.fit_timings.discover_s,
+            score_train_s: run.fit_timings.score_train_s,
+            pool_fit_s: run.fit_timings.pool_fit_s,
+            embed_s: t_embed,
+            discover_s: t_discover,
+            score_s: t_score,
+            predict_s: t_predict,
+            impact_s: t_impact,
+        });
         let row = Row {
             dataset: dataset.name.clone(),
             train_records_per_s: train_tp,
@@ -105,4 +152,5 @@ fn main() {
         &rows,
     );
     save_json("timing", &rows_json);
+    save_json("BENCH_timing", &bench_json);
 }

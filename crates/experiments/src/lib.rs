@@ -31,18 +31,21 @@ pub struct HarnessOpts {
     pub cap: usize,
     /// Global seed.
     pub seed: u64,
+    /// Worker threads for fitting/inference (0 = all cores). Results are
+    /// identical for every value; this only trades latency for footprint.
+    pub threads: usize,
     /// Restrict to these dataset short names (default: all twelve).
     pub datasets: Option<Vec<String>>,
 }
 
 impl Default for HarnessOpts {
     fn default() -> Self {
-        Self { full: false, quick: false, cap: 800, seed: 7, datasets: None }
+        Self { full: false, quick: false, cap: 800, seed: 7, threads: 0, datasets: None }
     }
 }
 
 impl HarnessOpts {
-    /// Parses `--full`, `--quick`, `--cap N`, `--seed N`,
+    /// Parses `--full`, `--quick`, `--cap N`, `--seed N`, `--threads N`,
     /// `--datasets A,B,…` from `std::env::args`.
     pub fn from_args() -> Self {
         let mut opts = Self::default();
@@ -68,6 +71,13 @@ impl HarnessOpts {
                         .get(i)
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| panic!("--seed needs a number"));
+                }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--threads needs a number"));
                 }
                 "--datasets" => {
                     i += 1;
@@ -106,6 +116,7 @@ impl HarnessOpts {
     /// The standard WYM configuration for this run.
     pub fn wym_config(&self) -> WymConfig {
         let mut cfg = WymConfig::default().with_seed(self.seed);
+        cfg.n_threads = self.threads;
         if self.quick {
             cfg.embed_dim = 32;
             cfg.embedder_kind = EmbedderKind::Static;
@@ -139,16 +150,18 @@ pub struct FittedRun {
     pub test: Vec<RecordPair>,
     /// Wall-clock seconds spent in `WymModel::fit`.
     pub fit_seconds: f64,
+    /// Per-stage breakdown of `fit_seconds`.
+    pub fit_timings: wym_core::pipeline::FitTimings,
 }
 
 /// Fits WYM on one dataset with the paper's 60-20-20 split.
 pub fn fit_wym(dataset: &EmDataset, config: WymConfig, seed: u64) -> FittedRun {
     let split = paper_split(dataset, seed);
     let start = Instant::now();
-    let model = WymModel::fit(dataset, &split, config);
+    let (model, fit_timings) = WymModel::fit_timed(dataset, &split, config);
     let fit_seconds = start.elapsed().as_secs_f64();
     let test = split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
-    FittedRun { dataset: dataset.clone(), split, model, test, fit_seconds }
+    FittedRun { dataset: dataset.clone(), split, model, test, fit_seconds, fit_timings }
 }
 
 /// Prints a Markdown table.

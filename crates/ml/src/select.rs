@@ -100,7 +100,7 @@ impl SelectedModel {
 /// let y = vec![0, 0, 1, 1];
 /// let pool = ClassifierPool {
 ///     kinds: vec![ClassifierKind::LogisticRegression, ClassifierKind::NaiveBayes],
-///     seed: 0,
+///     ..ClassifierPool::default()
 /// };
 /// let selected = pool.fit_select(&x, &y, &x, &y);
 /// assert_eq!(selected.predict(&x), y);
@@ -110,11 +110,15 @@ pub struct ClassifierPool {
     pub kinds: Vec<ClassifierKind>,
     /// Model seed.
     pub seed: u64,
+    /// Threads for member fitting (0 = all cores). Every member is seeded
+    /// and scored independently, so the selection is identical for any
+    /// value.
+    pub n_threads: usize,
 }
 
 impl Default for ClassifierPool {
     fn default() -> Self {
-        Self { kinds: ClassifierKind::ALL.to_vec(), seed: 0 }
+        Self { kinds: ClassifierKind::ALL.to_vec(), seed: 0, n_threads: 0 }
     }
 }
 
@@ -137,16 +141,23 @@ impl ClassifierPool {
         let (scaler, xs_train) = StandardScaler::fit_transform(x_train);
         let xs_val = scaler.transform(x_val);
 
-        let mut all_scores = Vec::with_capacity(self.kinds.len());
-        let mut best: Option<(ClassifierKind, f32)> = None;
-        for &kind in &self.kinds {
+        // Members are independent (each gets its own freshly built model
+        // with the shared seed), so fit them concurrently. map_indexed
+        // returns scores in `kinds` order, and the strict `>` below keeps
+        // the earliest kind on ties — identical selection to the old
+        // sequential loop for every thread count.
+        let scores = wym_par::map_indexed(&self.kinds, self.n_threads, |_, &kind| {
             let mut model = kind.build(self.seed);
             model.fit(&xs_train, y_train);
-            let f1 = if y_val.is_empty() {
+            if y_val.is_empty() {
                 f1_score(&model.predict(&xs_train), y_train)
             } else {
                 f1_score(&model.predict(&xs_val), y_val)
-            };
+            }
+        });
+        let mut all_scores = Vec::with_capacity(self.kinds.len());
+        let mut best: Option<(ClassifierKind, f32)> = None;
+        for (&kind, f1) in self.kinds.iter().zip(scores) {
             all_scores.push((kind, f1));
             if best.is_none_or(|(_, b)| f1 > b) {
                 best = Some((kind, f1));
@@ -208,7 +219,7 @@ mod tests {
         let (x, y) = blobs(30, 2, 86);
         let pool = ClassifierPool {
             kinds: vec![ClassifierKind::LogisticRegression, ClassifierKind::NaiveBayes],
-            seed: 0,
+            ..ClassifierPool::default()
         };
         let selected = pool.fit_select(&x, &y, &x, &y);
         assert_eq!(selected.all_scores.len(), 2);

@@ -1,0 +1,117 @@
+//! Deterministic work-stealing parallelism for the WYM pipeline.
+//!
+//! The one primitive everything builds on is [`map_indexed`]: a parallel
+//! map over a slice whose output is **identical to the sequential map for
+//! any thread count**. Workers claim items one at a time from a shared
+//! atomic counter (work stealing), so a few expensive records — common with
+//! skewed entity descriptions — cannot straggle a whole pre-assigned chunk
+//! the way static chunking does. Each worker keeps `(index, result)` pairs
+//! locally; after the scope joins, results are merged into their input
+//! positions. No locks, no channels, no ordering sensitivity.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads implied by a configured thread count:
+/// `0` means "use all available cores", anything else is taken literally.
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+/// Maps `f` over `items` on `n_threads` workers, returning results in input
+/// order. Output is identical to `items.iter().enumerate().map(f)` for any
+/// thread count; `n_threads` of 0 or 1 (or tiny inputs) run sequentially.
+pub fn map_indexed<T, R, F>(items: &[T], n_threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n_threads = resolve_threads(n_threads).min(items.len().max(1));
+    if n_threads <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for chunk in per_worker {
+        for (i, r) in chunk {
+            debug_assert!(slots[i].is_none(), "item {i} claimed twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every item claimed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_for_every_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in 0..=8 {
+            let got = map_indexed(&items, threads, |_, x| x * x + 1);
+            assert_eq!(got, expected, "thread count {threads}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = map_indexed(&items, 3, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn skewed_workloads_complete() {
+        // One item 1000× more expensive than the rest: work stealing keeps
+        // the other workers busy instead of idling behind a static chunk.
+        let items: Vec<usize> = (0..64).collect();
+        let got = map_indexed(&items, 4, |_, &x| {
+            let reps = if x == 0 { 100_000 } else { 100 };
+            (0..reps).fold(x as u64, |acc, _| acc.wrapping_mul(31).wrapping_add(7))
+        });
+        assert_eq!(got.len(), items.len());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert_eq!(map_indexed(&empty, 4, |_, x| *x), Vec::<u32>::new());
+        assert_eq!(map_indexed(&[9u32], 4, |_, x| *x), vec![9]);
+    }
+
+    #[test]
+    fn resolve_threads_semantics() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based equivalence tests for this round of performance work:
+//! the cached similarity matrix, the blocked GEMM kernels, and the
+//! work-stealing parallel pipeline must all reproduce the straightforward
+//! implementations they replaced.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use wym::core::algorithm1::{
+    discover_units, discover_units_cached, discover_units_reference, DiscoveryConfig,
+};
+use wym::core::pairing::{
+    get_sm_pairs, get_sm_pairs_cached, is_stable, is_stable_cached, PairingSim, SimMatrix,
+};
+use wym::core::pipeline::{WymConfig, WymModel};
+use wym::core::record::TokenizedRecord;
+use wym::data::split::paper_split;
+use wym::data::{magellan, Entity, RecordPair};
+use wym::embed::{Embedder, EmbedderKind};
+use wym::linalg::{Matrix, Rng64};
+use wym::ml::ClassifierKind;
+use wym::nn::TrainConfig;
+
+/// Strategy: a small vocabulary word (mix of prose and code-like tokens so
+/// both sides of the code heuristic get exercised).
+fn word() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "camera", "digital", "sony", "nikon", "lens", "kit", "case", "zoom", "39400416",
+        "dslra200w", "exch", "server", "license", "price", "router",
+    ])
+    .prop_map(str::to_string)
+}
+
+/// Strategy: an entity value of 0..6 words.
+fn value() -> impl Strategy<Value = String> {
+    prop::collection::vec(word(), 0..6).prop_map(|w| w.join(" "))
+}
+
+/// Strategy: a record pair over a 2-attribute schema.
+fn record_pair() -> impl Strategy<Value = RecordPair> {
+    (value(), value(), value(), value(), any::<bool>()).prop_map(|(a, b, c, d, label)| {
+        RecordPair {
+            id: 0,
+            label,
+            left: Entity::new(vec![a, b]),
+            right: Entity::new(vec![c, d]),
+        }
+    })
+}
+
+fn tokenized(pair: &RecordPair) -> TokenizedRecord {
+    let tok = wym::tokenize::Tokenizer::default();
+    let emb = Embedder::new_static(32, 0);
+    TokenizedRecord::from_pair(pair, &tok, &emb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cached similarity matrix reproduces the per-lookup reference
+    /// path *bit for bit*: same pairs, same similarity values (`==` on
+    /// f32), for both similarity backends, both code-heuristic settings,
+    /// and across the three phase thresholds.
+    #[test]
+    fn cached_sm_pairs_bit_identical_to_reference(
+        pair in record_pair(),
+        threshold in 0.1f32..0.95,
+    ) {
+        let rec = tokenized(&pair);
+        let left = rec.left.all_refs();
+        let right = rec.right.all_refs();
+        for sim in [PairingSim::Embedding, PairingSim::JaroWinkler] {
+            let matrix = SimMatrix::build(&rec, sim);
+            for code_heuristic in [false, true] {
+                let reference = get_sm_pairs(&rec, &left, &right, threshold, sim, code_heuristic);
+                let cached =
+                    get_sm_pairs_cached(&matrix, &left, &right, threshold, code_heuristic);
+                prop_assert_eq!(&reference, &cached, "sim {:?}", sim);
+                prop_assert!(
+                    is_stable(&rec, &left, &right, &reference, threshold, sim)
+                        == is_stable_cached(&matrix, &left, &right, &cached, threshold),
+                    "stability verdict diverged"
+                );
+            }
+        }
+    }
+
+    /// Full three-phase discovery equals the uncached per-lookup reference
+    /// implementation exactly, and a prebuilt matrix equals the public
+    /// entry point (which builds its own).
+    #[test]
+    fn cached_discovery_bit_identical(pair in record_pair()) {
+        let rec = tokenized(&pair);
+        for sim in [PairingSim::Embedding, PairingSim::JaroWinkler] {
+            for code_heuristic in [false, true] {
+                let config = DiscoveryConfig { sim, code_heuristic, ..Default::default() };
+                let cached = discover_units(&rec, &config);
+                prop_assert_eq!(&cached, &discover_units_reference(&rec, &config));
+                let matrix = SimMatrix::build(&rec, config.sim);
+                prop_assert_eq!(&cached, &discover_units_cached(&rec, &matrix, &config));
+            }
+        }
+    }
+}
+
+/// In-order reference product: `acc += a[i][p] * b[p][j]` with `p`
+/// ascending, exactly the pre-blocking loop order.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for p in 0..a.cols() {
+                acc += a[(i, p)] * b[(p, j)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// The blocked kernels fuse four products per accumulator update, which
+/// reorders the float additions, so results are *not* bit-identical to the
+/// naive loop. Both orderings are within `k * eps` of the exact sum, so
+/// their mutual distance is bounded by ~`2 * k * eps * Σ|a_ip * b_pj|`;
+/// with k ≤ 300 and f32 eps ≈ 1.2e-7 a relative tolerance of 1e-6 per unit
+/// of absolute-product mass holds with a wide margin in practice.
+fn assert_close_to_naive(fast: &Matrix, a: &Matrix, b: &Matrix) {
+    let slow = naive_matmul(a, b);
+    for i in 0..slow.rows() {
+        for j in 0..slow.cols() {
+            let mass: f32 = (0..a.cols()).map(|p| (a[(i, p)] * b[(p, j)]).abs()).sum();
+            let tol = 1e-6 * mass.max(1.0);
+            let (x, y) = (fast[(i, j)], slow[(i, j)]);
+            assert!((x - y).abs() <= tol, "({i},{j}): {x} vs {y}, tol {tol}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Blocked `matmul`, `t_matmul`, and `matmul_t` all agree with the
+    /// in-order triple loop to the tolerance justified above. Dimensions
+    /// straddle the 4-step unroll and (via 140) the 128-wide panel.
+    #[test]
+    fn blocked_gemm_matches_naive(
+        m in 1usize..12,
+        k in 1usize..140,
+        n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        assert_close_to_naive(&a.matmul(&b), &a, &b);
+
+        let at = a.transpose();
+        assert_close_to_naive(&at.t_matmul(&b), &a, &b);
+
+        let bt = b.transpose();
+        assert_close_to_naive(&a.matmul_t(&bt), &a, &b);
+    }
+}
+
+/// One shared fitted model for the parallel-equivalence property — fitting
+/// is the expensive part and its determinism is covered by the end-to-end
+/// suite, so fit once and probe `process_many_parallel` against it.
+fn shared_model() -> &'static (WymModel, Vec<RecordPair>) {
+    static MODEL: OnceLock<(WymModel, Vec<RecordPair>)> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let dataset = magellan::generate_by_name("S-FZ", 31).unwrap().subsample(160, 0);
+        let split = paper_split(&dataset, 0);
+        let mut cfg = WymConfig::default().with_seed(31);
+        cfg.embed_dim = 32;
+        cfg.embedder_kind = EmbedderKind::Static;
+        cfg.scorer.train =
+            TrainConfig { epochs: 4, batch_size: 128, lr: 2e-3, ..TrainConfig::default() };
+        cfg.matcher.kinds = vec![ClassifierKind::LogisticRegression];
+        let model = WymModel::fit(&dataset, &split, cfg);
+        let test: Vec<RecordPair> =
+            split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+        (model, test)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Work-stealing `process_many_parallel` returns exactly what the
+    /// sequential `process_many` returns — same order, same units, same
+    /// relevances — for every thread count 1..=8 (0 = auto is the
+    /// n-cores special case of the same code path).
+    #[test]
+    fn parallel_processing_matches_sequential(n_threads in 1usize..9) {
+        let (model, test) = shared_model();
+        let sequential = model.process_many(test);
+        let parallel = model.process_many_parallel(test, n_threads);
+        prop_assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            prop_assert_eq!(&s.units, &p.units);
+            prop_assert_eq!(&s.relevances, &p.relevances);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of criterion's API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` and `finish`), [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BatchSize`], [`black_box`], and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Measurement model: after a calibration pass picks an iteration count so
+//! each sample lasts ≥ ~5 ms, it collects `sample_size` samples and reports
+//! min / mean / max per-iteration wall-clock time. No plots, no statistics
+//! beyond that — numbers print to stdout in a fixed-width table so before/
+//! after comparisons are easy to quote.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(5);
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substr>` filters benchmarks by name, like real
+        // criterion. Flag-style args (cargo passes `--bench`) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, self.filter.as_deref(), DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group (name is prefixed with the group's).
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.criterion.filter.as_deref(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// How batched inputs are sized in [`Bencher::iter_batched`].
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// One setup call per timed routine call.
+    PerIteration,
+    /// Treated like `PerIteration` in this stand-in.
+    SmallInput,
+    /// Treated like `PerIteration` in this stand-in.
+    LargeInput,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the requested number of iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh `setup()` inputs, excluding setup time.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(filter) = filter {
+        if !name.contains(filter) {
+            return;
+        }
+    }
+
+    // Calibrate: grow the per-sample iteration count until one sample takes
+    // at least TARGET_SAMPLE_TIME (so cheap routines aren't all timer noise).
+    let mut iters: u64 = 1;
+    loop {
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        if bencher.elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 24 {
+            break;
+        }
+        // Jump close to the target, conservatively.
+        let per_iter = bencher.elapsed.as_secs_f64() / iters as f64;
+        let needed = if per_iter > 0.0 {
+            (TARGET_SAMPLE_TIME.as_secs_f64() / per_iter).ceil() as u64
+        } else {
+            iters * 8
+        };
+        iters = needed.clamp(iters + 1, iters * 16);
+    }
+
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        samples.push(bencher.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<48} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        samples.len(),
+        iters,
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// Declares a bench group function running each target against a `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed bench groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("other".into()) };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut g_ran = 0;
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| {
+                g_ran += 1;
+                v.len()
+            }, BatchSize::PerIteration)
+        });
+        group.finish();
+        assert!(g_ran > 0);
+    }
+}

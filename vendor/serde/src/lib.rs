@@ -1,0 +1,405 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal serialization substrate with serde's *names* but a much simpler
+//! design: [`Serialize`] lowers a value to a JSON-like [`Value`] tree and
+//! [`Deserialize`] rebuilds the value from one. `vendor/serde_json` prints
+//! and parses that tree. The derive macros (re-exported from the sibling
+//! `serde_derive` crate) cover named-field structs and unit/tuple/struct
+//! enum variants — exactly the shapes this workspace serializes.
+//!
+//! Representation choices mirror real serde + serde_json where it matters:
+//! structs become objects, unit enum variants become strings, and payload
+//! variants become externally tagged single-entry objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+/// The serialization data model: a JSON-compatible value tree.
+///
+/// Integers keep their signedness (`I64`/`U64`) so `u64` seeds above 2^53
+/// round-trip exactly instead of being squeezed through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64`).
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with preserved key order.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Field of an object; `Null` when absent or not an object (the element
+    /// deserializer then reports the type mismatch, or maps it to `None`
+    /// for `Option` fields).
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Object(pairs) => {
+                pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v).unwrap_or(&NULL)
+            }
+            _ => &NULL,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(Error::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::F64(v) => Ok(*v),
+            Value::I64(v) => Ok(*v as f64),
+            Value::U64(v) => Ok(*v as f64),
+            // serde_json rejects NaN/∞; we print them as null and read null
+            // back as NaN so model snapshots survive degenerate training.
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn as_i64(&self) -> Result<i64, Error> {
+        match self {
+            Value::I64(v) => Ok(*v),
+            Value::U64(v) => i64::try_from(*v)
+                .map_err(|_| Error::custom(format!("integer {v} out of i64 range"))),
+            Value::F64(v) if v.fract() == 0.0 => Ok(*v as i64),
+            other => Err(Error::custom(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, Error> {
+        match self {
+            Value::U64(v) => Ok(*v),
+            Value::I64(v) => u64::try_from(*v)
+                .map_err(|_| Error::custom(format!("integer {v} out of u64 range"))),
+            Value::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Ok(*v as u64),
+            other => Err(Error::custom(format!("expected unsigned integer, found {other:?}"))),
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// Wraps the error with the field that produced it (derive internals).
+    pub fn in_field(self, field: &str) -> Self {
+        Error(format!("{field}: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a value into the [`Value`] data model.
+pub trait Serialize {
+    /// The value as a data-model tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds a value from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses the value from a data-model tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- primitives -----------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                if wide <= i64::MAX as u64 { Value::I64(wide as i64) } else { Value::U64(wide) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!("expected single-char string, found {other:?}"))),
+        }
+    }
+}
+
+// --- references and containers --------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array()?;
+        if items.len() != N {
+            return Err(Error::custom(format!("expected array of {N}, found {}", items.len())));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch".to_string()))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic snapshots regardless of hash order.
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array()?;
+                Ok(($($name::from_value(
+                    items.get($idx).unwrap_or(&Value::Null))?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_value(&(-42i64).to_value()).unwrap(), -42);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::I64(3)).unwrap(), Some(3));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1u8, "x".to_string(), 2.0f64);
+        let back: (u8, String, f64) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+        let mut set = HashSet::new();
+        set.insert("b".to_string());
+        set.insert("a".to_string());
+        assert_eq!(set.to_value(), Value::Array(vec![
+            Value::Str("a".into()), Value::Str("b".into())
+        ]));
+        assert_eq!(HashSet::<String>::from_value(&set.to_value()).unwrap(), set);
+    }
+
+    #[test]
+    fn missing_field_is_null() {
+        let obj = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert_eq!(obj.field("a"), &Value::Bool(true));
+        assert_eq!(obj.field("b"), &Value::Null);
+    }
+}
