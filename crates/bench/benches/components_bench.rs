@@ -134,6 +134,40 @@ fn bench(c: &mut Criterion) {
         g.finish();
     }
 
+    // Observability guard: full discovery with recording disabled (the
+    // default no-op path) vs enabled (traced). The disabled entry must stay
+    // within noise of `simcache/discover_units_swa10`; the traced entry
+    // bounds the cost a `--trace` run adds per record.
+    {
+        let dataset = bench_dataset_hard(10);
+        let tok = Tokenizer::default();
+        let emb = Embedder::new_static(64, 0);
+        let recs: Vec<TokenizedRecord> = dataset
+            .pairs
+            .iter()
+            .map(|p| TokenizedRecord::from_pair(p, &tok, &emb))
+            .collect();
+        let config = DiscoveryConfig::default();
+        let mut g = c.benchmark_group("obs");
+        g.bench_function("discover_units_swa10_noop", |bch| {
+            let rec = std::sync::Arc::new(wym_obs::Recorder::new());
+            wym_obs::with_recorder(rec, || {
+                bch.iter(|| {
+                    recs.iter().map(|r| discover_units(r, &config).len()).sum::<usize>()
+                })
+            });
+        });
+        g.bench_function("discover_units_swa10_traced", |bch| {
+            let rec = std::sync::Arc::new(wym_obs::Recorder::new_enabled());
+            wym_obs::with_recorder(rec, || {
+                bch.iter(|| {
+                    recs.iter().map(|r| discover_units(r, &config).len()).sum::<usize>()
+                })
+            });
+        });
+        g.finish();
+    }
+
     // Scoring + featurization + impacts on a fitted model.
     {
         let (model, _d, _s, test) = fitted_model(150);

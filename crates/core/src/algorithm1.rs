@@ -58,7 +58,19 @@ pub fn discover_units(record: &TokenizedRecord, config: &DiscoveryConfig) -> Vec
     } else {
         SimMatrix::build_unmasked(record, config.sim)
     };
-    discover_units_cached(record, &matrix, config)
+    let units = discover_units_cached(record, &matrix, config);
+    // The matrix computed entries() similarities once; the θ/η/ε probes
+    // asked for lookups() of them. Their ratio is the per-record reuse
+    // factor of the similarity cache (> 1 ⇒ the cache saved recomputation).
+    if wym_obs::enabled() && matrix.entries() > 0 {
+        wym_obs::hist_observe(
+            "simmatrix.hit_rate",
+            matrix.lookups() as f64 / matrix.entries() as f64,
+        );
+        wym_obs::counter_add("simmatrix.entries", matrix.entries() as u64);
+        wym_obs::counter_add("simmatrix.lookups", matrix.lookups());
+    }
+    units
 }
 
 /// [`discover_units`] over a caller-supplied [`SimMatrix`] (which must have
@@ -96,6 +108,7 @@ fn discover_units_with(
     config: &DiscoveryConfig,
     probe: impl Fn(&[TokenRef], &[TokenRef], f32) -> Vec<SmPair>,
 ) -> Vec<DecisionUnit> {
+    let _span = wym_obs::span("pair");
     let mut paired: Vec<DecisionUnit> = Vec::new();
     let mut nx: Vec<TokenRef> = Vec::new();
     let mut ny: Vec<TokenRef> = Vec::new();
@@ -125,6 +138,8 @@ fn discover_units_with(
         ny.extend(record.right.attr_refs(a));
     }
 
+    let phase1_units = paired.len();
+
     // Phase 2 — inter-attribute correspondences (lines 9-12).
     let m = probe(&nx, &ny, config.eta);
     nx.retain(|t| !m.iter().any(|(l, _, _)| l == t));
@@ -134,6 +149,8 @@ fn discover_units_with(
         right,
         similarity,
     }));
+
+    let phase2_units = paired.len() - phase1_units;
 
     // Phase 3 — one-to-many correspondences with already paired tokens
     // (lines 13-17).
@@ -175,10 +192,24 @@ fn discover_units_with(
         similarity,
     }));
 
+    let phase3_units = paired.len() - phase1_units - phase2_units;
+
     // N_r = N_x ∪ N_y (line 18).
     let mut units = paired;
     units.extend(nx.into_iter().map(|token| DecisionUnit::Unpaired { token, side: Side::Left }));
     units.extend(ny.into_iter().map(|token| DecisionUnit::Unpaired { token, side: Side::Right }));
+
+    // Phase-by-phase accounting: the three paired-phase counters plus the
+    // unpaired counter always sum to `pair.units` (asserted by tests).
+    if wym_obs::enabled() {
+        let unpaired = units.len() - phase1_units - phase2_units - phase3_units;
+        wym_obs::counter_add("pair.phase1_units", phase1_units as u64);
+        wym_obs::counter_add("pair.phase2_units", phase2_units as u64);
+        wym_obs::counter_add("pair.phase3_units", phase3_units as u64);
+        wym_obs::counter_add("pair.unpaired_units", unpaired as u64);
+        wym_obs::counter_add("pair.units", units.len() as u64);
+        wym_obs::hist_observe("pair.units_per_record", units.len() as f64);
+    }
     units
 }
 
@@ -332,6 +363,66 @@ mod tests {
         let units = discover_units(&rec, &cfg);
         check_constraints(&rec, &units).unwrap();
         assert_eq!(units.iter().filter(|u| u.is_paired()).count(), 2);
+    }
+
+    #[test]
+    fn phase_counters_sum_to_total_unit_count() {
+        use std::sync::Arc;
+        // Mixed record: exercises all three phases plus unpaired leftovers.
+        let recs = [
+            record(
+                vec!["exch srvr external sa eng 39400416", "microsoft licenses", "42166"],
+                vec!["39400416 exch svr external sa", "microsoft licenses", "22575"],
+            ),
+            record(vec!["sony camera camera", ""], vec!["camera", "sony"]),
+            record(vec!["zzzz qqqq"], vec!["wwww kkkk"]),
+        ];
+        let obs = Arc::new(wym_obs::Recorder::new_enabled());
+        let total_units: usize = wym_obs::with_recorder(Arc::clone(&obs), || {
+            recs.iter()
+                .map(|rec| discover_units(rec, &DiscoveryConfig::default()).len())
+                .sum()
+        });
+        let snap = obs.snapshot();
+        let phases: u64 = ["pair.phase1_units", "pair.phase2_units", "pair.phase3_units"]
+            .iter()
+            .map(|c| snap.counter(c).unwrap_or(0))
+            .sum();
+        let unpaired = snap.counter("pair.unpaired_units").unwrap_or(0);
+        assert_eq!(
+            phases + unpaired,
+            total_units as u64,
+            "phase counters must account for every decision unit: {:?}",
+            snap.counters
+        );
+        assert_eq!(snap.counter("pair.units"), Some(total_units as u64));
+        assert!(phases > 0, "expected paired units across phases");
+        assert_eq!(snap.span_count("pair"), recs.len() as u64);
+    }
+
+    #[test]
+    fn simmatrix_cache_stats_report_reuse() {
+        use std::sync::Arc;
+        let rec = record(
+            vec!["digital camera lens kit bundle", "sony"],
+            vec!["digital camera lens pack", "sony"],
+        );
+        let obs = Arc::new(wym_obs::Recorder::new_enabled());
+        wym_obs::with_recorder(Arc::clone(&obs), || {
+            let _ = discover_units(&rec, &DiscoveryConfig::default());
+        });
+        let snap = obs.snapshot();
+        let entries = snap.counter("simmatrix.entries").expect("entries counted");
+        let lookups = snap.counter("simmatrix.lookups").expect("lookups counted");
+        assert!(entries > 0);
+        assert!(
+            lookups >= entries,
+            "θ/η/ε probes must consult each cached entry at least once \
+             on this record (lookups {lookups} vs entries {entries})"
+        );
+        let h = snap.histogram("simmatrix.hit_rate").expect("hit-rate histogram");
+        assert_eq!(h.count(), 1);
+        assert!(h.mean() >= 1.0, "reuse factor {}", h.mean());
     }
 
     #[test]

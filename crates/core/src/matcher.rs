@@ -75,6 +75,7 @@ impl ExplainableMatcher {
         val: &[(&[DecisionUnit], &[f32], bool)],
     ) -> ExplainableMatcher {
         assert!(!train.is_empty(), "cannot fit the matcher on zero records");
+        let _span = wym_obs::span("matcher_fit");
         let specs =
             if config.simplified_features { simplified_specs() } else { full_specs(n_attrs) };
         let build = |rows: &[(&[DecisionUnit], &[f32], bool)]| {
@@ -114,6 +115,7 @@ impl ExplainableMatcher {
 
     /// Match probability of one record.
     pub fn predict_proba(&self, units: &[DecisionUnit], scores: &[f32]) -> f32 {
+        let _span = wym_obs::span("classify");
         let mut x = Matrix::zeros(0, self.specs.len());
         x.push_row(&featurize(&self.specs, units, scores));
         self.selected.predict_proba(&x)[0]
@@ -124,6 +126,8 @@ impl ExplainableMatcher {
         if rows.is_empty() {
             return Vec::new();
         }
+        let _span = wym_obs::span("classify");
+        wym_obs::counter_add("classify.records", rows.len() as u64);
         let mut x = Matrix::zeros(0, self.specs.len());
         for (units, scores) in rows {
             x.push_row(&featurize(&self.specs, units, scores));

@@ -72,6 +72,10 @@ pub struct SimMatrix {
     /// Whether `blocked` was computed — [`Self::build_unmasked`] skips it,
     /// which makes `code_heuristic = true` lookups invalid.
     masked: bool,
+    /// Similarity lookups served from this matrix (only counted while obs
+    /// recording is enabled — see [`Self::note_lookups`]). Relaxed atomic:
+    /// the count feeds a cache-reuse metric, never control flow.
+    lookups: std::sync::atomic::AtomicU64,
 }
 
 impl SimMatrix {
@@ -182,7 +186,35 @@ impl SimMatrix {
             }
         }
 
-        SimMatrix { n_right, left_offsets, right_offsets, sims, blocked, masked }
+        SimMatrix {
+            n_right,
+            left_offsets,
+            right_offsets,
+            sims,
+            blocked,
+            masked,
+            lookups: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Number of similarity entries the matrix holds (`|L| × |R|`). Each was
+    /// computed exactly once at build time, so `lookups() / entries()` is the
+    /// matrix's reuse factor — the quantity the `simmatrix.hit_rate`
+    /// histogram tracks per record.
+    pub fn entries(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Lookups served so far (0 unless obs recording was enabled).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Counts `n` served lookups. Callers gate on [`wym_obs::enabled`] and
+    /// report at probe granularity (`|left| × |right|` per stable-marriage
+    /// probe), keeping the disabled path free of atomics in inner loops.
+    pub fn note_lookups(&self, n: u64) {
+        self.lookups.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
     }
 
     fn offsets(tokens: &[Vec<String>]) -> Vec<usize> {
@@ -257,6 +289,9 @@ pub fn get_sm_pairs_cached(
         !code_heuristic || matrix.masked,
         "code_heuristic lookup on a matrix from build_unmasked"
     );
+    if wym_obs::enabled() {
+        matrix.note_lookups((left.len() * right.len()) as u64);
+    }
     // Discovery fires several probes per record; a thread-local scratch
     // keeps their working buffers warm instead of paying ~7 allocations
     // per probe. Every buffer is fully rewritten before use, so results

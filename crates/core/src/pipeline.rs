@@ -13,6 +13,65 @@ use wym_embed::{Embedder, EmbedderKind};
 use wym_ml::{f1_score, ClassifierKind};
 use wym_tokenize::Tokenizer;
 
+/// The canonical pipeline stages, in execution order. Each name matches the
+/// span the corresponding subsystem opens, so registering them (see
+/// [`ObsOptions::apply`]) makes every stage appear in observability
+/// snapshots — with a span count of 0 when it silently never ran, which is
+/// what the smoke check greps for.
+pub const PIPELINE_STAGES: &[&str] =
+    &["tokenize", "embed", "pair", "score", "classify", "explain"];
+
+/// Observability section of [`WymConfig`].
+///
+/// Deserialization treats a missing section as the default (everything
+/// off), so configs and model snapshots saved before this section existed
+/// keep loading.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ObsOptions {
+    /// Record spans and metrics while this model runs (the `--trace` flag).
+    pub enabled: bool,
+    /// Where to write the JSON metrics export (`--metrics-out`); `None`
+    /// leaves the choice to the caller (the CLI defaults to
+    /// `results/OBS_run.json`).
+    pub metrics_out: Option<String>,
+}
+
+#[allow(clippy::derivable_impls)]
+impl Default for ObsOptions {
+    fn default() -> Self {
+        Self { enabled: false, metrics_out: None }
+    }
+}
+
+impl serde::Deserialize for ObsOptions {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        // Null means the config predates the observability section.
+        if matches!(v, serde::Value::Null) {
+            return Ok(Self::default());
+        }
+        Ok(Self {
+            enabled: Option::<bool>::from_value(v.field("enabled"))
+                .map_err(|e| e.in_field("enabled"))?
+                .unwrap_or(false),
+            metrics_out: Option::<String>::from_value(v.field("metrics_out"))
+                .map_err(|e| e.in_field("metrics_out"))?,
+        })
+    }
+}
+
+impl ObsOptions {
+    /// Applies the section to the active recorder: registers the
+    /// [`PIPELINE_STAGES`] and enables recording when `enabled` is set.
+    /// Never *disables* a recorder the caller already enabled (e.g. via
+    /// `--trace` with a config that doesn't mention observability).
+    pub fn apply(&self) {
+        wym_obs::register_stages(PIPELINE_STAGES);
+        if self.enabled {
+            wym_obs::set_enabled(true);
+        }
+    }
+}
+
 /// Full configuration of a WYM model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WymConfig {
@@ -38,6 +97,8 @@ pub struct WymConfig {
     pub n_threads: usize,
     /// Global seed.
     pub seed: u64,
+    /// Observability: structured tracing and metrics recording.
+    pub obs: ObsOptions,
 }
 
 impl Default for WymConfig {
@@ -52,6 +113,7 @@ impl Default for WymConfig {
             rules: Vec::new(),
             n_threads: 0,
             seed: 0,
+            obs: ObsOptions::default(),
         }
     }
 }
@@ -176,9 +238,11 @@ impl WymModel {
         split: &SplitIndices,
         config: WymConfig,
     ) -> (WymModel, FitTimings) {
+        assert!(!split.train.is_empty(), "training split is empty");
+        config.obs.apply();
+        let _span = wym_obs::span("fit");
         let mut timings = FitTimings::default();
         let stage_start = std::time::Instant::now();
-        assert!(!split.train.is_empty(), "training split is empty");
         let tokenizer = Tokenizer::default();
 
         // 1. Embedder (trained variants see a capped slice of train records).
@@ -293,6 +357,7 @@ impl WymModel {
 
     /// Tokenize → embed → discover → score one record pair.
     pub fn process(&self, pair: &RecordPair) -> ProcessedRecord {
+        let _span = wym_obs::span("process");
         let record = TokenizedRecord::from_pair(pair, &self.tokenizer, &self.embedder);
         let units = discover_units(&record, &self.config.discovery);
         let raw = self.scorer.score_units(&record, &units);
@@ -334,6 +399,7 @@ impl WymModel {
 
     /// Explains an already processed record.
     pub fn explain_processed(&self, proc: &ProcessedRecord) -> Explanation {
+        let _span = wym_obs::span("explain");
         let prediction = self.predict_processed(proc);
         let impacts = self.matcher.impacts(&proc.units, &proc.relevances);
         Explanation::build(
@@ -485,6 +551,56 @@ mod tests {
         let a = model.predict(pair);
         let b = model.predict(pair);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_without_obs_section_still_deserializes() {
+        use serde::{Deserialize, Serialize, Value};
+        // Simulate a config serialized before the observability section
+        // existed by deleting the `obs` key from a fresh serialization.
+        let mut v = fast_config().to_value();
+        if let Value::Object(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "obs");
+        }
+        let cfg = WymConfig::from_value(&v).expect("old config must load");
+        assert_eq!(cfg.obs, ObsOptions::default());
+
+        // And a round trip with the section present preserves it.
+        let mut cfg2 = fast_config();
+        cfg2.obs = ObsOptions { enabled: true, metrics_out: Some("x.json".into()) };
+        let back = WymConfig::from_value(&cfg2.to_value()).unwrap();
+        assert_eq!(back.obs, cfg2.obs);
+    }
+
+    #[test]
+    fn traced_fit_and_explain_cover_every_pipeline_stage() {
+        use std::sync::Arc;
+        let dataset = beer_subset();
+        let split = paper_split(&dataset, 0);
+        let obs = Arc::new(wym_obs::Recorder::new_enabled());
+        wym_obs::with_recorder(Arc::clone(&obs), || {
+            let mut cfg = fast_config();
+            cfg.obs.enabled = true;
+            cfg.n_threads = 2;
+            let model = WymModel::fit(&dataset, &split, cfg);
+            let _ = model.explain(&dataset.pairs[split.test[0]]);
+        });
+        let snap = obs.snapshot();
+        for (stage, count) in &snap.stages {
+            assert!(*count > 0, "stage {stage} reported zero spans: {:?}", snap.stages);
+        }
+        assert_eq!(
+            snap.stages.len(),
+            PIPELINE_STAGES.len(),
+            "every canonical stage must be registered"
+        );
+        // Worker spans nested under fit, not orphaned at the root.
+        assert!(snap.span_count("fit") == 1, "{:?}", snap.spans);
+        assert!(
+            snap.spans.iter().any(|s| s.path.starts_with("fit/") && s.path.ends_with("pair")),
+            "pair spans must aggregate under fit: {:?}",
+            snap.spans.iter().map(|s| &s.path).collect::<Vec<_>>()
+        );
     }
 
     #[test]

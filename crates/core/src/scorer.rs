@@ -123,6 +123,7 @@ impl RelevanceScorer {
         config: ScorerConfig,
         records: &[(&TokenizedRecord, &[DecisionUnit])],
     ) -> RelevanceScorer {
+        let _span = wym_obs::span("score_train");
         if config.kind != ScorerKind::Neural {
             return RelevanceScorer { config, model: None };
         }
@@ -169,6 +170,7 @@ impl RelevanceScorer {
             x.push_row(f);
             y.push_row(&[*t]);
         }
+        wym_obs::counter_add("score.train_rows", rows.len() as u64);
         let mut mlp = Mlp::new(&MlpConfig::scorer(dim, config.seed));
         let mut train = config.train.clone();
         train.seed = config.seed;
@@ -183,6 +185,7 @@ impl RelevanceScorer {
 
     /// Scores every unit of a record, in `[-1, 1]`.
     pub fn score_units(&self, record: &TokenizedRecord, units: &[DecisionUnit]) -> Vec<f32> {
+        let _span = wym_obs::span("score");
         match self.config.kind {
             ScorerKind::Binary => {
                 units.iter().map(|u| if u.is_paired() { 1.0 } else { 0.0 }).collect()

@@ -81,6 +81,8 @@ impl Embedder {
         seed: u64,
         records: &[(EntityTokens, EntityTokens, bool)],
     ) -> Self {
+        let _span = wym_obs::span("embed_fit");
+        wym_obs::counter_add("embed.fit_records", records.len() as u64);
         let mut embedder = Self::new_static(dim, seed);
         embedder.kind = kind;
         match kind {
@@ -131,6 +133,11 @@ impl Embedder {
     /// The vectors are *contextual*: the same token in a different record
     /// (or attribute) gets a different vector.
     pub fn embed_entity(&self, attr_tokens: &[Vec<String>]) -> Vec<Vec<Vec<f32>>> {
+        let _span = wym_obs::span("embed");
+        if wym_obs::enabled() {
+            let n: usize = attr_tokens.iter().map(|a| a.len()).sum();
+            wym_obs::counter_add("embed.tokens", n as u64);
+        }
         let static_vecs: Vec<Vec<Vec<f32>>> = attr_tokens
             .iter()
             .map(|tokens| tokens.iter().map(|t| self.hashed.embed_token(t)).collect())

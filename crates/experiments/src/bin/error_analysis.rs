@@ -63,4 +63,5 @@ fn main() {
         &rows,
     );
     save_json("error_analysis", &rows_json);
+    opts.flush_obs("error_analysis");
 }

@@ -70,4 +70,5 @@ fn main() {
         &rows,
     );
     save_json("figure4", &rows_json);
+    opts.flush_obs("figure4");
 }

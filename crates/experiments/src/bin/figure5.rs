@@ -66,4 +66,5 @@ fn main() {
         &rows,
     );
     save_json("figure5", &rows_json);
+    opts.flush_obs("figure5");
 }

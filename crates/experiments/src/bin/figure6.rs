@@ -44,4 +44,5 @@ fn main() {
         &rows,
     );
     save_json("figure6", &rows_json);
+    opts.flush_obs("figure6");
 }

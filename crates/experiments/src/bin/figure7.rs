@@ -79,4 +79,5 @@ fn main() {
         &rows,
     );
     save_json("figure7", &rows_json);
+    opts.flush_obs("figure7");
 }

@@ -47,4 +47,5 @@ fn main() {
         &rows,
     );
     save_json("figure8", &rows_json);
+    opts.flush_obs("figure8");
 }

@@ -91,4 +91,5 @@ fn main() {
         &rows,
     );
     save_json("figure9", &rows_json);
+    opts.flush_obs("figure9");
 }

@@ -48,4 +48,5 @@ fn main() {
         &rows,
     );
     save_json("hybrid_units", &rows_json);
+    opts.flush_obs("hybrid_units");
 }

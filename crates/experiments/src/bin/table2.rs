@@ -51,4 +51,5 @@ fn main() {
         &rows,
     );
     save_json("table2", &rows_json);
+    opts.flush_obs("table2");
 }

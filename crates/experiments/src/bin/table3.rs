@@ -92,4 +92,5 @@ fn main() {
         &rows,
     );
     save_json("table3", &rows_json);
+    opts.flush_obs("table3");
 }

@@ -95,4 +95,5 @@ fn main() {
     let headers: Vec<&str> = std::iter::once("Dataset").chain(VARIANTS).collect();
     print_table("Table 4 — component ablations (F1, rank in parentheses)", &headers, &rows);
     save_json("table4", &rows_json);
+    opts.flush_obs("table4");
 }

@@ -94,4 +94,5 @@ fn main() {
     headers.extend(["Avg.", "S.D."]);
     print_table("Table 5 — classifier pool (test F1; best per dataset in bold)", &headers, &rows);
     save_json("table5", &rows_json);
+    opts.flush_obs("table5");
 }

@@ -61,4 +61,5 @@ fn main() {
         &rows,
     );
     save_json("threshold_sweep", &rows_json);
+    opts.flush_obs("threshold_sweep");
 }

@@ -10,6 +10,7 @@ use serde::Serialize;
 use std::time::Instant;
 use wym_core::{discover_units, TokenizedRecord};
 use wym_experiments::{fit_wym, print_table, save_json, HarnessOpts};
+use wym_obs::{Json, Snapshot};
 use wym_tokenize::Tokenizer;
 
 #[derive(Serialize)]
@@ -28,7 +29,10 @@ struct Row {
 /// so later perf work has a trajectory to compare against. Training-side
 /// stages come from [`wym_core::pipeline::FitTimings`]; inference-side
 /// stages are absolute seconds over the explained test slice.
-#[derive(Serialize)]
+///
+/// The file is emitted through the `wym-obs` JSON sink: each row keeps all
+/// of the keys below (old consumers keep working) and additionally carries
+/// that dataset's recorded `spans` array and `metrics` object.
 struct BenchRow {
     dataset: String,
     n_train: usize,
@@ -55,14 +59,57 @@ struct BenchRow {
     impact_s: f64,
 }
 
+impl BenchRow {
+    /// The row as JSON: the backward-compatible flat keys first, then the
+    /// dataset's observability snapshot as `spans` / `metrics` sections.
+    fn to_json(&self, snap: &Snapshot) -> Json {
+        let snap_json = snap.to_json();
+        let mut spans = Json::Arr(Vec::new());
+        let mut metrics = Vec::new();
+        if let Json::Obj(sections) = snap_json {
+            for (key, value) in sections {
+                if key == "spans" {
+                    spans = value;
+                } else {
+                    metrics.push((key, value));
+                }
+            }
+        }
+        Json::obj(vec![
+            ("dataset", Json::str(&self.dataset)),
+            ("n_train", Json::UInt(self.n_train as u64)),
+            ("n_explained", Json::UInt(self.n_explained as u64)),
+            ("fit_s", Json::Num(self.fit_s)),
+            ("embed_fit_s", Json::Num(self.embed_fit_s)),
+            ("discover_fit_s", Json::Num(self.discover_fit_s)),
+            ("score_train_s", Json::Num(self.score_train_s)),
+            ("pool_fit_s", Json::Num(self.pool_fit_s)),
+            ("embed_s", Json::Num(self.embed_s)),
+            ("discover_s", Json::Num(self.discover_s)),
+            ("score_s", Json::Num(self.score_s)),
+            ("predict_s", Json::Num(self.predict_s)),
+            ("impact_s", Json::Num(self.impact_s)),
+            ("spans", spans),
+            ("metrics", Json::Obj(metrics)),
+        ])
+    }
+}
+
 fn main() {
     let opts = HarnessOpts::from_args();
+    // The timing binary always records: its whole point is performance
+    // telemetry, and the spans/metrics sections of BENCH_timing.json
+    // should be populated without requiring --trace.
+    wym_obs::set_enabled(true);
     let tokenizer = Tokenizer::default();
     let mut rows_json = Vec::new();
-    let mut bench_json = Vec::new();
+    let mut bench_json: Vec<Json> = Vec::new();
     let mut rows = Vec::new();
     for dataset in opts.datasets() {
         eprintln!("[timing] {}", dataset.name);
+        // Per-dataset snapshot: clear metrics from the previous dataset
+        // (the stage registry survives).
+        wym_obs::reset();
         let run = fit_wym(&dataset, opts.wym_config(), opts.seed);
         let n_train = run.split.train.len() + run.split.val.len();
         let train_tp = n_train as f64 / run.fit_seconds.max(1e-9);
@@ -100,7 +147,7 @@ fn main() {
         }
         let total = (t_embed + t_discover + t_score + t_predict + t_impact).max(1e-9);
         let pct = |t: f64| 100.0 * t / total;
-        bench_json.push(BenchRow {
+        let bench_row = BenchRow {
             dataset: dataset.name.clone(),
             n_train,
             n_explained: sample.len(),
@@ -114,7 +161,8 @@ fn main() {
             score_s: t_score,
             predict_s: t_predict,
             impact_s: t_impact,
-        });
+        };
+        bench_json.push(bench_row.to_json(&wym_obs::snapshot()));
         let row = Row {
             dataset: dataset.name.clone(),
             train_records_per_s: train_tp,
@@ -152,5 +200,13 @@ fn main() {
         &rows,
     );
     save_json("timing", &rows_json);
-    save_json("BENCH_timing", &bench_json);
+    // BENCH_timing.json goes through the obs JSON writer so the per-dataset
+    // spans/metrics sections share one serializer with OBS_*.json exports.
+    let _ = std::fs::create_dir_all("results");
+    let bench_path = "results/BENCH_timing.json";
+    match std::fs::write(bench_path, Json::Arr(bench_json).pretty()) {
+        Ok(()) => println!("\n→ results saved to {bench_path}"),
+        Err(e) => eprintln!("warning: could not write {bench_path}: {e}"),
+    }
+    opts.flush_obs("timing");
 }

@@ -65,4 +65,5 @@ fn main() {
         &rows,
     );
     save_json("user_study_proxy", &rows_json);
+    opts.flush_obs("user_study_proxy");
 }

@@ -36,17 +36,32 @@ pub struct HarnessOpts {
     pub threads: usize,
     /// Restrict to these dataset short names (default: all twelve).
     pub datasets: Option<Vec<String>>,
+    /// Record spans and metrics; print the stderr summary at exit.
+    pub trace: bool,
+    /// Where to write the JSON metrics snapshot (`None` = only when
+    /// tracing, at `results/OBS_<binary>.json`).
+    pub metrics_out: Option<String>,
 }
 
 impl Default for HarnessOpts {
     fn default() -> Self {
-        Self { full: false, quick: false, cap: 800, seed: 7, threads: 0, datasets: None }
+        Self {
+            full: false,
+            quick: false,
+            cap: 800,
+            seed: 7,
+            threads: 0,
+            datasets: None,
+            trace: false,
+            metrics_out: None,
+        }
     }
 }
 
 impl HarnessOpts {
     /// Parses `--full`, `--quick`, `--cap N`, `--seed N`, `--threads N`,
-    /// `--datasets A,B,…` from `std::env::args`.
+    /// `--datasets A,B,…`, `--trace`, `--metrics-out FILE` from
+    /// `std::env::args`. Enables obs recording when tracing is requested.
     pub fn from_args() -> Self {
         let mut opts = Self::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +69,12 @@ impl HarnessOpts {
         while i < args.len() {
             match args[i].as_str() {
                 "--full" => opts.full = true,
+                "--trace" => opts.trace = true,
+                "--metrics-out" => {
+                    i += 1;
+                    opts.metrics_out =
+                        Some(args.get(i).expect("--metrics-out needs a path").clone());
+                }
                 "--quick" => {
                     opts.quick = true;
                     opts.cap = 300;
@@ -89,7 +110,34 @@ impl HarnessOpts {
             }
             i += 1;
         }
+        wym_obs::register_stages(wym_core::pipeline::PIPELINE_STAGES);
+        if opts.trace || opts.metrics_out.is_some() {
+            wym_obs::set_enabled(true);
+        }
         opts
+    }
+
+    /// Emits the recorded observability snapshot: stderr summary under
+    /// `--trace`, JSON export to `--metrics-out` (default
+    /// `results/OBS_<name>.json` when tracing). Call once at the end of an
+    /// experiment binary; a no-op when neither flag was given.
+    pub fn flush_obs(&self, name: &str) {
+        use wym_obs::Sink;
+        if !self.trace && self.metrics_out.is_none() {
+            return;
+        }
+        let snap = wym_obs::snapshot();
+        if self.trace {
+            let _ = wym_obs::StderrSink.emit(&snap);
+        }
+        let path = self
+            .metrics_out
+            .clone()
+            .unwrap_or_else(|| format!("results/OBS_{name}.json"));
+        match wym_obs::JsonFileSink::new(&path).emit(&snap) {
+            Ok(()) => eprintln!("→ metrics saved to {path}"),
+            Err(e) => eprintln!("warning: cannot write metrics to {path}: {e}"),
+        }
     }
 
     /// The twelve benchmark datasets (or the `--datasets` selection),

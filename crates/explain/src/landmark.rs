@@ -36,6 +36,7 @@ impl Landmark {
     /// Explains the prediction, returning one attribution per word token of
     /// both sides (each side explained against the other as landmark).
     pub fn explain(&self, model: &dyn EmPredictor, pair: &RecordPair) -> Vec<TokenAttribution> {
+        let _span = wym_obs::span("landmark");
         let tokens = enumerate_tokens(pair);
         let mut out = Vec::with_capacity(tokens.len());
         for side in [0usize, 1usize] {

@@ -38,6 +38,7 @@ impl Default for LemonLite {
 impl LemonLite {
     /// Explains the prediction at single-token granularity.
     pub fn explain(&self, model: &dyn EmPredictor, pair: &RecordPair) -> Vec<TokenAttribution> {
+        let _span = wym_obs::span("lemon");
         let tokens = enumerate_tokens(pair);
         if tokens.is_empty() {
             return Vec::new();

@@ -36,6 +36,7 @@ impl LimeText {
     /// Explains `model`'s prediction on `pair`, returning one attribution
     /// per word token. Positive weights push toward *match*.
     pub fn explain(&self, model: &dyn EmPredictor, pair: &RecordPair) -> Vec<TokenAttribution> {
+        let _span = wym_obs::span("lime");
         let tokens = enumerate_tokens(pair);
         let d = tokens.len();
         if d == 0 {

@@ -138,6 +138,7 @@ impl ClassifierPool {
     ) -> SelectedModel {
         assert!(!y_train.is_empty(), "empty training set");
         assert_eq!(x_train.cols(), x_val.cols(), "train / val width mismatch");
+        let _span = wym_obs::span("pool_fit");
         let (scaler, xs_train) = StandardScaler::fit_transform(x_train);
         let xs_val = scaler.transform(x_val);
 
@@ -147,6 +148,9 @@ impl ClassifierPool {
         // the earliest kind on ties — identical selection to the old
         // sequential loop for every thread count.
         let scores = wym_par::map_indexed(&self.kinds, self.n_threads, |_, &kind| {
+            // One span per pool member, named after the classifier, so a
+            // trace shows which member dominates pool-fit wall clock.
+            let _span = wym_obs::span(kind.short_name());
             let mut model = kind.build(self.seed);
             model.fit(&xs_train, y_train);
             if y_val.is_empty() {

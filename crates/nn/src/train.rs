@@ -58,6 +58,8 @@ pub struct TrainReport {
 pub fn fit(mlp: &mut Mlp, x: &Matrix, y: &Matrix, config: &TrainConfig) -> TrainReport {
     assert_eq!(x.rows(), y.rows(), "x / y row mismatch");
     assert!(x.rows() > 0, "cannot train on an empty dataset");
+    let _span = wym_obs::span("nn_fit");
+    let telemetry = wym_obs::enabled();
     let n = x.rows();
     let bs = config.batch_size.clamp(1, n);
     let mut rng = Rng64::new(config.seed);
@@ -72,21 +74,42 @@ pub fn fit(mlp: &mut Mlp, x: &Matrix, y: &Matrix, config: &TrainConfig) -> Train
         rng.shuffle(&mut order);
         let mut total = 0.0f64;
         let mut batches = 0usize;
+        let mut grad_sq = 0.0f64;
         for chunk in order.chunks(bs) {
             let bx = x.select_rows(chunk);
             let by = y.select_rows(chunk);
             let (loss, grads) = mlp.loss_and_grads(&bx, &by);
+            if telemetry {
+                for g in &grads {
+                    grad_sq +=
+                        g.dw.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+                    grad_sq += g.db.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+                }
+            }
             adam.step(mlp.layers_mut(), &grads);
             total += loss as f64;
             batches += 1;
         }
         let epoch_loss = (total / batches.max(1) as f64) as f32;
         epoch_losses.push(epoch_loss);
+        if telemetry {
+            wym_obs::hist_observe("nn.epoch_loss", epoch_loss as f64);
+            // RMS per-batch gradient L2 norm: batch count cancels scale so
+            // epochs of different batch counts stay comparable.
+            wym_obs::hist_observe(
+                "nn.epoch_grad_norm",
+                (grad_sq / batches.max(1) as f64).sqrt(),
+            );
+        }
         if epoch_loss <= config.loss_target {
             break;
         }
     }
     let final_loss = epoch_losses.last().copied().unwrap_or(f32::INFINITY);
+    if telemetry {
+        wym_obs::gauge_set("nn.final_loss", final_loss as f64);
+        wym_obs::counter_add("nn.epochs_run", epoch_losses.len() as u64);
+    }
     TrainReport { epochs_run: epoch_losses.len(), epoch_losses, final_loss }
 }
 
@@ -166,6 +189,43 @@ mod tests {
             r.final_loss
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn telemetry_records_per_epoch_loss_and_grad_norm() {
+        use std::sync::Arc;
+        let mut rng = Rng64::new(2);
+        let x = Matrix::randn(32, 2, 1.0, &mut rng);
+        let y = Matrix::from_vec(32, 1, x.iter_rows().map(|r| r[0]).collect());
+        let mut mlp = Mlp::new(&MlpConfig {
+            layer_sizes: vec![2, 4, 1],
+            hidden: crate::Activation::Relu,
+            output: crate::Activation::Identity,
+            loss: crate::Loss::Mse,
+            seed: 0,
+        });
+        let obs = Arc::new(wym_obs::Recorder::new_enabled());
+        let report = wym_obs::with_recorder(Arc::clone(&obs), || {
+            fit(
+                &mut mlp,
+                &x,
+                &y,
+                &TrainConfig { epochs: 7, batch_size: 8, lr: 0.01, ..TrainConfig::default() },
+            )
+        });
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("nn.epochs_run"), Some(7));
+        let losses = snap.histogram("nn.epoch_loss").expect("loss histogram");
+        assert_eq!(losses.count(), 7, "one loss observation per epoch");
+        assert!((losses.sum()
+            - report.epoch_losses.iter().map(|&l| l as f64).sum::<f64>())
+        .abs()
+            < 1e-6);
+        let grads = snap.histogram("nn.epoch_grad_norm").expect("grad-norm histogram");
+        assert_eq!(grads.count(), 7);
+        assert!(grads.min() > 0.0, "gradients should be nonzero while learning");
+        assert_eq!(snap.gauge("nn.final_loss"), Some(report.final_loss as f64));
+        assert_eq!(snap.span_count("nn_fit"), 1);
     }
 
     #[test]

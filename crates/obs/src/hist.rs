@@ -1,0 +1,169 @@
+//! Fixed-bucket histograms.
+//!
+//! A histogram with boundaries `b_0 < b_1 < … < b_{n-1}` has `n + 1`
+//! buckets. The bucket contract, which tests assert, is **lower-inclusive,
+//! upper-exclusive**:
+//!
+//! * bucket `0` counts values `v < b_0`;
+//! * bucket `i` (for `1 ≤ i < n`) counts values `b_{i-1} ≤ v < b_i`;
+//! * the overflow bucket `n` counts values `v ≥ b_{n-1}` (NaN lands here
+//!   too — it compares false against every boundary).
+//!
+//! A value exactly on a boundary therefore always lands in the bucket
+//! *above* it.
+
+/// The default bucket boundaries: a log-ish ladder wide enough for the
+/// quantities WYM records (ratios, counts per record, losses, seconds).
+pub fn default_bounds() -> Vec<f64> {
+    vec![0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 1000.0]
+}
+
+/// A fixed-bucket histogram with running sum / min / max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds` (must be strictly increasing).
+    ///
+    /// # Panics
+    /// Panics when `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one boundary");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram boundaries must be strictly increasing: {bounds:?}"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index `v` falls into under the module-level contract.
+    pub fn bucket_index(bounds: &[f64], v: f64) -> usize {
+        bounds.iter().position(|&b| v < b).unwrap_or(bounds.len())
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = Self::bucket_index(&self.bounds, v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// The bucket boundaries.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds().len() + 1` entries, overflow last).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_values_land_in_the_upper_bucket() {
+        // Bounds [1, 2, 4] → buckets (-∞,1) [1,2) [2,4) [4,∞).
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(0.5); // bucket 0: below the first bound
+        h.observe(1.0); // bucket 1: lower bound is inclusive
+        h.observe(1.999); // bucket 1: upper bound is exclusive
+        h.observe(2.0); // bucket 2
+        h.observe(4.0); // overflow: v ≥ last bound
+        h.observe(100.0); // overflow
+        assert_eq!(h.counts(), &[1, 2, 1, 2]);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn bucket_index_contract() {
+        let b = [1.0, 2.0, 4.0];
+        assert_eq!(Histogram::bucket_index(&b, 0.99), 0);
+        assert_eq!(Histogram::bucket_index(&b, 1.0), 1);
+        assert_eq!(Histogram::bucket_index(&b, 2.0), 2);
+        assert_eq!(Histogram::bucket_index(&b, 3.99), 2);
+        assert_eq!(Histogram::bucket_index(&b, 4.0), 3);
+        assert_eq!(Histogram::bucket_index(&b, f64::NAN), 3, "NaN goes to overflow");
+    }
+
+    #[test]
+    fn stats_track_sum_min_max() {
+        let mut h = Histogram::new(&[10.0]);
+        h.observe(2.0);
+        h.observe(6.0);
+        assert_eq!(h.sum(), 8.0);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.min(), 2.0);
+        assert_eq!(h.max(), 6.0);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn default_bounds_are_valid() {
+        let _ = Histogram::new(&default_bounds());
+    }
+}

@@ -1,0 +1,180 @@
+//! A minimal JSON value tree and printer.
+//!
+//! `wym-obs` is dependency-free, so its sinks carry their own JSON writer
+//! instead of pulling in the workspace's vendored serde. The float and
+//! string formatting deliberately mirrors `vendor/serde_json` (integral
+//! floats keep a `.0` marker, non-finite floats print as `null`, control
+//! characters are `\u` escaped) so files written by either serializer look
+//! alike and existing JSON consumers keep working.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (counters can exceed `i64`).
+    UInt(u64),
+    /// Float.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with preserved key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Compact rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering (2-space indent), newline-terminated.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::UInt(n) => out.push_str(&n.to_string()),
+            Json::Num(n) if !n.is_finite() => out.push_str("null"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{n:.1}"));
+                } else {
+                    out.push_str(&n.to_string());
+                }
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                write_items(out, items.len(), indent, depth, |out, i, ind, d| {
+                    items[i].write(out, ind, d);
+                });
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                write_items(out, pairs.len(), indent, depth, |out, i, ind, d| {
+                    write_string(out, &pairs[i].0);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    pairs[i].1.write(out, ind, d);
+                });
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_items(
+    out: &mut String,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, usize, Option<usize>, usize),
+) {
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(step * (depth + 1)));
+        }
+        write_item(out, i, indent, depth + 1);
+    }
+    if len > 0 {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(step * depth));
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_like_serde_json() {
+        assert_eq!(Json::Num(2.0).render(), "2.0", "integral floats keep .0");
+        assert_eq!(Json::Num(2.5).render(), "2.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Int(-3).render(), "-3");
+        assert_eq!(Json::UInt(u64::MAX).render(), u64::MAX.to_string());
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Null.render(), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::str("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Json::obj(vec![
+            ("xs", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("name", Json::str("wym")),
+        ]);
+        assert_eq!(v.render(), r#"{"xs":[1,2],"name":"wym"}"#);
+    }
+
+    #[test]
+    fn pretty_indents_and_terminates_with_newline() {
+        let v = Json::obj(vec![("a", Json::Int(1))]);
+        assert_eq!(v.pretty(), "{\n  \"a\": 1\n}\n");
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]\n");
+    }
+}

@@ -1,0 +1,360 @@
+//! `wym-obs` — observability substrate for the WYM pipeline.
+//!
+//! The paper's claim is interpretability of *decisions*; this crate is the
+//! operational counterpart — interpretability of the *system*. It provides
+//! three primitives, all dependency-free:
+//!
+//! 1. **Spans** ([`span`]) — hierarchical wall-clock regions with
+//!    nanosecond timing. A span's path is its name prefixed by the names of
+//!    the spans open on the current thread (`fit/discover/pair`). Paths
+//!    cross thread boundaries through [`capture`] / [`in_context`], which
+//!    `wym-par` workers use so their spans aggregate under the logical
+//!    parent instead of becoming orphan roots.
+//! 2. **Metrics** — monotonically increasing counters ([`counter_add`]),
+//!    last-value gauges ([`gauge_set`]), and fixed-bucket histograms
+//!    ([`hist_observe`] / [`hist_observe_with`], see [`Histogram`] for the
+//!    bucket-boundary contract).
+//! 3. **Sinks** ([`sink`]) — a human-readable stderr summary, a
+//!    machine-readable JSON file export, and a no-op sink. Recording itself
+//!    is off by default: every instrumentation point first checks
+//!    [`enabled`], so an un-traced run pays one thread-local read plus one
+//!    relaxed atomic load per call site and allocates nothing.
+//!
+//! Recording goes to the *active* [`Recorder`]: a thread-local override
+//! installed by [`with_recorder`] (used by tests to isolate themselves from
+//! concurrently running instrumented code), falling back to a process-wide
+//! global. Aggregation is deterministic in totals — span counts, counter
+//! values, and histogram bucket counts are identical for any thread count —
+//! while nanosecond totals naturally vary run to run.
+
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod sink;
+
+pub use hist::Histogram;
+pub use json::Json;
+pub use recorder::{Recorder, Snapshot, SpanStat};
+pub use sink::{JsonFileSink, NoopSink, Sink, StderrSink};
+
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// The process-wide default recorder (disabled until [`set_enabled`]).
+pub fn global() -> &'static Arc<Recorder> {
+    static GLOBAL: OnceLock<Arc<Recorder>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Recorder::new()))
+}
+
+thread_local! {
+    /// Per-thread recorder override (tests, propagated worker contexts).
+    static LOCAL: RefCell<Option<Arc<Recorder>>> = const { RefCell::new(None) };
+    /// Names of the spans currently open on this thread, root first.
+    static PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The recorder instrumentation points write to on this thread, if it is
+/// enabled; `None` otherwise. This is the common fast-path gate: one
+/// thread-local read plus one relaxed atomic load.
+fn active() -> Option<Arc<Recorder>> {
+    LOCAL.with(|l| {
+        let local = l.borrow();
+        let rec = local.as_ref().unwrap_or_else(|| global());
+        if rec.is_enabled() {
+            Some(Arc::clone(rec))
+        } else {
+            None
+        }
+    })
+}
+
+/// Whether the active recorder is currently recording.
+pub fn enabled() -> bool {
+    LOCAL.with(|l| {
+        l.borrow().as_ref().unwrap_or_else(|| global()).is_enabled()
+    })
+}
+
+/// Turns the active recorder on or off.
+pub fn set_enabled(on: bool) {
+    LOCAL.with(|l| {
+        l.borrow().as_ref().unwrap_or_else(|| global()).set_enabled(on);
+    });
+}
+
+/// Runs `f` with `rec` as this thread's recorder (restored afterwards, even
+/// on panic). Lets tests record into a private recorder while unrelated
+/// instrumented code on other threads keeps hitting the (disabled) global.
+pub fn with_recorder<R>(rec: Arc<Recorder>, f: impl FnOnce() -> R) -> R {
+    let _restore = install(Some(rec));
+    f()
+}
+
+/// A snapshot of this thread's observability context: active recorder
+/// override and open span path. Hand it to worker threads via
+/// [`in_context`] so their spans and metrics land under the logical parent.
+#[derive(Clone)]
+pub struct ObsContext {
+    rec: Option<Arc<Recorder>>,
+    path: Vec<String>,
+}
+
+/// Captures the current thread's recorder override and span path.
+pub fn capture() -> ObsContext {
+    ObsContext {
+        rec: LOCAL.with(|l| l.borrow().clone()),
+        path: PATH.with(|p| p.borrow().clone()),
+    }
+}
+
+/// Runs `f` under a captured context (recorder override + span path),
+/// restoring the thread's previous context afterwards, even on panic.
+pub fn in_context<R>(ctx: &ObsContext, f: impl FnOnce() -> R) -> R {
+    let _restore_rec = install(ctx.rec.clone());
+    let prev_path = PATH.with(|p| std::mem::replace(&mut *p.borrow_mut(), ctx.path.clone()));
+    let _restore_path = PathRestore(prev_path);
+    f()
+}
+
+/// RAII restore of the thread-local recorder override.
+fn install(rec: Option<Arc<Recorder>>) -> RecorderRestore {
+    RecorderRestore(LOCAL.with(|l| std::mem::replace(&mut *l.borrow_mut(), rec)))
+}
+
+struct RecorderRestore(Option<Arc<Recorder>>);
+
+impl Drop for RecorderRestore {
+    fn drop(&mut self) {
+        let prev = self.0.take();
+        LOCAL.with(|l| *l.borrow_mut() = prev);
+    }
+}
+
+struct PathRestore(Vec<String>);
+
+impl Drop for PathRestore {
+    fn drop(&mut self) {
+        let prev = std::mem::take(&mut self.0);
+        PATH.with(|p| *p.borrow_mut() = prev);
+    }
+}
+
+/// An open span; records its wall-clock duration under its path on drop.
+/// Inert (no clock read, no allocation) when recording is disabled at open.
+#[must_use = "a span records on drop; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    rec: Option<Arc<Recorder>>,
+    start: Option<Instant>,
+    path: String,
+}
+
+/// Opens a span named `name`, nested under the spans currently open on this
+/// thread. Spans must be closed (dropped) in LIFO order — the natural order
+/// of scope-bound guards.
+pub fn span(name: &str) -> SpanGuard {
+    let Some(rec) = active() else {
+        return SpanGuard { rec: None, start: None, path: String::new() };
+    };
+    let path = PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        p.push(name.to_string());
+        p.join("/")
+    });
+    SpanGuard { rec: Some(rec), start: Some(Instant::now()), path }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec.take() {
+            let ns = self.start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+            rec.record_span(&self.path, ns);
+            PATH.with(|p| {
+                p.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Adds `n` to the counter `name`. No-op when recording is disabled.
+pub fn counter_add(name: &str, n: u64) {
+    if let Some(rec) = active() {
+        rec.counter_add(name, n);
+    }
+}
+
+/// Sets the gauge `name` to `v` (last write wins). No-op when disabled.
+pub fn gauge_set(name: &str, v: f64) {
+    if let Some(rec) = active() {
+        rec.gauge_set(name, v);
+    }
+}
+
+/// Records `v` into histogram `name` with the default bucket boundaries
+/// (see [`hist::default_bounds`]). No-op when disabled.
+pub fn hist_observe(name: &str, v: f64) {
+    if let Some(rec) = active() {
+        rec.hist_observe(name, None, v);
+    }
+}
+
+/// Records `v` into histogram `name`, creating it with `bounds` on first
+/// use (later calls ignore `bounds`). No-op when disabled.
+pub fn hist_observe_with(name: &str, bounds: &[f64], v: f64) {
+    if let Some(rec) = active() {
+        rec.hist_observe(name, Some(bounds), v);
+    }
+}
+
+/// Registers `name` as a pipeline stage. Registered stages always appear in
+/// snapshots with their span count (0 when never entered), so a smoke check
+/// can catch silently-skipped stages. Registration works even while
+/// recording is disabled.
+pub fn register_stage(name: &str) {
+    LOCAL.with(|l| {
+        l.borrow().as_ref().unwrap_or_else(|| global()).register_stage(name);
+    });
+}
+
+/// Registers several pipeline stages at once.
+pub fn register_stages(names: &[&str]) {
+    for name in names {
+        register_stage(name);
+    }
+}
+
+/// Snapshot of the active recorder's aggregated spans and metrics.
+pub fn snapshot() -> Snapshot {
+    LOCAL.with(|l| l.borrow().as_ref().unwrap_or_else(|| global()).snapshot())
+}
+
+/// Clears the active recorder's spans and metrics (registered stages and
+/// the enabled flag survive).
+pub fn reset() {
+    LOCAL.with(|l| {
+        l.borrow().as_ref().unwrap_or_else(|| global()).reset();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local() -> Arc<Recorder> {
+        Arc::new(Recorder::new_enabled())
+    }
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let rec = local();
+        with_recorder(Arc::clone(&rec), || {
+            let _outer = span("outer");
+            for _ in 0..3 {
+                let _inner = span("inner");
+            }
+        });
+        let snap = rec.snapshot();
+        let paths: Vec<(&str, u64)> =
+            snap.spans.iter().map(|s| (s.path.as_str(), s.count)).collect();
+        assert_eq!(paths, vec![("outer", 1), ("outer/inner", 3)]);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Arc::new(Recorder::new()); // disabled
+        with_recorder(Arc::clone(&rec), || {
+            let _s = span("ghost");
+            counter_add("ghost.counter", 5);
+            gauge_set("ghost.gauge", 1.0);
+            hist_observe("ghost.hist", 0.5);
+        });
+        let snap = rec.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_aggregate() {
+        let rec = local();
+        with_recorder(Arc::clone(&rec), || {
+            counter_add("c", 2);
+            counter_add("c", 3);
+            gauge_set("g", 1.0);
+            gauge_set("g", -2.5);
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("c"), Some(5));
+        assert_eq!(snap.gauge("g"), Some(-2.5));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn context_carries_path_and_recorder_across_threads() {
+        let rec = local();
+        let ctx = with_recorder(Arc::clone(&rec), || {
+            let _root = span("root");
+            let ctx = capture();
+            // Worker thread: no local recorder of its own, inherits via ctx.
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    in_context(&ctx, || {
+                        let _w = span("work");
+                    });
+                })
+                .join()
+                .unwrap();
+            });
+            ctx
+        });
+        assert_eq!(ctx.path, vec!["root".to_string()]);
+        let snap = rec.snapshot();
+        assert_eq!(snap.span_count("root/work"), 1);
+    }
+
+    #[test]
+    fn with_recorder_restores_previous_recorder() {
+        let a = local();
+        let b = local();
+        with_recorder(Arc::clone(&a), || {
+            with_recorder(Arc::clone(&b), || counter_add("x", 1));
+            counter_add("x", 10);
+        });
+        assert_eq!(a.snapshot().counter("x"), Some(10));
+        assert_eq!(b.snapshot().counter("x"), Some(1));
+    }
+
+    #[test]
+    fn reset_clears_data_but_keeps_stage_registry() {
+        let rec = local();
+        with_recorder(Arc::clone(&rec), || {
+            register_stage("tokenize");
+            let _s = span("tokenize");
+            counter_add("c", 1);
+        });
+        rec.reset();
+        let snap = rec.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert_eq!(snap.stages, vec![("tokenize".to_string(), 0)]);
+        assert!(rec.is_enabled(), "reset must not disable the recorder");
+    }
+
+    #[test]
+    fn stage_counts_match_any_path_segment() {
+        let rec = local();
+        with_recorder(Arc::clone(&rec), || {
+            register_stages(&["pair", "score"]);
+            let _fit = span("fit");
+            {
+                let _p = span("pair");
+            }
+            {
+                let _p = span("pair");
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.stages, vec![("pair".to_string(), 2), ("score".to_string(), 0)]);
+    }
+}

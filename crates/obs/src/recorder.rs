@@ -1,0 +1,410 @@
+//! The recorder: thread-safe aggregation of spans and metrics.
+//!
+//! All state lives behind one mutex, keyed by `BTreeMap` so snapshots come
+//! out in a deterministic order. Instrumentation points only take the lock
+//! when recording is enabled — the disabled fast path is a single relaxed
+//! atomic load (see the crate docs). Lock traffic while enabled is one
+//! uncontended acquisition per *record-level* event (a span close, a
+//! counter add), not per token or per matrix element: hot loops aggregate
+//! locally and report once.
+
+use crate::hist::{default_bounds, Histogram};
+use crate::json::Json;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Full `/`-separated path (`fit/discover/pair`).
+    pub path: String,
+    /// Number of times the span was entered.
+    pub count: u64,
+    /// Total nanoseconds across all entries.
+    pub total_ns: u64,
+    /// Shortest single entry, in nanoseconds.
+    pub min_ns: u64,
+    /// Longest single entry, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Mean nanoseconds per entry (0 when never entered).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / self.count
+        }
+    }
+
+    /// Depth in the span tree (number of `/` separators).
+    pub fn depth(&self) -> usize {
+        self.path.matches('/').count()
+    }
+
+    /// Last path segment (the span's own name).
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+#[derive(Default)]
+struct State {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+    stages: BTreeSet<String>,
+}
+
+/// A thread-safe span/metric aggregator. Most code uses the process-global
+/// recorder through the crate-level free functions; tests and embedders can
+/// hold their own.
+pub struct Recorder {
+    enabled: AtomicBool,
+    state: Mutex<State>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A disabled recorder.
+    pub fn new() -> Recorder {
+        Recorder { enabled: AtomicBool::new(false), state: Mutex::new(State::default()) }
+    }
+
+    /// A recorder that starts enabled (test convenience).
+    pub fn new_enabled() -> Recorder {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A poisoned lock only means a panic while holding it; the counters
+        // themselves are still coherent, so keep going.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Folds one closed span into the aggregate for `path`.
+    pub fn record_span(&self, path: &str, ns: u64) {
+        let mut st = self.lock();
+        let stat = st.spans.entry(path.to_string()).or_insert_with(|| SpanStat {
+            path: path.to_string(),
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        });
+        stat.count += 1;
+        stat.total_ns += ns;
+        stat.min_ns = stat.min_ns.min(ns);
+        stat.max_ns = stat.max_ns.max(ns);
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.lock().gauges.insert(name.to_string(), v);
+    }
+
+    /// Records `v` into histogram `name`; `bounds` applies only when the
+    /// histogram is created by this call (`None` = default bounds).
+    pub fn hist_observe(&self, name: &str, bounds: Option<&[f64]>, v: f64) {
+        let mut st = self.lock();
+        st.hists
+            .entry(name.to_string())
+            .or_insert_with(|| match bounds {
+                Some(b) => Histogram::new(b),
+                None => Histogram::new(&default_bounds()),
+            })
+            .observe(v);
+    }
+
+    /// Registers a pipeline stage (see [`crate::register_stage`]).
+    pub fn register_stage(&self, name: &str) {
+        self.lock().stages.insert(name.to_string());
+    }
+
+    /// A deterministic snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let st = self.lock();
+        let spans: Vec<SpanStat> = st.spans.values().cloned().collect();
+        let stages = st
+            .stages
+            .iter()
+            .map(|stage| {
+                let count = spans
+                    .iter()
+                    .filter(|s| s.path.split('/').any(|seg| seg == stage))
+                    .map(|s| s.count)
+                    .sum();
+                (stage.clone(), count)
+            })
+            .collect();
+        Snapshot {
+            spans,
+            counters: st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: st.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: st.hists.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            stages,
+        }
+    }
+
+    /// Drops all recorded spans and metrics; keeps the stage registry and
+    /// the enabled flag.
+    pub fn reset(&self) {
+        let mut st = self.lock();
+        st.spans.clear();
+        st.counters.clear();
+        st.gauges.clear();
+        st.hists.clear();
+    }
+}
+
+/// A point-in-time copy of a recorder's aggregates, ordered by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Span statistics, sorted by path.
+    pub spans: Vec<SpanStat>,
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Registered pipeline stages with their span counts — a stage's count
+    /// is the summed count of every span whose path contains the stage name
+    /// as a segment; 0 flags a stage that never ran.
+    pub stages: Vec<(String, u64)>,
+}
+
+impl Snapshot {
+    /// Value of counter `name`, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Value of gauge `name`, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Entry count of the span at exactly `path` (0 when absent).
+    pub fn span_count(&self, path: &str) -> u64 {
+        self.spans.iter().find(|s| s.path == path).map_or(0, |s| s.count)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// The snapshot as a JSON tree — the schema of `results/OBS_*.json`:
+    /// `spans` (array), `counters` / `gauges` (objects), `histograms`
+    /// (objects with `bounds` / `counts` / stats), and `stages` (object,
+    /// zero-valued for registered-but-never-run stages).
+    pub fn to_json(&self) -> Json {
+        let spans = Json::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    Json::obj(vec![
+                        ("path", Json::str(&s.path)),
+                        ("count", Json::UInt(s.count)),
+                        ("total_ns", Json::UInt(s.total_ns)),
+                        ("mean_ns", Json::UInt(s.mean_ns())),
+                        ("min_ns", Json::UInt(s.min_ns)),
+                        ("max_ns", Json::UInt(s.max_ns)),
+                    ])
+                })
+                .collect(),
+        );
+        let counters =
+            Json::Obj(self.counters.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect());
+        let gauges =
+            Json::Obj(self.gauges.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect());
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Json::obj(vec![
+                            ("bounds", Json::Arr(h.bounds().iter().map(|&b| Json::Num(b)).collect())),
+                            ("counts", Json::Arr(h.counts().iter().map(|&c| Json::UInt(c)).collect())),
+                            ("count", Json::UInt(h.count())),
+                            ("sum", Json::Num(h.sum())),
+                            ("mean", Json::Num(h.mean())),
+                            ("min", if h.count() == 0 { Json::Null } else { Json::Num(h.min()) }),
+                            ("max", if h.count() == 0 { Json::Null } else { Json::Num(h.max()) }),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let stages =
+            Json::Obj(self.stages.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect());
+        Json::obj(vec![
+            ("spans", spans),
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+            ("stages", stages),
+        ])
+    }
+
+    /// Human-readable rendering: an indented span tree followed by metric
+    /// tables. This is what [`crate::sink::StderrSink`] prints.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("── spans ─────────────────────────────────────────────\n");
+        if self.spans.is_empty() {
+            out.push_str("(none)\n");
+        }
+        for s in &self.spans {
+            let indent = "  ".repeat(s.depth());
+            let label = format!("{indent}{}", s.name());
+            out.push_str(&format!(
+                "{label:<34} {:>8} × {:>10}  (total {})\n",
+                s.count,
+                fmt_ns(s.mean_ns()),
+                fmt_ns(s.total_ns)
+            ));
+        }
+        if !self.stages.is_empty() {
+            out.push_str("── stages ────────────────────────────────────────────\n");
+            for (stage, count) in &self.stages {
+                let marker = if *count == 0 { "  ⚠ zero spans" } else { "" };
+                out.push_str(&format!("{stage:<34} {count:>8}{marker}\n"));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("── counters ──────────────────────────────────────────\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<34} {v:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("── gauges ────────────────────────────────────────────\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("{name:<34} {v:>12.6}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("── histograms ────────────────────────────────────────\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "{name:<34} n={} mean={:.4} min={:.4} max={:.4}\n",
+                    h.count(),
+                    h.mean(),
+                    if h.count() == 0 { 0.0 } else { h.min() },
+                    if h.count() == 0 { 0.0 } else { h.max() },
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Pretty-prints nanoseconds at a human scale.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_aggregation_tracks_count_total_min_max() {
+        let r = Recorder::new_enabled();
+        r.record_span("a/b", 10);
+        r.record_span("a/b", 30);
+        let snap = r.snapshot();
+        let s = &snap.spans[0];
+        assert_eq!((s.count, s.total_ns, s.min_ns, s.max_ns), (2, 40, 10, 30));
+        assert_eq!(s.mean_ns(), 20);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.name(), "b");
+    }
+
+    #[test]
+    fn snapshot_orders_by_name() {
+        let r = Recorder::new_enabled();
+        r.counter_add("z", 1);
+        r.counter_add("a", 1);
+        r.record_span("beta", 1);
+        r.record_span("alpha", 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "a");
+        assert_eq!(snap.spans[0].path, "alpha");
+    }
+
+    #[test]
+    fn json_snapshot_has_all_sections() {
+        let r = Recorder::new_enabled();
+        r.register_stage("pair");
+        r.record_span("fit/pair", 5);
+        r.counter_add("c", 1);
+        r.gauge_set("g", 0.5);
+        r.hist_observe("h", None, 1.0);
+        let json = r.snapshot().to_json().pretty();
+        for key in ["\"spans\"", "\"counters\"", "\"gauges\"", "\"histograms\"", "\"stages\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"pair\": 1"));
+    }
+
+    #[test]
+    fn text_rendering_flags_zero_span_stages() {
+        let r = Recorder::new_enabled();
+        r.register_stage("explain");
+        let text = r.snapshot().render_text();
+        assert!(text.contains("zero spans"), "{text}");
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+}

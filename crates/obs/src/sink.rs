@@ -1,0 +1,91 @@
+//! Snapshot sinks: where aggregated observability data goes at end of run.
+
+use crate::recorder::Snapshot;
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+/// A destination for a finished [`Snapshot`].
+pub trait Sink {
+    /// Emits `snap` to the sink's destination.
+    fn emit(&mut self, snap: &Snapshot) -> io::Result<()>;
+}
+
+/// Prints the human-readable summary (span tree + metric tables) to stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&mut self, snap: &Snapshot) -> io::Result<()> {
+        let mut err = io::stderr().lock();
+        err.write_all(snap.render_text().as_bytes())
+    }
+}
+
+/// Writes the snapshot as pretty-printed JSON to a file, creating parent
+/// directories as needed. This is what produces `results/OBS_*.json`.
+#[derive(Debug)]
+pub struct JsonFileSink {
+    path: PathBuf,
+}
+
+impl JsonFileSink {
+    /// A sink writing to `path`.
+    pub fn new(path: impl Into<PathBuf>) -> JsonFileSink {
+        JsonFileSink { path: path.into() }
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonFileSink {
+    fn emit(&mut self, snap: &Snapshot) -> io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&self.path, snap.to_json().pretty())
+    }
+}
+
+/// Discards snapshots.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn emit(&mut self, _snap: &Snapshot) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn json_file_sink_writes_pretty_json_and_creates_dirs() {
+        let rec = Recorder::new_enabled();
+        rec.record_span("fit", 1_000);
+        rec.counter_add("c", 7);
+        let dir = std::env::temp_dir().join("wym_obs_sink_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("OBS_test.json");
+        JsonFileSink::new(&path).emit(&rec.snapshot()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"fit\""));
+        assert!(text.contains("\"c\": 7"));
+        assert!(text.ends_with('\n'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn noop_sink_accepts_anything() {
+        let rec = Recorder::new_enabled();
+        rec.counter_add("c", 1);
+        NoopSink.emit(&rec.snapshot()).unwrap();
+    }
+}

@@ -72,7 +72,15 @@ impl Tokenizer {
     /// per attribute. This is the entry point used by the decision unit
     /// generator, which needs to know the attribute each token came from.
     pub fn tokenize_attributes(&self, values: &[String]) -> Vec<Vec<String>> {
-        values.iter().map(|v| self.tokenize(v)).collect()
+        let _span = wym_obs::span("tokenize");
+        let out: Vec<Vec<String>> = values.iter().map(|v| self.tokenize(v)).collect();
+        if wym_obs::enabled() {
+            let n_tokens: usize = out.iter().map(|a| a.len()).sum();
+            wym_obs::counter_add("tokenize.records", 1);
+            wym_obs::counter_add("tokenize.tokens", n_tokens as u64);
+            wym_obs::hist_observe("tokenize.tokens_per_record", n_tokens as f64);
+        }
+        out
     }
 }
 

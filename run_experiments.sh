@@ -1,10 +1,39 @@
 #!/bin/bash
 # Regenerates every table and figure of the paper. Default scale (cap 800)
 # keeps the full suite under ~1.5 h on a laptop; pass --full for paper scale.
+#
+# --smoke: instead of the full suite, run one tiny traced dataset through
+# the timing binary and fail if any registered pipeline stage recorded zero
+# spans — a fast end-to-end check that the instrumentation covers every
+# stage (wired into CI-style gating; see DESIGN.md §8).
 set -u
 cd "$(dirname "$0")"
-ARGS="${@:-}"
 mkdir -p results
+
+if [ "${1:-}" = "--smoke" ]; then
+  shift
+  OBS_JSON=results/OBS_smoke.json
+  rm -f "$OBS_JSON"
+  echo "=== smoke: traced tiny run ==="
+  ./target/release/timing --quick --cap 40 --datasets S-FZ \
+    --trace --metrics-out "$OBS_JSON" "$@" 2>&1 | tee results/smoke.log
+  if [ ! -f "$OBS_JSON" ]; then
+    echo "SMOKE FAILED: no metrics snapshot at $OBS_JSON" >&2
+    exit 1
+  fi
+  # The exported "stages" object maps each registered stage to its span
+  # count; a `"stage": 0` entry means the stage never ran under tracing.
+  DEAD=$(sed -n '/"stages"/,/}/p' "$OBS_JSON" | grep -E '"[a-z_]+": 0(,|$)' || true)
+  if [ -n "$DEAD" ]; then
+    echo "SMOKE FAILED: stages with zero recorded spans:" >&2
+    echo "$DEAD" >&2
+    exit 1
+  fi
+  echo "SMOKE OK: all registered stages recorded spans ($OBS_JSON)"
+  exit 0
+fi
+
+ARGS="${@:-}"
 for exp in table2 figure4 table3 table5 figure6 figure8 figure9 timing user_study_proxy threshold_sweep hybrid_units error_analysis table4 figure5 figure7; do
   echo "=== $exp ==="
   ./target/release/$exp $ARGS 2>&1 | tee results/$exp.log

@@ -10,14 +10,24 @@
 //! wym datasets
 //! ```
 //!
+//! Every command additionally accepts `--trace` (print a per-stage span
+//! tree and metric summary to stderr at exit) and `--metrics-out FILE`
+//! (write the machine-readable snapshot there; `--trace` alone defaults to
+//! `results/OBS_run.json`).
+//!
 //! CSV layout: `id,label,left_<attr>…,right_<attr>…` (see `wym::data::csv`).
 
 use std::path::Path;
 use std::process::ExitCode;
-use wym::core::pipeline::{SavedWymModel, WymConfig, WymModel};
+use wym::core::pipeline::{SavedWymModel, WymConfig, WymModel, PIPELINE_STAGES};
 use wym::data::split::paper_split;
 use wym::data::{csv, magellan, DatasetType, EmDataset, Entity, RecordPair};
 use wym::nn::TrainConfig;
+use wym_obs::{JsonFileSink, Sink, StderrSink};
+
+/// Flags that never take a value, so a following positional argument (or
+/// file name) is not swallowed as their value.
+const BOOL_FLAGS: &[&str] = &["explain", "trace", "help"];
 
 struct Args {
     positional: Vec<String>,
@@ -31,15 +41,18 @@ impl Args {
         let mut iter = std::env::args().skip(1).peekable();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = iter
-                    .peek()
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned()
-                    .map(|v| {
-                        iter.next();
-                        v
-                    })
-                    .unwrap_or_default(); // presence-only flags store ""
+                let value = if BOOL_FLAGS.contains(&name) {
+                    String::new()
+                } else {
+                    iter.peek()
+                        .filter(|v| !v.starts_with("--"))
+                        .cloned()
+                        .map(|v| {
+                            iter.next();
+                            v
+                        })
+                        .unwrap_or_default() // presence-only flags store ""
+                };
                 flags.insert(name.to_string(), value);
             } else {
                 positional.push(a);
@@ -80,7 +93,37 @@ fn usage() -> &'static str {
      wym match    --data <FILE> --left \"a|b|c\" --right \"x|y|z\"\n  \
      wym train    --data <FILE> --model <OUT.json> [--epochs N]\n  \
      wym apply    --model <MODEL.json> --data <FILE> [--explain]\n  \
-     wym datasets"
+     wym datasets\n\
+     every command also accepts: --trace [--metrics-out <FILE>]"
+}
+
+/// Turns recording on when `--trace` or `--metrics-out` is present;
+/// registers the canonical pipeline stages either way so zero-span stages
+/// are visible in the export.
+fn obs_setup(args: &Args) -> bool {
+    wym_obs::register_stages(PIPELINE_STAGES);
+    let on = args.get("trace").is_some() || args.get("metrics-out").is_some();
+    if on {
+        wym_obs::set_enabled(true);
+    }
+    on
+}
+
+/// Emits the recorded snapshot: span tree to stderr (under `--trace`) and
+/// the JSON export to `--metrics-out` (default `results/OBS_run.json`).
+fn obs_flush(args: &Args) {
+    let snap = wym_obs::snapshot();
+    if args.get("trace").is_some() {
+        let _ = StderrSink.emit(&snap);
+    }
+    let path = match args.get("metrics-out") {
+        Some(p) if !p.is_empty() => p.to_string(),
+        _ => "results/OBS_run.json".to_string(),
+    };
+    match JsonFileSink::new(&path).emit(&snap) {
+        Ok(()) => eprintln!("metrics written to {path}"),
+        Err(e) => eprintln!("warning: cannot write metrics to {path}: {e}"),
+    }
 }
 
 fn load(path: &str) -> Result<EmDataset, String> {
@@ -108,8 +151,7 @@ fn fit(dataset: &EmDataset, args: &Args) -> (WymModel, Vec<RecordPair>) {
     (model, test)
 }
 
-fn run() -> Result<(), String> {
-    let args = Args::parse();
+fn run(args: &Args) -> Result<(), String> {
     let command = args.positional.first().map(String::as_str).unwrap_or("");
     match command {
         "datasets" => {
@@ -146,7 +188,7 @@ fn run() -> Result<(), String> {
         }
         "eval" => {
             let dataset = load(args.require("data")?)?;
-            let (model, test) = fit(&dataset, &args);
+            let (model, test) = fit(&dataset, args);
             println!("selected classifier: {:?}", model.classifier());
             println!("pool validation F1:");
             for (kind, f1) in model.matcher().pool_scores() {
@@ -167,7 +209,7 @@ fn run() -> Result<(), String> {
                 .find(|p| p.id == id)
                 .ok_or_else(|| format!("no record with id {id}"))?
                 .clone();
-            let (model, _) = fit(&dataset, &args);
+            let (model, _) = fit(&dataset, args);
             println!("left : {}", pair.left.full_text());
             println!("right: {}", pair.right.full_text());
             println!("gold : {}", if pair.label { "match" } else { "non-match" });
@@ -191,14 +233,14 @@ fn run() -> Result<(), String> {
                 ));
             }
             let pair = RecordPair { id: u32::MAX, label: false, left, right };
-            let (model, _) = fit(&dataset, &args);
+            let (model, _) = fit(&dataset, args);
             println!("{}", model.explain(&pair));
             Ok(())
         }
         "train" => {
             let dataset = load(args.require("data")?)?;
             let out = args.require("model")?;
-            let (model, test) = fit(&dataset, &args);
+            let (model, test) = fit(&dataset, args);
             println!("test F1: {:.3} ({:?})", model.f1_on(&test), model.classifier());
             let json = serde_json::to_vec(&model.to_saved())
                 .map_err(|e| format!("cannot serialize model: {e}"))?;
@@ -245,7 +287,15 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let args = Args::parse();
+    let traced = obs_setup(&args);
+    let result = run(&args);
+    if traced {
+        // Flush even on failure: a partial trace is exactly what you want
+        // when diagnosing where a run died.
+        obs_flush(&args);
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
