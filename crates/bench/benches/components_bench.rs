@@ -38,6 +38,47 @@ fn bench(c: &mut Criterion) {
         c.bench_function("embed_token", |bch| bch.iter(|| emb.embed_token_static("dslra200w")));
     }
 
+    // Kernel-layer dispatch: each entry pairs the dispatched path (AVX2+FMA
+    // on capable hosts) with the pinned scalar reference — the acceptance
+    // target is ≥2x on dot/cosine at d=300. Both paths return bit-identical
+    // results; only the speed differs.
+    {
+        use wym_linalg::kernels::{
+            axpy_with, cosine_with, detect_best, dist_sq_with, dot_with, KernelImpl,
+        };
+        let mut g = c.benchmark_group("kernels");
+        let best = detect_best();
+        for &d in &[64usize, 300] {
+            let a: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
+            let b: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
+            g.bench_function(&format!("dot_{d}"), |bch| bch.iter(|| dot_with(best, &a, &b)));
+            g.bench_function(&format!("dot_{d}_scalar"), |bch| {
+                bch.iter(|| dot_with(KernelImpl::Scalar, &a, &b))
+            });
+            g.bench_function(&format!("cosine_{d}"), |bch| {
+                bch.iter(|| cosine_with(best, &a, &b))
+            });
+            g.bench_function(&format!("cosine_{d}_scalar"), |bch| {
+                bch.iter(|| cosine_with(KernelImpl::Scalar, &a, &b))
+            });
+            g.bench_function(&format!("dist_sq_{d}"), |bch| {
+                bch.iter(|| dist_sq_with(best, &a, &b))
+            });
+            g.bench_function(&format!("dist_sq_{d}_scalar"), |bch| {
+                bch.iter(|| dist_sq_with(KernelImpl::Scalar, &a, &b))
+            });
+            let mut y = b.clone();
+            g.bench_function(&format!("axpy_{d}"), |bch| {
+                bch.iter(|| axpy_with(best, 0.37, &a, &mut y))
+            });
+            let mut y = b.clone();
+            g.bench_function(&format!("axpy_{d}_scalar"), |bch| {
+                bch.iter(|| axpy_with(KernelImpl::Scalar, 0.37, &a, &mut y))
+            });
+        }
+        g.finish();
+    }
+
     // Stable marriage on a realistic record.
     {
         let dataset = bench_dataset_hard(10);

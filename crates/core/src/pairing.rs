@@ -10,7 +10,8 @@
 
 use crate::record::{Side, TokenRef, TokenizedRecord};
 use serde::{Deserialize, Serialize};
-use wym_linalg::vector::{cosine, norm};
+use wym_linalg::kernels;
+use wym_linalg::vector::cosine;
 use wym_strsim::{jaro_winkler, looks_like_code};
 
 /// Which similarity drives the preference lists.
@@ -107,48 +108,27 @@ impl SimMatrix {
                     record.left.embeds.iter().flatten().map(Vec::as_slice).collect();
                 let right_emb: Vec<&[f32]> =
                     record.right.embeds.iter().flatten().map(Vec::as_slice).collect();
-                let left_norm: Vec<f32> = left_emb.iter().map(|e| norm(e)).collect();
-                let right_norm: Vec<f32> = right_emb.iter().map(|e| norm(e)).collect();
-                // Pack the right embeddings into groups of four tokens,
-                // element-major within the group (`packed[g][e][lane]`),
-                // so four dot products advance as four SIMD lanes. Each
-                // lane is its own accumulator chain fed in ascending
-                // element order — the addition order, and therefore every
-                // similarity bit, is identical to a lone `vector::dot`
-                // call. The tail group is zero-padded; padding lanes are
-                // simply never read back.
-                let dim = right_emb.first().map_or(0, |e| e.len());
-                let groups = n_right.div_ceil(4);
-                let mut packed = vec![0.0f32; groups * dim * 4];
-                for (j, b) in right_emb.iter().enumerate() {
-                    let (g, lane) = (j / 4, j % 4);
-                    for (e, &v) in b.iter().take(dim).enumerate() {
-                        packed[(g * dim + e) * 4 + lane] = v;
-                    }
-                }
+                // `kernels::cosine` computes `a·b`, `a·a`, and `b·b` in one
+                // fused pass, and its self-products are bit-identical to a
+                // standalone `kernels::dot(e, e)` (same lane recipe). So
+                // hoisting the norms — `dot(e, e).sqrt()` once per token
+                // instead of once per pair — and taking only the cross dot
+                // in the inner loop reproduces `vector::cosine` bit for bit
+                // while the dispatched dot kernel does the O(d) work.
+                let left_norm: Vec<f32> =
+                    left_emb.iter().map(|e| kernels::dot(e, e).sqrt()).collect();
+                let right_norm: Vec<f32> =
+                    right_emb.iter().map(|e| kernels::dot(e, e).sqrt()).collect();
                 for i in 0..n_left {
                     let row = &mut sims[i * n_right..(i + 1) * n_right];
                     if left_norm[i] <= f32::EPSILON {
                         continue; // cosine defines zero-vector similarity as 0
                     }
                     let a = left_emb[i];
-                    for g in 0..groups {
-                        let blk = &packed[g * dim * 4..(g + 1) * dim * 4];
-                        let mut acc = [0.0f32; 4];
-                        for (&av, quad) in a.iter().zip(blk.chunks_exact(4)) {
-                            for (s, &v) in acc.iter_mut().zip(quad) {
-                                *s += av * v;
-                            }
-                        }
-                        for (lane, &s) in acc.iter().enumerate() {
-                            let j = g * 4 + lane;
-                            if j >= n_right {
-                                break;
-                            }
-                            if right_norm[j] > f32::EPSILON {
-                                row[j] =
-                                    (s / (left_norm[i] * right_norm[j])).clamp(-1.0, 1.0);
-                            }
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        if right_norm[j] > f32::EPSILON {
+                            let ab = kernels::dot(a, right_emb[j]);
+                            *slot = (ab / (left_norm[i] * right_norm[j])).clamp(-1.0, 1.0);
                         }
                     }
                 }

@@ -21,6 +21,13 @@ use wym_tokenize::Tokenizer;
 pub const PIPELINE_STAGES: &[&str] =
     &["tokenize", "embed", "pair", "score", "classify", "explain"];
 
+/// Records per batched-scoring chunk. At the typical 15–40 units a record,
+/// a chunk feeds the scorer a few hundred feature rows per forward pass —
+/// deep enough to amortize GEMM setup, small enough that work stealing
+/// still balances chunks across worker threads. Chunk boundaries never
+/// affect output bits (GEMM rows are independent).
+pub const SCORE_CHUNK_RECORDS: usize = 16;
+
 /// Observability section of [`WymConfig`].
 ///
 /// Deserialization treats a missing section as the default (everything
@@ -69,6 +76,14 @@ impl ObsOptions {
         if self.enabled {
             wym_obs::set_enabled(true);
         }
+        // Record which kernel implementation this process dispatched to
+        // (resolved once from CPUID + `WYM_KERNEL`). Every fit funnels
+        // through here after recording is switched on, so the counter is
+        // present in any traced run — the smoke gate asserts it is nonzero.
+        wym_obs::counter_add(
+            &format!("kernel.dispatch.{}", wym_linalg::kernels::active_name()),
+            1,
+        );
     }
 }
 
@@ -159,11 +174,29 @@ pub trait EmPredictor {
     fn predict_label(&self, pair: &RecordPair) -> bool {
         self.proba(pair) >= 0.5
     }
+
+    /// Match probabilities of many pairs. The default loops over
+    /// [`Self::proba`]; predictors with a batched inference path (WYM's
+    /// single-GEMM scorer) override it. The perturbation-hungry post-hoc
+    /// explainers route their sample sets through this.
+    fn proba_batch(&self, pairs: &[RecordPair]) -> Vec<f32> {
+        pairs.iter().map(|p| self.proba(p)).collect()
+    }
 }
 
 impl EmPredictor for WymModel {
     fn proba(&self, pair: &RecordPair) -> f32 {
         self.predict(pair).probability
+    }
+
+    /// Batched override: one scorer forward pass for all pairs' units (see
+    /// [`WymModel::process_many_batched`]), then the matcher's batch path.
+    /// Bit-identical to mapping [`Self::proba`].
+    fn proba_batch(&self, pairs: &[RecordPair]) -> Vec<f32> {
+        let proc = self.process_many_batched(pairs);
+        let rows: Vec<(&[DecisionUnit], &[f32])> =
+            proc.iter().map(|p| (p.units.as_slice(), p.relevances.as_slice())).collect();
+        self.matcher.predict_proba_batch(&rows)
     }
 }
 
@@ -287,13 +320,21 @@ impl WymModel {
         let scorer = RelevanceScorer::fit(scorer_cfg, &scorer_input);
         timings.score_train_s = stage_start.elapsed().as_secs_f64();
 
-        // 4. Score units (also per-record independent), 5. fit the matcher.
+        // 4. Score units batched (chunks of records share one forward pass;
+        // bit-identical to per-record scoring — see
+        // [`RelevanceScorer::score_batch`]), 5. fit the matcher.
         let stage_start = std::time::Instant::now();
         let score_all = |proc: &[(TokenizedRecord, Vec<DecisionUnit>)]| -> Vec<Vec<f32>> {
-            wym_par::map_indexed(proc, config.n_threads, |_, (r, u)| {
-                let raw = scorer.score_units(r, u);
-                apply_rules(&config.rules, r, u, &raw)
-            })
+            let chunks: Vec<_> = proc.chunks(SCORE_CHUNK_RECORDS).collect();
+            let scored = wym_par::map_indexed(&chunks, config.n_threads, |_, chunk| {
+                let batch: Vec<(&TokenizedRecord, &[DecisionUnit])> =
+                    chunk.iter().map(|(r, u)| (r, u.as_slice())).collect();
+                scorer.score_batch(&batch)
+            });
+            proc.iter()
+                .zip(scored.into_iter().flatten())
+                .map(|((r, u), raw)| apply_rules(&config.rules, r, u, &raw))
+                .collect()
         };
         let train_scores = score_all(&train_proc);
         let val_scores = score_all(&val_proc);
@@ -365,25 +406,62 @@ impl WymModel {
         ProcessedRecord { record, units, relevances }
     }
 
-    /// Processes many record pairs.
+    /// Processes many record pairs one at a time (the per-record reference
+    /// path; the batched variants below are bit-identical to it).
     pub fn process_many(&self, pairs: &[RecordPair]) -> Vec<ProcessedRecord> {
         pairs.iter().map(|p| self.process(p)).collect()
+    }
+
+    /// Processes many record pairs with **one** batched scorer forward pass
+    /// for all of their units, instead of one per record.
+    ///
+    /// Tokenization and unit discovery stay per-record; the unit scores are
+    /// bit-identical to [`WymModel::process_many`] because GEMM output rows
+    /// depend only on their own input row (see
+    /// [`RelevanceScorer::score_batch`]). This is the path the post-hoc
+    /// explainers drive with their perturbation sets.
+    pub fn process_many_batched(&self, pairs: &[RecordPair]) -> Vec<ProcessedRecord> {
+        let pre: Vec<(TokenizedRecord, Vec<DecisionUnit>)> = pairs
+            .iter()
+            .map(|pair| {
+                let _span = wym_obs::span("process");
+                let record = TokenizedRecord::from_pair(pair, &self.tokenizer, &self.embedder);
+                let units = discover_units(&record, &self.config.discovery);
+                (record, units)
+            })
+            .collect();
+        let batch: Vec<(&TokenizedRecord, &[DecisionUnit])> =
+            pre.iter().map(|(r, u)| (r, u.as_slice())).collect();
+        let raw = self.scorer.score_batch(&batch);
+        pre.into_iter()
+            .zip(raw)
+            .map(|((record, units), raw)| {
+                let relevances = apply_rules(&self.config.rules, &record, &units, &raw);
+                ProcessedRecord { record, units, relevances }
+            })
+            .collect()
     }
 
     /// Processes many record pairs on `n_threads` worker threads
     /// (`0` = all available cores).
     ///
-    /// Workers claim records one at a time from a shared atomic counter
-    /// (work stealing), so a few expensive records cannot straggle a whole
-    /// statically assigned chunk. Results are returned in input order; each
-    /// record's processing is independent and deterministic, so the output
-    /// is identical to [`WymModel::process_many`] for any thread count.
+    /// Workers claim [`SCORE_CHUNK_RECORDS`]-sized record chunks from a
+    /// shared atomic counter (work stealing), and each chunk runs through
+    /// the batched path — so every worker amortizes forward-pass overhead
+    /// over a few hundred unit rows per GEMM. Results are returned in input
+    /// order; chunking and threading never change a bit of the output, so
+    /// this is identical to [`WymModel::process_many`] for any thread
+    /// count.
     pub fn process_many_parallel(
         &self,
         pairs: &[RecordPair],
         n_threads: usize,
     ) -> Vec<ProcessedRecord> {
-        wym_par::map_indexed(pairs, n_threads, |_, pair| self.process(pair))
+        let chunks: Vec<_> = pairs.chunks(SCORE_CHUNK_RECORDS).collect();
+        wym_par::map_indexed(&chunks, n_threads, |_, chunk| self.process_many_batched(chunk))
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     /// Predicts from an already processed record.
@@ -444,7 +522,7 @@ impl WymModel {
 
     /// F1 of the match class over a set of labeled pairs.
     pub fn f1_on(&self, pairs: &[RecordPair]) -> f32 {
-        let proc = self.process_many(pairs);
+        let proc = self.process_many_batched(pairs);
         let rows: Vec<(&[DecisionUnit], &[f32])> =
             proc.iter().map(|p| (p.units.as_slice(), p.relevances.as_slice())).collect();
         let probas = self.matcher.predict_proba_batch(&rows);

@@ -11,9 +11,12 @@ use crate::record::{Side, TokenizedRecord};
 use crate::units::{DecisionUnit, UnitKey};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use wym_linalg::vector::{abs_diff, mean2};
 use wym_linalg::{Matrix, Rng64};
 use wym_nn::{Mlp, MlpConfig, TrainConfig};
+
+/// Bucket bounds for the `scorer.batch_rows` histogram (rows per forward
+/// pass, not nanoseconds — the obs defaults are time-shaped).
+const BATCH_ROWS_BOUNDS: &[f64] = &[1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0];
 
 /// Scorer implementations compared in Table 4's "Scorer" ablation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -64,20 +67,41 @@ impl Default for ScorerConfig {
 /// Symmetric feature vector of a decision unit: `[mean(e_l, e_r) ;
 /// |e_l − e_r|]`, with the zero vector standing in for the missing side.
 pub fn unit_features(record: &TokenizedRecord, unit: &DecisionUnit) -> Vec<f32> {
+    let dim = match unit {
+        DecisionUnit::Paired { left, .. } => record.embed(Side::Left, *left).len(),
+        DecisionUnit::Unpaired { token, side } => record.embed(*side, *token).len(),
+    };
+    let mut out = vec![0.0f32; 2 * dim];
+    unit_features_into(record, unit, &mut out);
+    out
+}
+
+/// [`unit_features`] into a caller-provided slice — the batched scorer fills
+/// feature-matrix rows directly instead of allocating one `Vec` per unit.
+///
+/// # Panics
+/// Panics in debug builds if `out.len() != 2 * embedding_dim`.
+pub fn unit_features_into(record: &TokenizedRecord, unit: &DecisionUnit, out: &mut [f32]) {
     match unit {
         DecisionUnit::Paired { left, right, .. } => {
             let el = record.embed(Side::Left, *left);
             let er = record.embed(Side::Right, *right);
-            let mut f = mean2(el, er);
-            f.extend(abs_diff(el, er));
-            f
+            debug_assert_eq!(out.len(), 2 * el.len());
+            let (mean, diff) = out.split_at_mut(el.len());
+            for i in 0..el.len() {
+                mean[i] = 0.5 * (el[i] + er[i]);
+                diff[i] = (el[i] - er[i]).abs();
+            }
         }
         DecisionUnit::Unpaired { token, side } => {
             let e = record.embed(*side, *token);
+            debug_assert_eq!(out.len(), 2 * e.len());
             // mean(e, 0) = e/2 ; |e − 0| = |e|.
-            let mut f: Vec<f32> = e.iter().map(|v| 0.5 * v).collect();
-            f.extend(e.iter().map(|v| v.abs()));
-            f
+            let (mean, diff) = out.split_at_mut(e.len());
+            for i in 0..e.len() {
+                mean[i] = 0.5 * e[i];
+                diff[i] = e[i].abs();
+            }
         }
     }
 }
@@ -184,26 +208,73 @@ impl RelevanceScorer {
     }
 
     /// Scores every unit of a record, in `[-1, 1]`.
+    ///
+    /// One-record convenience over [`Self::score_batch`]; a single forward
+    /// pass over one feature matrix either way.
     pub fn score_units(&self, record: &TokenizedRecord, units: &[DecisionUnit]) -> Vec<f32> {
+        self.score_batch(&[(record, units)]).pop().unwrap_or_default()
+    }
+
+    /// Scores the units of many records through **one** batched forward
+    /// pass: all units stack into a single feature matrix, the MLP runs
+    /// once, and the score rows split back per record. Because every GEMM
+    /// output row depends only on its own input row, the result is
+    /// bit-identical to scoring each record separately — batching is purely
+    /// a throughput lever (one blocked GEMM at full row count instead of
+    /// many short ones). Emits the `scorer.batch_rows` histogram and
+    /// `scorer.forward_ns` counter when obs recording is enabled.
+    pub fn score_batch(
+        &self,
+        batch: &[(&TokenizedRecord, &[DecisionUnit])],
+    ) -> Vec<Vec<f32>> {
         let _span = wym_obs::span("score");
+        let fallback = |units: &[DecisionUnit]| -> Vec<f32> {
+            units.iter().map(DecisionUnit::similarity).collect()
+        };
         match self.config.kind {
-            ScorerKind::Binary => {
-                units.iter().map(|u| if u.is_paired() { 1.0 } else { 0.0 }).collect()
-            }
-            ScorerKind::CosineSim => units.iter().map(DecisionUnit::similarity).collect(),
+            ScorerKind::Binary => batch
+                .iter()
+                .map(|(_, units)| {
+                    units.iter().map(|u| if u.is_paired() { 1.0 } else { 0.0 }).collect()
+                })
+                .collect(),
+            ScorerKind::CosineSim => batch.iter().map(|(_, units)| fallback(units)).collect(),
             ScorerKind::Neural => {
                 let Some(model) = &self.model else {
                     // Untrained fallback: behave like the cosine scorer.
-                    return units.iter().map(DecisionUnit::similarity).collect();
+                    return batch.iter().map(|(_, units)| fallback(units)).collect();
                 };
-                if units.is_empty() {
-                    return Vec::new();
+                let total: usize = batch.iter().map(|(_, units)| units.len()).sum();
+                if total == 0 {
+                    return vec![Vec::new(); batch.len()];
                 }
-                let mut x = Matrix::zeros(0, model.in_dim());
-                for u in units {
-                    x.push_row(&unit_features(record, u));
+                let mut x = Matrix::zeros(total, model.in_dim());
+                let mut r = 0;
+                for (record, units) in batch {
+                    for u in *units {
+                        unit_features_into(record, u, x.row_mut(r));
+                        r += 1;
+                    }
                 }
-                model.predict(&x).into_iter().map(|v| v.clamp(-1.0, 1.0)).collect()
+                let obs = wym_obs::enabled();
+                if obs {
+                    wym_obs::hist_observe_with(
+                        "scorer.batch_rows",
+                        BATCH_ROWS_BOUNDS,
+                        total as f64,
+                    );
+                }
+                let t0 = obs.then(std::time::Instant::now);
+                let scores = model.predict(&x);
+                if let Some(t0) = t0 {
+                    wym_obs::counter_add("scorer.forward_ns", t0.elapsed().as_nanos() as u64);
+                }
+                let mut out = Vec::with_capacity(batch.len());
+                let mut it = scores.into_iter().map(|v| v.clamp(-1.0, 1.0));
+                for (_, units) in batch {
+                    out.push(it.by_ref().take(units.len()).collect());
+                }
+                out
             }
         }
     }

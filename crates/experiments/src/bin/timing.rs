@@ -53,6 +53,9 @@ struct BenchRow {
     discover_s: f64,
     /// Per-record relevance scoring over the test slice.
     score_s: f64,
+    /// One batched `score_batch` call over the same records: the speedup
+    /// against `score_s` is this PR's end-to-end batching evidence.
+    score_batch_s: f64,
     /// Per-record match prediction over the test slice.
     predict_s: f64,
     /// Per-record impact computation over the test slice.
@@ -77,6 +80,7 @@ impl BenchRow {
         }
         Json::obj(vec![
             ("dataset", Json::str(&self.dataset)),
+            ("kernel", Json::str(wym_linalg::kernels::active_name())),
             ("n_train", Json::UInt(self.n_train as u64)),
             ("n_explained", Json::UInt(self.n_explained as u64)),
             ("fit_s", Json::Num(self.fit_s)),
@@ -87,6 +91,7 @@ impl BenchRow {
             ("embed_s", Json::Num(self.embed_s)),
             ("discover_s", Json::Num(self.discover_s)),
             ("score_s", Json::Num(self.score_s)),
+            ("score_batch_s", Json::Num(self.score_batch_s)),
             ("predict_s", Json::Num(self.predict_s)),
             ("impact_s", Json::Num(self.impact_s)),
             ("spans", spans),
@@ -108,8 +113,14 @@ fn main() {
     for dataset in opts.datasets() {
         eprintln!("[timing] {}", dataset.name);
         // Per-dataset snapshot: clear metrics from the previous dataset
-        // (the stage registry survives).
+        // (the stage registry survives). Re-record which kernel
+        // implementation this process dispatched to — the smoke gate greps
+        // for a nonzero `kernel.dispatch.*` counter in the exported metrics.
         wym_obs::reset();
+        wym_obs::counter_add(
+            &format!("kernel.dispatch.{}", wym_linalg::kernels::active_name()),
+            1,
+        );
         let run = fit_wym(&dataset, opts.wym_config(), opts.seed);
         let n_train = run.split.train.len() + run.split.val.len();
         let train_tp = n_train as f64 / run.fit_seconds.max(1e-9);
@@ -122,12 +133,18 @@ fn main() {
         }
         let explain_tp = sample.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
 
-        // Per-stage timings.
+        // Per-stage timings. The relevance scores are also folded into a
+        // deterministic f64 checksum: `run_experiments.sh --smoke` runs this
+        // binary under WYM_KERNEL=scalar and =auto and fails when the two
+        // checksums differ, which pins the kernel layer's bit-identity
+        // guarantee at the end-to-end level.
         let mut t_embed = 0.0f64;
         let mut t_discover = 0.0;
         let mut t_score = 0.0;
         let mut t_predict = 0.0;
         let mut t_impact = 0.0;
+        let mut score_checksum = 0.0f64;
+        let mut processed = Vec::with_capacity(sample.len());
         for pair in sample {
             let s = Instant::now();
             let rec = TokenizedRecord::from_pair(pair, &tokenizer, run.model.embedder());
@@ -144,7 +161,17 @@ fn main() {
             let s = Instant::now();
             let _ = run.model.matcher().impacts(&units, &scores);
             t_impact += s.elapsed().as_secs_f64();
+            score_checksum += scores.iter().map(|&v| v as f64).sum::<f64>();
+            processed.push((rec, units));
         }
+        wym_obs::gauge_set("scorer.score_checksum", score_checksum);
+
+        // The same records scored again as one batch: a single feature
+        // matrix and forward pass instead of `sample.len()` of them.
+        let batch: Vec<_> = processed.iter().map(|(r, u)| (r, u.as_slice())).collect();
+        let s = Instant::now();
+        let _ = run.model.scorer().score_batch(&batch);
+        let t_score_batch = s.elapsed().as_secs_f64();
         let total = (t_embed + t_discover + t_score + t_predict + t_impact).max(1e-9);
         let pct = |t: f64| 100.0 * t / total;
         let bench_row = BenchRow {
@@ -159,6 +186,7 @@ fn main() {
             embed_s: t_embed,
             discover_s: t_discover,
             score_s: t_score,
+            score_batch_s: t_score_batch,
             predict_s: t_predict,
             impact_s: t_impact,
         };

@@ -63,18 +63,17 @@ impl Landmark {
         let all_locs: HashSet<TokenLoc> = tokens.iter().map(|(l, _)| *l).collect();
 
         let mut masks = Matrix::zeros(0, d);
-        let mut ys = Vec::with_capacity(self.n_perturbations + 1);
+        let mut queries = Vec::with_capacity(self.n_perturbations + 1);
         let mut weights = Vec::with_capacity(self.n_perturbations + 1);
         masks.push_row(&vec![1.0; d]);
-        ys.push(model.proba(pair));
+        queries.push(pair.clone());
         weights.push(1.0);
 
         for _ in 0..self.n_perturbations {
             let n_drop = 1 + rng.gen_range(d.max(2) - 1);
             let drop: HashSet<usize> = rng.sample_indices(d, n_drop).into_iter().collect();
             let mut keep = all_locs.clone();
-            for (k, (idx, _)) in side_tokens.iter().map(|(i, t)| (*i, t)).enumerate() {
-                let _ = idx;
+            for k in 0..d {
                 if drop.contains(&k) {
                     keep.remove(&side_tokens[k].1 .0);
                 }
@@ -85,9 +84,12 @@ impl Landmark {
             let dist = 1.0 - kept_frac;
             let w = (-(dist * dist) / 0.25).exp();
             masks.push_row(&mask);
-            ys.push(model.proba(&keep_tokens(pair, &keep)));
+            queries.push(keep_tokens(pair, &keep));
             weights.push(w);
         }
+
+        // One batched model call for the side's whole perturbation set.
+        let ys = model.proba_batch(&queries);
 
         let beta = match ridge_weighted(&masks, &ys, &weights, self.ridge_lambda) {
             Ok(b) => b,

@@ -49,14 +49,20 @@ impl LemonLite {
             self.fit_side_surrogate(model, pair, side, &tokens, &mut drop_weights);
         }
         // Attribution potential: inject each token into the other side and
-        // measure the probability delta.
+        // measure the probability delta — all injections in one batched
+        // model call.
         let base = model.proba(pair);
+        let injected: Vec<RecordPair> = tokens
+            .iter()
+            .map(|(loc, token)| inject_token(pair, loc.attr, loc.side, token))
+            .collect();
+        let injected_probas = model.proba_batch(&injected);
         tokens
             .into_iter()
+            .zip(injected_probas)
             .enumerate()
-            .map(|(i, (loc, token))| {
-                let injected = inject_token(pair, loc.attr, loc.side, &token);
-                let potential = model.proba(&injected) - base;
+            .map(|(i, ((loc, token), p_inj))| {
+                let potential = p_inj - base;
                 let weight =
                     drop_weights[i] * (1.0 - self.potential_weight) + potential * self.potential_weight;
                 TokenAttribution { loc, token, weight }
@@ -82,10 +88,10 @@ impl LemonLite {
         let mut rng = Rng64::new(self.seed ^ (u64::from(pair.id) << 2) ^ side as u64);
         let all_locs: HashSet<TokenLoc> = tokens.iter().map(|(l, _)| *l).collect();
         let mut masks = Matrix::zeros(0, d);
-        let mut ys = Vec::new();
+        let mut queries = Vec::with_capacity(self.n_samples + 1);
         let mut ws = Vec::new();
         masks.push_row(&vec![1.0; d]);
-        ys.push(model.proba(pair));
+        queries.push(pair.clone());
         ws.push(1.0);
         for _ in 0..self.n_samples {
             let n_drop = 1 + rng.gen_range(d.max(2) - 1);
@@ -101,9 +107,11 @@ impl LemonLite {
             let kept = (d - drop.len()) as f32 / d as f32;
             let dist = 1.0 - kept;
             masks.push_row(&mask);
-            ys.push(model.proba(&keep_tokens(pair, &keep)));
+            queries.push(keep_tokens(pair, &keep));
             ws.push((-(dist * dist) / 0.25).exp());
         }
+        // One batched model call for the side's whole perturbation set.
+        let ys = model.proba_batch(&queries);
         if let Ok(beta) = ridge_weighted(&masks, &ys, &ws, self.ridge_lambda) {
             for (k, &ti) in side_idx.iter().enumerate() {
                 out[ti] = beta[k];

@@ -45,12 +45,12 @@ impl LimeText {
         let mut rng = Rng64::new(self.seed ^ u64::from(pair.id));
 
         let mut masks = Matrix::zeros(0, d);
-        let mut ys = Vec::with_capacity(self.n_samples + 1);
         let mut weights = Vec::with_capacity(self.n_samples + 1);
+        let mut queries = Vec::with_capacity(self.n_samples + 1);
 
         // The unperturbed instance anchors the surrogate.
         masks.push_row(&vec![1.0; d]);
-        ys.push(model.proba(pair));
+        queries.push(pair.clone());
         weights.push(1.0);
 
         for _ in 0..self.n_samples {
@@ -66,15 +66,17 @@ impl LimeText {
                 .filter(|(i, _)| !drop_idx.contains(i))
                 .map(|(_, (l, _))| *l)
                 .collect();
-            let perturbed = keep_tokens(pair, &keep);
             let kept_frac = (d - drop_idx.len()) as f32 / d as f32;
             // Exponential kernel on the distance 1 − kept fraction.
             let dist = 1.0 - kept_frac;
             let w = (-(dist * dist) / (self.kernel_width * self.kernel_width)).exp();
             masks.push_row(&mask);
-            ys.push(model.proba(&perturbed));
+            queries.push(keep_tokens(pair, &keep));
             weights.push(w);
         }
+
+        // One batched model call for the whole perturbation set.
+        let ys = model.proba_batch(&queries);
 
         let beta = match ridge_weighted(&masks, &ys, &weights, self.ridge_lambda) {
             Ok(b) => b,

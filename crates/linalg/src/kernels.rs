@@ -1,0 +1,564 @@
+//! Lane-structured f32 kernels behind runtime CPU-feature dispatch.
+//!
+//! Every reduction kernel in this module — [`dot`], [`dist_sq`], the fused
+//! [`cosine`] — is written against one fixed numeric recipe:
+//!
+//! 1. the input is consumed in blocks of [`LANES`] = 8 elements, each lane
+//!    owning its own accumulator chain fed by fused multiply-adds
+//!    (`f32::mul_add` / `vfmadd231ps`, one rounding per update);
+//! 2. the tail (`len % 8` elements) folds into lanes `0..len % 8` with the
+//!    same fused update (a lane that receives no tail element keeps its
+//!    block-loop value exactly, because `fma(0, 0, acc) == acc`);
+//! 3. the eight lane accumulators collapse in the fixed tree
+//!    `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` ([`reduce8`]).
+//!
+//! The element-wise kernels ([`axpy`], [`gemm_update4`]) perform the same
+//! fused update per output element in both implementations, so they are
+//! trivially bit-identical. Because the recipe — not the instruction set —
+//! defines the result, the portable scalar path and the AVX2+FMA path
+//! return **bit-identical f32 for every input length** (including the
+//! 1..=15 remainders that straddle one or two vector registers). That is
+//! the determinism contract the similarity cache and the smoke gate rely
+//! on: `WYM_KERNEL=scalar` and `WYM_KERNEL=auto` runs of the full pipeline
+//! must emit identical scores.
+//!
+//! Dispatch is resolved once per process ([`active`]) from CPUID plus the
+//! `WYM_KERNEL` environment variable (`scalar` forces the portable path,
+//! `auto`/unset picks the best supported one). The pipeline records the
+//! resolved choice as the `kernel.dispatch.<name>` obs counter.
+
+use std::sync::OnceLock;
+
+/// Lane width of the accumulator pattern (one AVX2 `ymm` register of f32).
+pub const LANES: usize = 8;
+
+/// A kernel implementation selectable at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelImpl {
+    /// Portable 8-lane scalar path (`f32::mul_add` per update).
+    Scalar,
+    /// AVX2 + FMA path via `std::arch` intrinsics (x86_64 only).
+    Avx2Fma,
+}
+
+impl KernelImpl {
+    /// Stable short name, used for the `kernel.dispatch.*` obs counter and
+    /// the `WYM_KERNEL` override values.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelImpl::Scalar => "scalar",
+            KernelImpl::Avx2Fma => "avx2_fma",
+        }
+    }
+}
+
+/// The best implementation this CPU supports, ignoring `WYM_KERNEL`.
+pub fn detect_best() -> KernelImpl {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            return KernelImpl::Avx2Fma;
+        }
+    }
+    KernelImpl::Scalar
+}
+
+/// The implementation every dispatched kernel call routes to, resolved once
+/// per process: `WYM_KERNEL=scalar` forces the portable path, anything else
+/// (including unset and `auto`) defers to [`detect_best`]. An unknown value
+/// warns once on stderr rather than failing — kernel selection must never
+/// change results, so a typo is a performance concern, not a correctness
+/// one.
+pub fn active() -> KernelImpl {
+    static ACTIVE: OnceLock<KernelImpl> = OnceLock::new();
+    *ACTIVE.get_or_init(|| match std::env::var("WYM_KERNEL").ok().as_deref() {
+        Some("scalar") => KernelImpl::Scalar,
+        None | Some("") | Some("auto") => detect_best(),
+        Some(other) => {
+            eprintln!("warning: unknown WYM_KERNEL value {other:?}; using auto dispatch");
+            detect_best()
+        }
+    })
+}
+
+/// Short name of the active implementation (`scalar` / `avx2_fma`).
+pub fn active_name() -> &'static str {
+    active().name()
+}
+
+/// The fixed lane-reduction tree shared by every implementation.
+#[inline(always)]
+fn reduce8(acc: [f32; LANES]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+// --- dispatched entry points ----------------------------------------------
+
+/// Dot product `a · b` under the active implementation.
+///
+/// # Panics
+/// Panics in debug builds on length mismatch.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_with(active(), a, b)
+}
+
+/// `y += alpha * x` (fused per element) under the active implementation.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    axpy_with(active(), alpha, x, y);
+}
+
+/// Squared Euclidean distance under the active implementation.
+#[inline]
+pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    dist_sq_with(active(), a, b)
+}
+
+/// Fused cosine similarity: `a·b`, `a·a`, and `b·b` accumulate in one pass
+/// over the inputs, then combine as `(ab / (sqrt(aa) * sqrt(bb)))` clamped
+/// to `[-1, 1]`, returning 0.0 when either norm is ≤ `f32::EPSILON` (the
+/// all-zero `[UNP]` embedding contract). Each of the three accumulations
+/// follows the standard lane recipe, so `aa` here is bit-identical to
+/// `dot(a, a)` computed on its own.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    cosine_with(active(), a, b)
+}
+
+/// The blocked-GEMM inner update: `o[i]` chains four fused multiply-adds
+/// `o[i] = fma(a[3], b3[i], fma(a[2], b2[i], fma(a[1], b1[i],
+/// fma(a[0], b0[i], o[i]))))` for every element of the output row.
+#[inline]
+pub fn gemm_update4(coef: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32], o: &mut [f32]) {
+    gemm_update4_with(active(), coef, b0, b1, b2, b3, o);
+}
+
+// --- explicit-implementation entry points (tests, benches) ----------------
+
+/// [`dot`] under an explicitly chosen implementation.
+#[inline]
+pub fn dot_with(imp: KernelImpl, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match imp {
+        KernelImpl::Scalar => scalar::dot(a, b),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx2Fma => unsafe { avx2::dot(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelImpl::Avx2Fma => scalar::dot(a, b),
+    }
+}
+
+/// [`axpy`] under an explicitly chosen implementation.
+#[inline]
+pub fn axpy_with(imp: KernelImpl, alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    match imp {
+        KernelImpl::Scalar => scalar::axpy(alpha, x, y),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx2Fma => unsafe { avx2::axpy(alpha, x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelImpl::Avx2Fma => scalar::axpy(alpha, x, y),
+    }
+}
+
+/// [`dist_sq`] under an explicitly chosen implementation.
+#[inline]
+pub fn dist_sq_with(imp: KernelImpl, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match imp {
+        KernelImpl::Scalar => scalar::dist_sq(a, b),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx2Fma => unsafe { avx2::dist_sq(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelImpl::Avx2Fma => scalar::dist_sq(a, b),
+    }
+}
+
+/// [`cosine`] under an explicitly chosen implementation.
+#[inline]
+pub fn cosine_with(imp: KernelImpl, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let [ab, aa, bb] = match imp {
+        KernelImpl::Scalar => scalar::dot3(a, b),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx2Fma => unsafe { avx2::dot3(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelImpl::Avx2Fma => scalar::dot3(a, b),
+    };
+    let (na, nb) = (aa.sqrt(), bb.sqrt());
+    if na <= f32::EPSILON || nb <= f32::EPSILON {
+        return 0.0;
+    }
+    (ab / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// [`gemm_update4`] under an explicitly chosen implementation.
+#[inline]
+pub fn gemm_update4_with(
+    imp: KernelImpl,
+    coef: [f32; 4],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+    o: &mut [f32],
+) {
+    debug_assert!(
+        b0.len() == o.len() && b1.len() == o.len() && b2.len() == o.len() && b3.len() == o.len()
+    );
+    match imp {
+        KernelImpl::Scalar => scalar::gemm_update4(coef, b0, b1, b2, b3, o),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx2Fma => unsafe { avx2::gemm_update4(coef, b0, b1, b2, b3, o) },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelImpl::Avx2Fma => scalar::gemm_update4(coef, b0, b1, b2, b3, o),
+    }
+}
+
+// --- portable 8-lane scalar implementation --------------------------------
+
+/// The portable reference implementation: the exact lane recipe of the SIMD
+/// path expressed with `f32::mul_add`, which glibc/LLVM lower to a hardware
+/// FMA where one exists and to the correctly rounded soft-float `fmaf`
+/// otherwise — in both cases one rounding per update, like `vfmadd`.
+pub mod scalar {
+    use super::{reduce8, LANES};
+
+    /// 8-lane dot product.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let blocks = a.len() / LANES * LANES;
+        for (ca, cb) in a[..blocks].chunks_exact(LANES).zip(b[..blocks].chunks_exact(LANES)) {
+            for l in 0..LANES {
+                acc[l] = ca[l].mul_add(cb[l], acc[l]);
+            }
+        }
+        for l in 0..a.len() - blocks {
+            acc[l] = a[blocks + l].mul_add(b[blocks + l], acc[l]);
+        }
+        reduce8(acc)
+    }
+
+    /// Fused `a·b`, `a·a`, `b·b` in one pass; each follows the dot recipe.
+    pub fn dot3(a: &[f32], b: &[f32]) -> [f32; 3] {
+        let mut ab = [0.0f32; LANES];
+        let mut aa = [0.0f32; LANES];
+        let mut bb = [0.0f32; LANES];
+        let blocks = a.len() / LANES * LANES;
+        for (ca, cb) in a[..blocks].chunks_exact(LANES).zip(b[..blocks].chunks_exact(LANES)) {
+            for l in 0..LANES {
+                ab[l] = ca[l].mul_add(cb[l], ab[l]);
+                aa[l] = ca[l].mul_add(ca[l], aa[l]);
+                bb[l] = cb[l].mul_add(cb[l], bb[l]);
+            }
+        }
+        for l in 0..a.len() - blocks {
+            let (x, y) = (a[blocks + l], b[blocks + l]);
+            ab[l] = x.mul_add(y, ab[l]);
+            aa[l] = x.mul_add(x, aa[l]);
+            bb[l] = y.mul_add(y, bb[l]);
+        }
+        [reduce8(ab), reduce8(aa), reduce8(bb)]
+    }
+
+    /// 8-lane squared distance: `d = a - b` rounds once, then `fma(d, d, acc)`.
+    pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let blocks = a.len() / LANES * LANES;
+        for (ca, cb) in a[..blocks].chunks_exact(LANES).zip(b[..blocks].chunks_exact(LANES)) {
+            for l in 0..LANES {
+                let d = ca[l] - cb[l];
+                acc[l] = d.mul_add(d, acc[l]);
+            }
+        }
+        for l in 0..a.len() - blocks {
+            let d = a[blocks + l] - b[blocks + l];
+            acc[l] = d.mul_add(d, acc[l]);
+        }
+        reduce8(acc)
+    }
+
+    /// Element-wise fused `y[i] = fma(alpha, x[i], y[i])`.
+    pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi = alpha.mul_add(xi, *yi);
+        }
+    }
+
+    /// Element-wise four-step fused update (see [`super::gemm_update4`]).
+    pub fn gemm_update4(
+        coef: [f32; 4],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+        o: &mut [f32],
+    ) {
+        let [a0, a1, a2, a3] = coef;
+        for (i, oi) in o.iter_mut().enumerate() {
+            let mut acc = a0.mul_add(b0[i], *oi);
+            acc = a1.mul_add(b1[i], acc);
+            acc = a2.mul_add(b2[i], acc);
+            *oi = a3.mul_add(b3[i], acc);
+        }
+    }
+}
+
+// --- AVX2 + FMA implementation --------------------------------------------
+
+/// AVX2+FMA implementation. Every function is `unsafe` because it requires
+/// the `avx2`/`fma` target features; callers go through the dispatched
+/// entry points, which only select this module after CPUID detection.
+///
+/// The block loop maps one lane accumulator to one `ymm` lane; the scalar
+/// tail runs under the same `#[target_feature]` scope, so its
+/// `f32::mul_add` compiles to the `vfmadd` instruction — the identical
+/// operation the vector body performs per lane.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use super::{reduce8, LANES};
+    use std::arch::x86_64::{
+        _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+        _mm256_sub_ps,
+    };
+
+    /// 8-lane dot product (see module docs for safety).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let blocks = a.len() / LANES * LANES;
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < blocks {
+            let va = _mm256_loadu_ps(a.as_ptr().add(i));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+            acc = _mm256_fmadd_ps(va, vb, acc);
+            i += LANES;
+        }
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        for l in 0..a.len() - blocks {
+            lanes[l] = a[blocks + l].mul_add(b[blocks + l], lanes[l]);
+        }
+        reduce8(lanes)
+    }
+
+    /// Fused `a·b`, `a·a`, `b·b` in one pass.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot3(a: &[f32], b: &[f32]) -> [f32; 3] {
+        let blocks = a.len() / LANES * LANES;
+        let mut ab = _mm256_setzero_ps();
+        let mut aa = _mm256_setzero_ps();
+        let mut bb = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < blocks {
+            let va = _mm256_loadu_ps(a.as_ptr().add(i));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+            ab = _mm256_fmadd_ps(va, vb, ab);
+            aa = _mm256_fmadd_ps(va, va, aa);
+            bb = _mm256_fmadd_ps(vb, vb, bb);
+            i += LANES;
+        }
+        let mut lab = [0.0f32; LANES];
+        let mut laa = [0.0f32; LANES];
+        let mut lbb = [0.0f32; LANES];
+        _mm256_storeu_ps(lab.as_mut_ptr(), ab);
+        _mm256_storeu_ps(laa.as_mut_ptr(), aa);
+        _mm256_storeu_ps(lbb.as_mut_ptr(), bb);
+        for l in 0..a.len() - blocks {
+            let (x, y) = (a[blocks + l], b[blocks + l]);
+            lab[l] = x.mul_add(y, lab[l]);
+            laa[l] = x.mul_add(x, laa[l]);
+            lbb[l] = y.mul_add(y, lbb[l]);
+        }
+        [reduce8(lab), reduce8(laa), reduce8(lbb)]
+    }
+
+    /// 8-lane squared distance.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+        let blocks = a.len() / LANES * LANES;
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < blocks {
+            let va = _mm256_loadu_ps(a.as_ptr().add(i));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+            let d = _mm256_sub_ps(va, vb);
+            acc = _mm256_fmadd_ps(d, d, acc);
+            i += LANES;
+        }
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        for l in 0..a.len() - blocks {
+            let d = a[blocks + l] - b[blocks + l];
+            lanes[l] = d.mul_add(d, lanes[l]);
+        }
+        reduce8(lanes)
+    }
+
+    /// Element-wise fused `y[i] = fma(alpha, x[i], y[i])`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let blocks = x.len() / LANES * LANES;
+        let va = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i < blocks {
+            let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+            let vy = _mm256_loadu_ps(y.as_ptr().add(i));
+            _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_fmadd_ps(va, vx, vy));
+            i += LANES;
+        }
+        for l in blocks..x.len() {
+            y[l] = alpha.mul_add(x[l], y[l]);
+        }
+    }
+
+    /// Element-wise four-step fused update.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn gemm_update4(
+        coef: [f32; 4],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+        o: &mut [f32],
+    ) {
+        let [a0, a1, a2, a3] = coef;
+        let n = o.len();
+        let blocks = n / LANES * LANES;
+        let (v0, v1, v2, v3) =
+            (_mm256_set1_ps(a0), _mm256_set1_ps(a1), _mm256_set1_ps(a2), _mm256_set1_ps(a3));
+        let mut i = 0;
+        while i < blocks {
+            let mut vo = _mm256_loadu_ps(o.as_ptr().add(i));
+            vo = _mm256_fmadd_ps(v0, _mm256_loadu_ps(b0.as_ptr().add(i)), vo);
+            vo = _mm256_fmadd_ps(v1, _mm256_loadu_ps(b1.as_ptr().add(i)), vo);
+            vo = _mm256_fmadd_ps(v2, _mm256_loadu_ps(b2.as_ptr().add(i)), vo);
+            vo = _mm256_fmadd_ps(v3, _mm256_loadu_ps(b3.as_ptr().add(i)), vo);
+            _mm256_storeu_ps(o.as_mut_ptr().add(i), vo);
+            i += LANES;
+        }
+        for l in blocks..n {
+            let mut acc = a0.mul_add(b0[l], o[l]);
+            acc = a1.mul_add(b1[l], acc);
+            acc = a2.mul_add(b2[l], acc);
+            o[l] = a3.mul_add(b3[l], acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    fn vecs(len: usize, seed: u64, scale: f32) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = Rng64::new(seed);
+        let a = (0..len).map(|_| rng.normal() as f32 * scale).collect();
+        let b = (0..len).map(|_| rng.normal() as f32 * scale).collect();
+        (a, b)
+    }
+
+    /// Every kernel, every length 0..=40 (covering all 8-lane remainders),
+    /// both magnitudes: the best-detected path must equal the scalar path
+    /// bit for bit.
+    #[test]
+    fn best_impl_bit_identical_to_scalar() {
+        let best = detect_best();
+        for len in 0..=40usize {
+            for (seed, scale) in [(7, 1.0f32), (8, 1e-6), (9, 1e6)] {
+                let (a, b) = vecs(len, seed ^ len as u64, scale);
+                assert_eq!(
+                    dot_with(best, &a, &b).to_bits(),
+                    dot_with(KernelImpl::Scalar, &a, &b).to_bits(),
+                    "dot len {len}"
+                );
+                assert_eq!(
+                    dist_sq_with(best, &a, &b).to_bits(),
+                    dist_sq_with(KernelImpl::Scalar, &a, &b).to_bits(),
+                    "dist_sq len {len}"
+                );
+                assert_eq!(
+                    cosine_with(best, &a, &b).to_bits(),
+                    cosine_with(KernelImpl::Scalar, &a, &b).to_bits(),
+                    "cosine len {len}"
+                );
+                let (x, y0) = vecs(len, seed.wrapping_add(100) ^ len as u64, scale);
+                let mut y1 = y0.clone();
+                let mut y2 = y0;
+                axpy_with(best, 0.37, &x, &mut y1);
+                axpy_with(KernelImpl::Scalar, 0.37, &x, &mut y2);
+                assert_eq!(
+                    y1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    y2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "axpy len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_update4_bit_identical_across_impls() {
+        let best = detect_best();
+        for len in 0..=40usize {
+            let (b0, b1) = vecs(len, 3 ^ len as u64, 1.0);
+            let (b2, b3) = vecs(len, 4 ^ len as u64, 1.0);
+            let (o0, _) = vecs(len, 5 ^ len as u64, 1.0);
+            let coef = [0.5, -1.25, 3.0e-3, 7.5];
+            let mut oa = o0.clone();
+            let mut ob = o0;
+            gemm_update4_with(best, coef, &b0, &b1, &b2, &b3, &mut oa);
+            gemm_update4_with(KernelImpl::Scalar, coef, &b0, &b1, &b2, &b3, &mut ob);
+            assert_eq!(
+                oa.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                ob.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot3_components_match_standalone_dots() {
+        for len in [0usize, 1, 7, 8, 9, 31, 300] {
+            let (a, b) = vecs(len, 11 ^ len as u64, 1.0);
+            let [ab, aa, bb] = scalar::dot3(&a, &b);
+            assert_eq!(ab.to_bits(), scalar::dot(&a, &b).to_bits(), "ab len {len}");
+            assert_eq!(aa.to_bits(), scalar::dot(&a, &a).to_bits(), "aa len {len}");
+            assert_eq!(bb.to_bits(), scalar::dot(&b, &b).to_bits(), "bb len {len}");
+        }
+    }
+
+    #[test]
+    fn dot_agrees_with_f64_reference() {
+        for len in [1usize, 8, 13, 64, 300] {
+            let (a, b) = vecs(len, 21 ^ len as u64, 1.0);
+            let reference: f64 =
+                a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+            let got = dot(&a, &b) as f64;
+            assert!(
+                (got - reference).abs() <= 1e-4 * reference.abs().max(1.0),
+                "len {len}: {got} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dist_sq(&[], &[]), 0.0);
+        assert_eq!(cosine(&[], &[]), 0.0);
+        let mut y: Vec<f32> = Vec::new();
+        axpy(2.0, &[], &mut y);
+        assert!(y.is_empty());
+    }
+
+    #[test]
+    fn impl_names_are_stable() {
+        assert_eq!(KernelImpl::Scalar.name(), "scalar");
+        assert_eq!(KernelImpl::Avx2Fma.name(), "avx2_fma");
+        // active() must resolve to one of the two known names.
+        assert!(["scalar", "avx2_fma"].contains(&active_name()));
+    }
+}

@@ -1,7 +1,7 @@
 //! Row-major dense `f32` matrix.
 
+use crate::kernels;
 use crate::rng::Rng64;
-use crate::vector;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -246,10 +246,11 @@ impl Matrix {
 
     /// `self * other^T` without materializing the transpose.
     ///
-    /// Four output columns (rows of `other`) are computed per pass over an
-    /// input row: the row is read once instead of four times, and the four
-    /// independent accumulator chains keep the multiply units busy where a
-    /// single running dot product would serialize on its own additions.
+    /// Each output element is one contiguous-row dot product, so this routes
+    /// straight through the dispatched [`kernels::dot`]: the 8-lane
+    /// accumulator chains give the instruction-level parallelism the old
+    /// hand-unrolled 4-column loop bought, and the input row stays
+    /// L1-resident across the `n` passes at this system's shapes.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
@@ -257,29 +258,8 @@ impl Matrix {
         for i in 0..self.rows {
             let a_row = self.row(i);
             let o_row = out.row_mut(i);
-            let mut j = 0;
-            while j + 4 <= n {
-                let b0 = other.row(j);
-                let b1 = other.row(j + 1);
-                let b2 = other.row(j + 2);
-                let b3 = other.row(j + 3);
-                let (mut c0, mut c1, mut c2, mut c3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-                for ((((&a, &v0), &v1), &v2), &v3) in
-                    a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3)
-                {
-                    c0 += a * v0;
-                    c1 += a * v1;
-                    c2 += a * v2;
-                    c3 += a * v3;
-                }
-                o_row[j] = c0;
-                o_row[j + 1] = c1;
-                o_row[j + 2] = c2;
-                o_row[j + 3] = c3;
-                j += 4;
-            }
-            for jj in j..n {
-                o_row[jj] = vector::dot(a_row, other.row(jj));
+            for (jj, o) in o_row.iter_mut().enumerate().take(n) {
+                *o = kernels::dot(a_row, other.row(jj));
             }
         }
         out
@@ -405,36 +385,36 @@ const KC: usize = 128;
 /// Accumulate `a_panel * b_panel` into `o_row`: for each `p`,
 /// `o_row += a_panel[p] * b_panel[p*n..][..n]`.
 ///
-/// Four panel steps are fused per pass over `o_row` so the output row is
-/// traversed `kb/4` times instead of `kb`, and each store folds four
-/// independent products. Zero coefficients (common after ReLU) skip their
-/// panel row entirely via the all-zero fast path.
+/// Four panel steps are fused per pass over `o_row` via the dispatched
+/// [`kernels::gemm_update4`] (the output row is traversed `kb/4` times
+/// instead of `kb`, each store folding four fused multiply-adds). Zero
+/// coefficients (common after ReLU) skip their panel row entirely via the
+/// all-zero fast path.
 #[inline]
 fn gemm_panel_row(a_panel: &[f32], b_panel: &[f32], o_row: &mut [f32], n: usize) {
     let kb = a_panel.len();
     debug_assert_eq!(b_panel.len(), kb * n);
     let mut p = 0;
     while p + 4 <= kb {
-        let (a0, a1, a2, a3) = (a_panel[p], a_panel[p + 1], a_panel[p + 2], a_panel[p + 3]);
-        if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+        let coef = [a_panel[p], a_panel[p + 1], a_panel[p + 2], a_panel[p + 3]];
+        if coef == [0.0; 4] {
             p += 4;
             continue;
         }
-        let b0 = &b_panel[p * n..(p + 1) * n];
-        let b1 = &b_panel[(p + 1) * n..(p + 2) * n];
-        let b2 = &b_panel[(p + 2) * n..(p + 3) * n];
-        let b3 = &b_panel[(p + 3) * n..(p + 4) * n];
-        for ((((o, &v0), &v1), &v2), &v3) in
-            o_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-        {
-            *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
-        }
+        kernels::gemm_update4(
+            coef,
+            &b_panel[p * n..(p + 1) * n],
+            &b_panel[(p + 1) * n..(p + 2) * n],
+            &b_panel[(p + 2) * n..(p + 3) * n],
+            &b_panel[(p + 3) * n..(p + 4) * n],
+            o_row,
+        );
         p += 4;
     }
     while p < kb {
         let a = a_panel[p];
         if a != 0.0 {
-            vector::axpy(a, &b_panel[p * n..(p + 1) * n], o_row);
+            kernels::axpy(a, &b_panel[p * n..(p + 1) * n], o_row);
         }
         p += 1;
     }

@@ -2,59 +2,51 @@
 //!
 //! These are the hot inner loops of the system: cosine similarity drives the
 //! stable-marriage pairing over token embeddings, and `axpy`/`dot` drive the
-//! matrix products of the relevance scorer.
+//! matrix products of the relevance scorer. The reduction and update loops
+//! delegate to [`crate::kernels`], which dispatches between the portable
+//! 8-lane scalar path and the AVX2+FMA path at runtime — both paths are
+//! bit-identical, so everything built on these functions (the SimMatrix
+//! cache contract, pipeline scores) is independent of the host CPU.
+
+use crate::kernels;
 
 /// Dot product. Panics in debug builds on length mismatch.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for (x, y) in a.iter().zip(b) {
-        acc += x * y;
-    }
-    acc
+    kernels::dot(a, b)
 }
 
-/// `y += alpha * x`, in place.
+/// `y += alpha * x`, in place (fused multiply-add per element).
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    kernels::axpy(alpha, x, y);
 }
 
 /// Euclidean (L2) norm.
 #[inline]
 pub fn norm(a: &[f32]) -> f32 {
-    dot(a, a).sqrt()
+    kernels::dot(a, a).sqrt()
 }
 
 /// Squared Euclidean distance.
 #[inline]
 pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for (x, y) in a.iter().zip(b) {
-        let d = x - y;
-        acc += d * d;
-    }
-    acc
+    kernels::dist_sq(a, b)
 }
 
 /// Cosine similarity in `[-1, 1]`; 0.0 when either vector is all-zero.
 ///
 /// The all-zero case matters: WYM represents the missing side of an unpaired
 /// decision unit with a zero `[UNP]` embedding, and its similarity to
-/// anything is defined as 0 rather than NaN.
+/// anything is defined as 0 rather than NaN. The kernel computes `a·b`,
+/// `a·a`, and `b·b` fused in a single pass over the inputs.
 #[inline]
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    let na = norm(a);
-    let nb = norm(b);
-    if na <= f32::EPSILON || nb <= f32::EPSILON {
-        return 0.0;
-    }
-    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    debug_assert_eq!(a.len(), b.len());
+    kernels::cosine(a, b)
 }
 
 /// Normalizes to unit L2 norm in place; leaves all-zero vectors untouched.
@@ -163,6 +155,23 @@ mod tests {
     fn cosine_zero_vector_is_zero_not_nan() {
         assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
         assert_eq!(cosine(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    /// The documented `[UNP]` guarantee: the all-zero embedding that stands
+    /// in for the missing side of an unpaired unit has cosine similarity
+    /// exactly 0.0 against anything — at length 0 (degenerate empty
+    /// embedding) and at length 300 (the fastText dimension the paper
+    /// uses), which exercises full 8-lane blocks with a nonempty tail.
+    #[test]
+    fn cosine_unp_guarantee_len_0_and_300() {
+        assert_eq!(cosine(&[], &[]), 0.0);
+        let zeros = vec![0.0f32; 300];
+        let other: Vec<f32> = (0..300).map(|i| (i as f32 * 0.37).sin()).collect();
+        assert_eq!(cosine(&zeros, &other), 0.0);
+        assert_eq!(cosine(&other, &zeros), 0.0);
+        assert_eq!(cosine(&zeros, &zeros), 0.0);
+        // Sanity: the same non-zero vector against itself is still 1.
+        assert!((cosine(&other, &other) - 1.0).abs() < 1e-6);
     }
 
     #[test]

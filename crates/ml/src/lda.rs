@@ -3,7 +3,7 @@
 use crate::{Classifier, ClassifierKind};
 use serde::{Deserialize, Serialize};
 use wym_linalg::solve::solve;
-use wym_linalg::vector::dot;
+use wym_linalg::vector::{axpy, dot};
 use wym_linalg::Matrix;
 
 fn sigmoid(z: f32) -> f32 {
@@ -60,17 +60,21 @@ impl Classifier for LinearDiscriminantAnalysis {
         let mu1 = x1.col_mean();
         let mu0 = x0.col_mean();
 
-        // Pooled within-class covariance.
+        // Pooled within-class covariance: center each row once, then rank-1
+        // update `cov[a, ..] += centered[a] * centered` row by row through
+        // the dispatched axpy kernel (zero centered coordinates still skip
+        // their whole row).
         let mut cov = Matrix::zeros(d, d);
+        let mut centered = vec![0.0f32; d];
         for (part, mu) in [(&x1, &mu1), (&x0, &mu0)] {
             for row in part.iter_rows() {
+                for ((c, &v), &m) in centered.iter_mut().zip(row).zip(mu) {
+                    *c = v - m;
+                }
                 for a in 0..d {
-                    let da = row[a] - mu[a];
-                    if da == 0.0 {
-                        continue;
-                    }
-                    for b in 0..d {
-                        cov[(a, b)] += da * (row[b] - mu[b]);
+                    let da = centered[a];
+                    if da != 0.0 {
+                        axpy(da, &centered, cov.row_mut(a));
                     }
                 }
             }

@@ -2,7 +2,7 @@
 
 use crate::{Classifier, ClassifierKind};
 use serde::{Deserialize, Serialize};
-use wym_linalg::vector::dot;
+use wym_linalg::vector::{axpy, dot};
 use wym_linalg::Matrix;
 
 fn sigmoid(z: f32) -> f32 {
@@ -59,9 +59,7 @@ impl Classifier for LogisticRegression {
             let mut gb = 0.0f32;
             for (i, row) in x.iter_rows().enumerate() {
                 let err = sigmoid(dot(row, &self.coef) + self.intercept) - y[i] as f32;
-                for (g, &v) in grad.iter_mut().zip(row) {
-                    *g += err * v;
-                }
+                axpy(err, row, &mut grad);
                 gb += err;
             }
             for (c, g) in self.coef.iter_mut().zip(&grad) {
@@ -137,9 +135,7 @@ impl Classifier for LinearSvm {
                 if margin < 1.0 {
                     // d/dw of (1 - m)^2 = -2 (1 - m) t x
                     let scale = -2.0 * (1.0 - margin) * t;
-                    for (g, &v) in grad.iter_mut().zip(row) {
-                        *g += scale * v;
-                    }
+                    axpy(scale, row, &mut grad);
                     gb += scale;
                 }
             }

@@ -3,33 +3,67 @@
 # keeps the full suite under ~1.5 h on a laptop; pass --full for paper scale.
 #
 # --smoke: instead of the full suite, run one tiny traced dataset through
-# the timing binary and fail if any registered pipeline stage recorded zero
-# spans — a fast end-to-end check that the instrumentation covers every
-# stage (wired into CI-style gating; see DESIGN.md §8).
+# the timing binary twice — once with the dispatched kernels (WYM_KERNEL=auto)
+# and once pinned to the scalar reference (WYM_KERNEL=scalar) — and fail if
+# (a) any registered pipeline stage recorded zero spans, (b) either run did
+# not record a kernel.dispatch.* counter, or (c) the two runs' deterministic
+# relevance-score checksums differ, which would break the kernel layer's
+# bit-identity guarantee (see DESIGN.md §8–9).
 set -u
 cd "$(dirname "$0")"
 mkdir -p results
 
 if [ "${1:-}" = "--smoke" ]; then
   shift
-  OBS_JSON=results/OBS_smoke.json
-  rm -f "$OBS_JSON"
-  echo "=== smoke: traced tiny run ==="
-  ./target/release/timing --quick --cap 40 --datasets S-FZ \
-    --trace --metrics-out "$OBS_JSON" "$@" 2>&1 | tee results/smoke.log
-  if [ ! -f "$OBS_JSON" ]; then
-    echo "SMOKE FAILED: no metrics snapshot at $OBS_JSON" >&2
-    exit 1
-  fi
+  OBS_AUTO=results/OBS_smoke.json
+  OBS_SCALAR=results/OBS_smoke_scalar.json
+  rm -f "$OBS_AUTO" "$OBS_SCALAR"
+  echo "=== smoke: traced tiny run (WYM_KERNEL=auto) ==="
+  WYM_KERNEL=auto ./target/release/timing --quick --cap 40 --datasets S-FZ \
+    --trace --metrics-out "$OBS_AUTO" "$@" 2>&1 | tee results/smoke.log
+  echo "=== smoke: pinned scalar kernels (WYM_KERNEL=scalar) ==="
+  WYM_KERNEL=scalar ./target/release/timing --quick --cap 40 --datasets S-FZ \
+    --trace --metrics-out "$OBS_SCALAR" "$@" 2>&1 | tee results/smoke_scalar.log
+  for f in "$OBS_AUTO" "$OBS_SCALAR"; do
+    if [ ! -f "$f" ]; then
+      echo "SMOKE FAILED: no metrics snapshot at $f" >&2
+      exit 1
+    fi
+  done
   # The exported "stages" object maps each registered stage to its span
   # count; a `"stage": 0` entry means the stage never ran under tracing.
-  DEAD=$(sed -n '/"stages"/,/}/p' "$OBS_JSON" | grep -E '"[a-z_]+": 0(,|$)' || true)
+  DEAD=$(sed -n '/"stages"/,/}/p' "$OBS_AUTO" | grep -E '"[a-z_]+": 0(,|$)' || true)
   if [ -n "$DEAD" ]; then
     echo "SMOKE FAILED: stages with zero recorded spans:" >&2
     echo "$DEAD" >&2
     exit 1
   fi
-  echo "SMOKE OK: all registered stages recorded spans ($OBS_JSON)"
+  # Every run must record which kernel implementation it resolved to.
+  for f in "$OBS_AUTO" "$OBS_SCALAR"; do
+    HIT=$(grep -E '"kernel\.dispatch\.[a-z0-9_]+": *[1-9]' "$f" || true)
+    if [ -z "$HIT" ]; then
+      echo "SMOKE FAILED: no nonzero kernel.dispatch.* counter in $f" >&2
+      exit 1
+    fi
+  done
+  if ! grep -q '"kernel\.dispatch\.scalar"' "$OBS_SCALAR"; then
+    echo "SMOKE FAILED: WYM_KERNEL=scalar run did not dispatch to scalar" >&2
+    exit 1
+  fi
+  # Bit-identity gate: the dispatched and scalar runs must produce the
+  # exact same relevance scores, down to the serialized f64 checksum.
+  CK_AUTO=$(grep -o '"scorer\.score_checksum": *[-0-9.eE+]*' "$OBS_AUTO" | head -1 | sed 's/.*: *//')
+  CK_SCALAR=$(grep -o '"scorer\.score_checksum": *[-0-9.eE+]*' "$OBS_SCALAR" | head -1 | sed 's/.*: *//')
+  if [ -z "$CK_AUTO" ] || [ -z "$CK_SCALAR" ]; then
+    echo "SMOKE FAILED: scorer.score_checksum gauge missing from a snapshot" >&2
+    exit 1
+  fi
+  if [ "$CK_AUTO" != "$CK_SCALAR" ]; then
+    echo "SMOKE FAILED: kernel dispatch changed scores: auto=$CK_AUTO scalar=$CK_SCALAR" >&2
+    exit 1
+  fi
+  DISPATCHED=$(grep -oE '"kernel\.dispatch\.[a-z0-9_]+"' "$OBS_AUTO" | head -1)
+  echo "SMOKE OK: all stages traced, $DISPATCHED == scalar checksum $CK_AUTO ($OBS_AUTO, $OBS_SCALAR)"
   exit 0
 fi
 

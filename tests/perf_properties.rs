@@ -1,5 +1,6 @@
 //! Property-based equivalence tests for this round of performance work:
-//! the cached similarity matrix, the blocked GEMM kernels, and the
+//! the cached similarity matrix, the blocked GEMM kernels, the
+//! runtime-dispatched SIMD kernel layer, the batched scorer, and the
 //! work-stealing parallel pipeline must all reproduce the straightforward
 //! implementations they replaced.
 
@@ -163,6 +164,87 @@ proptest! {
     }
 }
 
+/// Strategy: a magnitude scale spanning `±1e±6` so the kernel identities
+/// are checked on tiny, unit, and huge values (and their mixtures).
+fn scale() -> impl Strategy<Value = f32> {
+    prop::sample::select(vec![1e-6f32, 1e-3, 1.0, 1e3, 1e6])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The determinism contract of the kernel layer: for every kernel, the
+    /// best CPU-detected implementation (AVX2+FMA where available) returns
+    /// **bit-identical** f32 to the portable scalar path, across lengths
+    /// 0..=64 (every 8-lane remainder) and magnitudes from 1e-6 to 1e6.
+    /// `detect_best()` ignores `WYM_KERNEL`, so this compares two genuinely
+    /// different code paths whenever the host has AVX2+FMA.
+    #[test]
+    fn kernels_bit_identical_across_dispatch(
+        pairs in prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0), 0..65),
+        sa in scale(),
+        sb in scale(),
+        alpha in -2.0f32..2.0,
+    ) {
+        use wym::linalg::kernels::{
+            axpy_with, cosine_with, detect_best, dist_sq_with, dot_with, KernelImpl,
+        };
+        let a: Vec<f32> = pairs.iter().map(|(x, _)| x * sa).collect();
+        let b: Vec<f32> = pairs.iter().map(|(_, y)| y * sb).collect();
+        let best = detect_best();
+        let scalar = KernelImpl::Scalar;
+        prop_assert_eq!(
+            dot_with(best, &a, &b).to_bits(),
+            dot_with(scalar, &a, &b).to_bits(),
+            "dot diverged at len {}", a.len()
+        );
+        prop_assert_eq!(
+            dist_sq_with(best, &a, &b).to_bits(),
+            dist_sq_with(scalar, &a, &b).to_bits(),
+            "dist_sq diverged at len {}", a.len()
+        );
+        prop_assert_eq!(
+            cosine_with(best, &a, &b).to_bits(),
+            cosine_with(scalar, &a, &b).to_bits(),
+            "cosine diverged at len {}", a.len()
+        );
+        let mut y_best = b.clone();
+        let mut y_scalar = b.clone();
+        axpy_with(best, alpha, &a, &mut y_best);
+        axpy_with(scalar, alpha, &a, &mut y_scalar);
+        for (i, (x, y)) in y_best.iter().zip(&y_scalar).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "axpy diverged at element {}", i);
+        }
+    }
+
+    /// The GEMM inner update under both implementations, same contract.
+    #[test]
+    fn gemm_update4_bit_identical_across_dispatch(
+        rows in prop::collection::vec(
+            (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0),
+            0..65,
+        ),
+        coef in (-2.0f32..2.0, -2.0f32..2.0, -2.0f32..2.0, -2.0f32..2.0),
+        s in scale(),
+    ) {
+        use wym::linalg::kernels::{detect_best, gemm_update4_with, KernelImpl};
+        let col = |f: fn(&(f32, f32, f32, f32, f32)) -> f32| -> Vec<f32> {
+            rows.iter().map(|r| f(r) * s).collect()
+        };
+        let (b0, b1) = (col(|r| r.0), col(|r| r.1));
+        let (b2, b3) = (col(|r| r.2), col(|r| r.3));
+        let o0 = col(|r| r.4);
+        let coef = [coef.0, coef.1, coef.2, coef.3];
+        let mut o_best = o0.clone();
+        let mut o_scalar = o0;
+        gemm_update4_with(detect_best(), coef, &b0, &b1, &b2, &b3, &mut o_best);
+        gemm_update4_with(KernelImpl::Scalar, coef, &b0, &b1, &b2, &b3, &mut o_scalar);
+        for (i, (x, y)) in o_best.iter().zip(&o_scalar).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "gemm_update4 diverged at element {}", i);
+        }
+    }
+}
+
 /// One shared fitted model for the parallel-equivalence property — fitting
 /// is the expensive part and its determinism is covered by the end-to-end
 /// suite, so fit once and probe `process_many_parallel` against it.
@@ -200,6 +282,35 @@ proptest! {
         for (s, p) in sequential.iter().zip(&parallel) {
             prop_assert_eq!(&s.units, &p.units);
             prop_assert_eq!(&s.relevances, &p.relevances);
+        }
+    }
+
+    /// Batched scorer inference is bit-identical to per-record scoring:
+    /// `score_batch` over a random prefix of the test set returns exactly
+    /// the per-record `score_units` results (GEMM output rows depend only
+    /// on their own input row), and the batched process path reproduces the
+    /// sequential reference records end to end.
+    #[test]
+    fn batched_scoring_matches_per_unit(n_records in 1usize..24) {
+        let (model, test) = shared_model();
+        let take = n_records.min(test.len());
+        let pairs = &test[..take];
+
+        let batched = model.process_many_batched(pairs);
+        let sequential = model.process_many(pairs);
+        prop_assert_eq!(batched.len(), sequential.len());
+        for (b, s) in batched.iter().zip(&sequential) {
+            prop_assert_eq!(&b.units, &s.units);
+            prop_assert_eq!(&b.relevances, &s.relevances);
+        }
+
+        // And directly at the scorer: one multi-record forward pass vs one
+        // call per record.
+        let batch: Vec<_> =
+            batched.iter().map(|p| (&p.record, p.units.as_slice())).collect();
+        let stacked = model.scorer().score_batch(&batch);
+        for ((rec, units), scores) in batch.iter().zip(&stacked) {
+            prop_assert_eq!(scores, &model.scorer().score_units(rec, units));
         }
     }
 }
