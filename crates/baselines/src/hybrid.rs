@@ -53,7 +53,7 @@ pub fn unit_summary_features(record: &TokenizedRecord, units: &[DecisionUnit]) -
         paired.len() as f32 / total,
         mean(&sims),
         median(&sims),
-        sims.iter().copied().fold(f32::INFINITY, f32::min).min(1.0).max(-1.0),
+        sims.iter().copied().fold(f32::INFINITY, f32::min).clamp(-1.0, 1.0),
         sims.iter().copied().fold(f32::NEG_INFINITY, f32::max).clamp(-1.0, 1.0),
         crossing as f32 / paired.len().max(1) as f32,
     ]

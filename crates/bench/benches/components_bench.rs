@@ -3,6 +3,11 @@
 //! the substrate hot loops (matmul, cosine, Jaro–Winkler, tokenizer).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+
+// The bench binary runs with the tracking allocator installed — exactly how
+// the shipped binaries run — so the `prof` group below measures the real
+// cost of the wrapper, not a simulation of it.
+wym_obs::install_tracking_alloc!();
 use wym_bench::{bench_dataset_hard, fitted_model};
 use wym_core::algorithm1::{
     discover_units, discover_units_cached, discover_units_reference, DiscoveryConfig,
@@ -206,6 +211,34 @@ fn bench(c: &mut Criterion) {
                 })
             });
         });
+        g.finish();
+    }
+
+    // Memory-profiler guard: an allocation-heavy workload under the three
+    // allocator states. `_disabled` is the acceptance pin — the tracking
+    // wrapper with profiling off (one relaxed atomic load per allocator
+    // call) must stay within noise of what plain System costs; `_enabled`
+    // and `_in_span` bound what `--profile-mem` adds per allocation.
+    {
+        let tok = Tokenizer::default();
+        let churn = |tok: &Tokenizer| {
+            // Tokenization is the pipeline's allocation churn in miniature:
+            // per-token Strings plus the collecting Vec.
+            tok.tokenize("sony digital camera with lens kit dslra200w 37.63").len()
+        };
+        let mut g = c.benchmark_group("prof");
+        wym_obs::prof::set_enabled(false);
+        g.bench_function("tokenize_alloc_disabled", |bch| bch.iter(|| churn(&tok)));
+        wym_obs::prof::set_enabled(true);
+        g.bench_function("tokenize_alloc_enabled", |bch| bch.iter(|| churn(&tok)));
+        g.bench_function("tokenize_alloc_in_span", |bch| {
+            let rec = std::sync::Arc::new(wym_obs::Recorder::new_enabled());
+            wym_obs::with_recorder(rec, || {
+                let _s = wym_obs::span("bench");
+                bch.iter(|| churn(&tok))
+            });
+        });
+        wym_obs::prof::set_enabled(false);
         g.finish();
     }
 

@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
             .iter()
             .map(|p| TokenizedRecord::from_pair(p, &tokenizer, &embedder))
             .collect();
-        g.bench_function(format!("discover_100_{label}"), |b| {
+        g.bench_function(&format!("discover_100_{label}"), |b| {
             b.iter(|| {
                 records
                     .iter()
@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
                     .sum::<usize>()
             })
         });
-        g.bench_function(format!("tokenize_embed_100_{label}"), |b| {
+        g.bench_function(&format!("tokenize_embed_100_{label}"), |b| {
             b.iter(|| {
                 dataset
                     .pairs

@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     for n in [60usize, 120, 240] {
         let mut sub = split.clone();
         sub.train.truncate(n);
-        g.bench_function(format!("fit_train_{n}"), |b| {
+        g.bench_function(&format!("fit_train_{n}"), |b| {
             b.iter(|| WymModel::fit(&dataset, &sub, bench_config()))
         });
     }

@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("figure8_perturbation");
     g.sample_size(10);
     for strategy in [RemovalStrategy::MoRF, RemovalStrategy::LeRF, RemovalStrategy::Random] {
-        g.bench_function(format!("perturb_one_{}", strategy.as_str()), |b| {
+        g.bench_function(&format!("perturb_one_{}", strategy.as_str()), |b| {
             b.iter(|| perturb_record(&model, &sample[0], 3, strategy, 0))
         });
     }

@@ -7,7 +7,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_generation");
     g.sample_size(10);
     for name in ["S-FZ", "S-BR"] {
-        g.bench_function(format!("generate_{name}"), |b| {
+        g.bench_function(&format!("generate_{name}"), |b| {
             b.iter(|| magellan::generate_by_name(name, 42).unwrap())
         });
     }

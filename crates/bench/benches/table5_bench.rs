@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
         ClassifierKind::GradientBoosting,
         ClassifierKind::Knn,
     ] {
-        g.bench_function(format!("fit_{}", kind.short_name()), |b| {
+        g.bench_function(&format!("fit_{}", kind.short_name()), |b| {
             b.iter(|| {
                 let mut m = kind.build(0);
                 m.fit(&xs, &y);

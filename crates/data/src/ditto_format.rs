@@ -66,8 +66,10 @@ pub fn from_ditto_string(
     name: &str,
     dataset_type: DatasetType,
 ) -> Result<EmDataset, DittoParseError> {
+    // One entity as parsed from the line: (attribute, value) in order.
+    type RawEntity = Vec<(String, String)>;
     let mut attributes: Vec<String> = Vec::new();
-    let mut raw: Vec<(Vec<(String, String)>, Vec<(String, String)>, bool)> = Vec::new();
+    let mut raw: Vec<(RawEntity, RawEntity, bool)> = Vec::new();
     for (ln, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;

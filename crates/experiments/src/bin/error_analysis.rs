@@ -11,6 +11,8 @@ use serde::Serialize;
 use wym_experiments::{fit_wym, fmt3, print_table, save_json, HarnessOpts};
 use wym_explain::errors::analyze_errors;
 
+wym_obs::install_tracking_alloc!();
+
 #[derive(Serialize)]
 struct Row {
     dataset: String,

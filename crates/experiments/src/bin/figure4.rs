@@ -11,6 +11,8 @@ use wym_embed::Embedder;
 use wym_experiments::{print_table, save_json, HarnessOpts};
 use wym_tokenize::Tokenizer;
 
+wym_obs::install_tracking_alloc!();
+
 #[derive(Serialize)]
 struct Row {
     dataset: String,

@@ -11,6 +11,8 @@ use wym_data::split::paper_split;
 use wym_embed::EmbedderKind;
 use wym_experiments::{fmt3, print_table, save_json, HarnessOpts};
 
+wym_obs::install_tracking_alloc!();
+
 const SKIP: [&str; 4] = ["S-BR", "S-IA", "S-FZ", "D-IA"];
 
 #[derive(Serialize)]

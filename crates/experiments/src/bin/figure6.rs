@@ -8,6 +8,8 @@ use serde::Serialize;
 use wym_explain::pareto::mean_shares;
 use wym_experiments::{fit_wym, print_table, save_json, HarnessOpts};
 
+wym_obs::install_tracking_alloc!();
+
 const FRACTIONS: [f32; 6] = [0.03, 0.05, 0.10, 0.20, 0.50, 1.00];
 
 #[derive(Serialize)]

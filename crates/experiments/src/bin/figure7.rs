@@ -11,6 +11,8 @@ use wym_experiments::{fit_wym, fmt3, print_table, save_json, HarnessOpts};
 use wym_explain::sufficiency::{post_hoc_accuracy_tokens_multi, post_hoc_accuracy_wym_multi};
 use wym_explain::{LemonLite, LimeText};
 
+wym_obs::install_tracking_alloc!();
+
 const VS: [usize; 5] = [1, 2, 3, 4, 5];
 
 #[derive(Serialize)]

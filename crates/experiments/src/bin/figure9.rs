@@ -11,6 +11,8 @@ use wym_explain::correlation::correlations_by_label;
 use wym_explain::Landmark;
 use wym_linalg::stats::quantile;
 
+wym_obs::install_tracking_alloc!();
+
 #[derive(Serialize)]
 struct Row {
     dataset: String,

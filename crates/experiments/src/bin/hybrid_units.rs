@@ -7,6 +7,8 @@ use wym_baselines::{BaselineMatcher, Ditto, HybridUnits};
 use wym_data::split::paper_split;
 use wym_experiments::{fmt3, print_table, save_json, HarnessOpts};
 
+wym_obs::install_tracking_alloc!();
+
 #[derive(Serialize)]
 struct Row {
     dataset: String,

@@ -8,6 +8,8 @@ use serde::Serialize;
 use wym_data::magellan;
 use wym_experiments::{print_table, save_json, HarnessOpts};
 
+wym_obs::install_tracking_alloc!();
+
 #[derive(Serialize)]
 struct Row {
     dataset: String,

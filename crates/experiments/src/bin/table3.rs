@@ -6,6 +6,8 @@ use serde::Serialize;
 use wym_baselines::{AutoMl, BaselineMatcher, CorDel, Ditto, DmPlus};
 use wym_experiments::{fit_wym, fmt3, print_table, ranks_desc, save_json, HarnessOpts};
 
+wym_obs::install_tracking_alloc!();
+
 #[derive(Serialize)]
 struct Row {
     dataset: String,

@@ -16,6 +16,8 @@ use wym_core::WymConfig;
 use wym_embed::EmbedderKind;
 use wym_experiments::{fit_wym, fmt3, print_table, ranks_desc, save_json, HarnessOpts};
 
+wym_obs::install_tracking_alloc!();
+
 const VARIANTS: [&str; 8] =
     ["WYM", "j-w dist.", "BERT-pt", "BERT-ft", "bin. scr.", "cos. sim.", "bin j-w", "smp. feat."];
 

@@ -11,6 +11,8 @@ use wym_experiments::{fit_wym, fmt3, print_table, save_json, HarnessOpts};
 use wym_linalg::Matrix;
 use wym_ml::{f1_score, ClassifierKind, StandardScaler};
 
+wym_obs::install_tracking_alloc!();
+
 #[derive(Serialize)]
 struct Row {
     dataset: String,

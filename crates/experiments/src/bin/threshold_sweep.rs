@@ -8,6 +8,8 @@
 use serde::Serialize;
 use wym_experiments::{fit_wym, fmt3, print_table, save_json, HarnessOpts};
 
+wym_obs::install_tracking_alloc!();
+
 const SWEEPS: [(&str, f32, f32, f32); 5] = [
     ("paper (0.60/0.65/0.70)", 0.60, 0.65, 0.70),
     ("uniform low (0.50)", 0.50, 0.50, 0.50),

@@ -10,8 +10,10 @@ use serde::Serialize;
 use std::time::Instant;
 use wym_core::{discover_units, TokenizedRecord};
 use wym_experiments::{fit_wym, print_table, save_json, HarnessOpts};
-use wym_obs::{Json, Snapshot};
+use wym_obs::{Json, Manifest, Snapshot};
 use wym_tokenize::Tokenizer;
+
+wym_obs::install_tracking_alloc!();
 
 #[derive(Serialize)]
 struct Row {
@@ -63,9 +65,10 @@ struct BenchRow {
 }
 
 impl BenchRow {
-    /// The row as JSON: the backward-compatible flat keys first, then the
-    /// dataset's observability snapshot as `spans` / `metrics` sections.
-    fn to_json(&self, snap: &Snapshot) -> Json {
+    /// The row as JSON: the run's provenance `manifest` first, then the
+    /// backward-compatible flat keys, then the dataset's observability
+    /// snapshot as `spans` / `metrics` sections.
+    fn to_json(&self, manifest: &Manifest, snap: &Snapshot) -> Json {
         let snap_json = snap.to_json();
         let mut spans = Json::Arr(Vec::new());
         let mut metrics = Vec::new();
@@ -79,6 +82,7 @@ impl BenchRow {
             }
         }
         Json::obj(vec![
+            ("manifest", manifest.to_json()),
             ("dataset", Json::str(&self.dataset)),
             ("kernel", Json::str(wym_linalg::kernels::active_name())),
             ("n_train", Json::UInt(self.n_train as u64)),
@@ -190,7 +194,7 @@ fn main() {
             predict_s: t_predict,
             impact_s: t_impact,
         };
-        bench_json.push(bench_row.to_json(&wym_obs::snapshot()));
+        bench_json.push(bench_row.to_json(&opts.manifest("timing"), &wym_obs::snapshot()));
         let row = Row {
             dataset: dataset.name.clone(),
             train_records_per_s: train_tp,

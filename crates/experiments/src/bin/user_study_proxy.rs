@@ -10,6 +10,8 @@ use serde::Serialize;
 use wym_experiments::{fit_wym, print_table, save_json, HarnessOpts};
 use wym_explain::readability::{mean_readability, readability};
 
+wym_obs::install_tracking_alloc!();
+
 #[derive(Serialize)]
 struct Row {
     dataset: String,

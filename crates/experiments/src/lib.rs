@@ -41,6 +41,12 @@ pub struct HarnessOpts {
     /// Where to write the JSON metrics snapshot (`None` = only when
     /// tracing, at `results/OBS_<binary>.json`).
     pub metrics_out: Option<String>,
+    /// Export folded-stack flamegraphs (`results/FLAME_<name>_*.folded`).
+    /// Implies recording, and memory profiling for the alloc weights.
+    pub flame: bool,
+    /// Attribute allocator traffic to spans (needs the binary to install
+    /// [`wym_obs::TrackingAlloc`], which all experiment binaries do).
+    pub profile_mem: bool,
 }
 
 impl Default for HarnessOpts {
@@ -54,6 +60,8 @@ impl Default for HarnessOpts {
             datasets: None,
             trace: false,
             metrics_out: None,
+            flame: false,
+            profile_mem: false,
         }
     }
 }
@@ -70,6 +78,8 @@ impl HarnessOpts {
             match args[i].as_str() {
                 "--full" => opts.full = true,
                 "--trace" => opts.trace = true,
+                "--flame" => opts.flame = true,
+                "--profile-mem" => opts.profile_mem = true,
                 "--metrics-out" => {
                     i += 1;
                     opts.metrics_out =
@@ -111,19 +121,44 @@ impl HarnessOpts {
             i += 1;
         }
         wym_obs::register_stages(wym_core::pipeline::PIPELINE_STAGES);
-        if opts.trace || opts.metrics_out.is_some() {
+        if opts.trace || opts.metrics_out.is_some() || opts.flame {
             wym_obs::set_enabled(true);
+        }
+        if opts.profile_mem || opts.flame {
+            wym_obs::prof::set_enabled(true);
         }
         opts
     }
 
+    /// The run's provenance header: commit, effective config, dataset
+    /// selection, dispatched kernel, threads, and seed, hashed into a
+    /// [`wym_obs::Manifest`] that [`HarnessOpts::flush_obs`] attaches to
+    /// every exported metrics file.
+    pub fn manifest(&self, name: &str) -> wym_obs::Manifest {
+        let config = format!(
+            "full={} quick={} cap={} seed={} threads={}",
+            self.full, self.quick, self.cap, self.seed, self.threads
+        );
+        let datasets = match &self.datasets {
+            Some(names) => names.join(","),
+            None => "all".to_string(),
+        };
+        wym_obs::Manifest::new(name)
+            .with_kernel(wym_linalg::kernels::active_name())
+            .with_threads(self.threads)
+            .with_seed(self.seed)
+            .with_config_bytes(config.as_bytes())
+            .with_dataset_bytes(format!("{datasets} cap={} seed={}", self.cap, self.seed).as_bytes())
+    }
+
     /// Emits the recorded observability snapshot: stderr summary under
-    /// `--trace`, JSON export to `--metrics-out` (default
-    /// `results/OBS_<name>.json` when tracing). Call once at the end of an
-    /// experiment binary; a no-op when neither flag was given.
+    /// `--trace`, JSON export (with the run [`wym_obs::Manifest`]) to
+    /// `--metrics-out` (default `results/OBS_<name>.json` when tracing),
+    /// and folded-stack flamegraphs under `--flame`. Call once at the end
+    /// of an experiment binary; a no-op when no obs flag was given.
     pub fn flush_obs(&self, name: &str) {
         use wym_obs::Sink;
-        if !self.trace && self.metrics_out.is_none() {
+        if !self.trace && self.metrics_out.is_none() && !self.flame {
             return;
         }
         let snap = wym_obs::snapshot();
@@ -134,9 +169,13 @@ impl HarnessOpts {
             .metrics_out
             .clone()
             .unwrap_or_else(|| format!("results/OBS_{name}.json"));
-        match wym_obs::JsonFileSink::new(&path).emit(&snap) {
+        let mut sink = wym_obs::JsonFileSink::new(&path).with_manifest(self.manifest(name));
+        match sink.emit(&snap) {
             Ok(()) => eprintln!("→ metrics saved to {path}"),
             Err(e) => eprintln!("warning: cannot write metrics to {path}: {e}"),
+        }
+        if self.flame {
+            write_flames(name, &snap);
         }
     }
 
@@ -183,6 +222,26 @@ impl HarnessOpts {
                 TrainConfig { epochs: 20, batch_size: 256, lr: 1.5e-3, ..TrainConfig::default() };
         }
         cfg
+    }
+}
+
+/// Writes the folded-stack flamegraph files for one finished run:
+/// `results/FLAME_<name>_wall.folded` always, plus
+/// `results/FLAME_<name>_alloc.folded` when the snapshot carries memory
+/// attribution. Both load directly into speedscope or
+/// `inferno-flamegraph`.
+pub fn write_flames(name: &str, snap: &wym_obs::Snapshot) {
+    use wym_obs::flame::{write_folded, FlameWeight};
+    let mut weights = vec![FlameWeight::WallNs];
+    if snap.memory.is_some() || snap.spans.iter().any(|s| s.mem.is_some()) {
+        weights.push(FlameWeight::AllocBytes);
+    }
+    for weight in weights {
+        let path = format!("results/FLAME_{name}_{}.folded", weight.infix());
+        match write_folded(&path, snap, weight) {
+            Ok(lines) => eprintln!("→ flamegraph ({} stacks) saved to {path}", lines),
+            Err(e) => eprintln!("warning: cannot write flamegraph to {path}: {e}"),
+        }
     }
 }
 

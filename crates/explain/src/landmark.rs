@@ -73,9 +73,9 @@ impl Landmark {
             let n_drop = 1 + rng.gen_range(d.max(2) - 1);
             let drop: HashSet<usize> = rng.sample_indices(d, n_drop).into_iter().collect();
             let mut keep = all_locs.clone();
-            for k in 0..d {
+            for (k, tok) in side_tokens.iter().enumerate().take(d) {
                 if drop.contains(&k) {
-                    keep.remove(&side_tokens[k].1 .0);
+                    keep.remove(&tok.1 .0);
                 }
             }
             let mask: Vec<f32> =

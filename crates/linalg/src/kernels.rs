@@ -325,7 +325,11 @@ pub mod avx2 {
         _mm256_sub_ps,
     };
 
-    /// 8-lane dot product (see module docs for safety).
+    /// 8-lane dot product.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2+FMA support (via
+    /// [`super::detect_best`]) before calling.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
         let blocks = a.len() / LANES * LANES;
@@ -346,6 +350,10 @@ pub mod avx2 {
     }
 
     /// Fused `a·b`, `a·a`, `b·b` in one pass.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2+FMA support (via
+    /// [`super::detect_best`]) before calling.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot3(a: &[f32], b: &[f32]) -> [f32; 3] {
         let blocks = a.len() / LANES * LANES;
@@ -377,6 +385,10 @@ pub mod avx2 {
     }
 
     /// 8-lane squared distance.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2+FMA support (via
+    /// [`super::detect_best`]) before calling.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
         let blocks = a.len() / LANES * LANES;
@@ -399,6 +411,10 @@ pub mod avx2 {
     }
 
     /// Element-wise fused `y[i] = fma(alpha, x[i], y[i])`.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2+FMA support (via
+    /// [`super::detect_best`]) before calling.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
         let blocks = x.len() / LANES * LANES;
@@ -416,6 +432,10 @@ pub mod avx2 {
     }
 
     /// Element-wise four-step fused update.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2+FMA support (via
+    /// [`super::detect_best`]) before calling.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn gemm_update4(
         coef: [f32; 4],

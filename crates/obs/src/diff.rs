@@ -1,0 +1,766 @@
+//! Snapshot diffing: the regression-sentinel core behind `obs_diff`.
+//!
+//! [`diff`] compares two [`Snapshot`]s — an *old* baseline and a *new*
+//! candidate — metric by metric against per-metric thresholds and produces
+//! a [`DiffReport`] of findings. The policy encodes what WYM treats as
+//! deterministic versus noisy:
+//!
+//! * **Structure is exact.** A span, counter, histogram, or stage present
+//!   in the baseline but missing from the candidate is a regression, as is
+//!   a changed span entry count — the pipeline is deterministic, so the
+//!   *shape* of a run must reproduce bit-for-bit.
+//! * **Deterministic counters are exact** (threshold 0 by default): a pair
+//!   count or cache-hit count that moves means behaviour changed. Counters
+//!   under an ignore prefix (`kernel.dispatch.` by default — which SIMD
+//!   path dispatch picked depends on the CPU) are skipped.
+//! * **Wall time is noisy**: a span only regresses when its mean exceeds
+//!   the baseline by both a relative factor *and* an absolute floor, so
+//!   microsecond spans can't trip the gate on scheduler jitter. Faster is
+//!   reported as [`Status::Improved`], never as a failure.
+//! * **Memory is semi-deterministic**: allocation counts/bytes get a
+//!   generous relative threshold (allocator and hash-map growth details
+//!   may shift between builds).
+//! * **Histograms compare per bucket**, not just by summary stats — a
+//!   distribution that shifted shape with the same mean is still a change.
+
+use crate::hist::Histogram;
+use crate::prof::MemStat;
+use crate::recorder::{Snapshot, SpanStat};
+
+/// Per-metric thresholds and skip lists for one diff run.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Span mean wall time may grow by this fraction before regressing.
+    pub span_wall_rel: f64,
+    /// …and must also grow by at least this many absolute nanoseconds.
+    pub span_wall_abs_ns: u64,
+    /// Allowed relative drift for counters (0 = exact).
+    pub counter_rel: f64,
+    /// Allowed relative drift for gauges.
+    pub gauge_rel: f64,
+    /// Allowed relative drift for memory alloc counts/bytes.
+    pub mem_rel: f64,
+    /// Skip wall-time comparisons entirely (cross-machine baselines).
+    pub ignore_wall: bool,
+    /// Skip memory comparisons entirely.
+    pub ignore_mem: bool,
+    /// Name prefixes to skip for counters/gauges/histograms.
+    pub ignore: Vec<String>,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            span_wall_rel: 0.5,
+            span_wall_abs_ns: 5_000_000,
+            counter_rel: 0.0,
+            gauge_rel: 1e-9,
+            mem_rel: 0.25,
+            ignore_wall: false,
+            ignore_mem: false,
+            // SIMD dispatch counters name the path the host CPU selected;
+            // two correct machines legitimately disagree on them.
+            ignore: vec!["kernel.dispatch.".to_string()],
+        }
+    }
+}
+
+impl DiffConfig {
+    fn ignored(&self, name: &str) -> bool {
+        self.ignore.iter().any(|p| name.starts_with(p.as_str()))
+    }
+}
+
+/// Verdict of one finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Within thresholds.
+    Ok,
+    /// Better than baseline (faster / fewer allocations).
+    Improved,
+    /// Notable but not gating (e.g. a new span appeared).
+    Info,
+    /// Outside thresholds — gates the run.
+    Regression,
+}
+
+impl Status {
+    fn label(&self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Improved => "improved",
+            Status::Info => "info",
+            Status::Regression => "REGRESSION",
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Metric family (`span.wall`, `counter`, `hist.bucket`, …).
+    pub kind: String,
+    /// Metric name or span path.
+    pub name: String,
+    /// Baseline value, rendered.
+    pub old: String,
+    /// Candidate value, rendered.
+    pub new: String,
+    /// Human note (delta, threshold that fired).
+    pub note: String,
+    /// Verdict.
+    pub status: Status,
+}
+
+/// All findings of one diff run.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Every comparison performed, in snapshot order. `Ok` findings are
+    /// kept so the table shows what *was* checked, not only what failed.
+    pub findings: Vec<Finding>,
+}
+
+impl DiffReport {
+    /// The findings that gate (status == Regression).
+    pub fn regressions(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.status == Status::Regression).collect()
+    }
+
+    /// Whether the candidate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty()
+    }
+
+    /// A fixed-width verdict table. `verbose` includes `Ok` rows; the
+    /// summary line and any non-Ok rows always print.
+    pub fn render_table(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        let shown: Vec<&Finding> = self
+            .findings
+            .iter()
+            .filter(|f| verbose || f.status != Status::Ok)
+            .collect();
+        out.push_str(&format!(
+            "{:<12} {:<34} {:>14} {:>14}  {:<10} note\n",
+            "kind", "name", "old", "new", "status"
+        ));
+        for f in &shown {
+            out.push_str(&format!(
+                "{:<12} {:<34} {:>14} {:>14}  {:<10} {}\n",
+                f.kind,
+                clip(&f.name, 34),
+                clip(&f.old, 14),
+                clip(&f.new, 14),
+                f.status.label(),
+                f.note
+            ));
+        }
+        let n_reg = self.regressions().len();
+        let n_impr = self.findings.iter().filter(|f| f.status == Status::Improved).count();
+        out.push_str(&format!(
+            "{} checks, {} regressions, {} improvements\n",
+            self.findings.len(),
+            n_reg,
+            n_impr
+        ));
+        out
+    }
+}
+
+fn clip(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        s.to_string()
+    } else {
+        let head: String = s.chars().take(width.saturating_sub(1)).collect();
+        format!("{head}…")
+    }
+}
+
+/// Relative change of `new` vs `old`, with 0→0 counting as unchanged and
+/// 0→x as infinite.
+fn rel_delta(old: f64, new: f64) -> f64 {
+    if old == new {
+        0.0
+    } else if old == 0.0 {
+        f64::INFINITY
+    } else {
+        (new - old).abs() / old.abs()
+    }
+}
+
+fn pct(x: f64) -> String {
+    if x.is_infinite() {
+        "∞".to_string()
+    } else {
+        format!("{:+.1}%", x * 100.0)
+    }
+}
+
+/// Compares `new` against the `old` baseline under `cfg`.
+pub fn diff(old: &Snapshot, new: &Snapshot, cfg: &DiffConfig) -> DiffReport {
+    let mut rep = DiffReport::default();
+    diff_spans(old, new, cfg, &mut rep);
+    diff_counters(old, new, cfg, &mut rep);
+    diff_gauges(old, new, cfg, &mut rep);
+    diff_histograms(old, new, cfg, &mut rep);
+    diff_stages(old, new, &mut rep);
+    if !cfg.ignore_mem {
+        diff_memory(old, new, cfg, &mut rep);
+    }
+    rep
+}
+
+fn diff_spans(old: &Snapshot, new: &Snapshot, cfg: &DiffConfig, rep: &mut DiffReport) {
+    for o in &old.spans {
+        let Some(n) = new.spans.iter().find(|s| s.path == o.path) else {
+            rep.findings.push(Finding {
+                kind: "span".into(),
+                name: o.path.clone(),
+                old: format!("{}×", o.count),
+                new: "-".into(),
+                note: "span disappeared".into(),
+                status: Status::Regression,
+            });
+            continue;
+        };
+        if n.count != o.count {
+            rep.findings.push(Finding {
+                kind: "span.count".into(),
+                name: o.path.clone(),
+                old: o.count.to_string(),
+                new: n.count.to_string(),
+                note: "entry count changed (pipeline shape is deterministic)".into(),
+                status: Status::Regression,
+            });
+        } else {
+            rep.findings.push(Finding {
+                kind: "span.count".into(),
+                name: o.path.clone(),
+                old: o.count.to_string(),
+                new: n.count.to_string(),
+                note: String::new(),
+                status: Status::Ok,
+            });
+        }
+        if !cfg.ignore_wall {
+            diff_span_wall(o, n, cfg, rep);
+        }
+        if !cfg.ignore_mem {
+            diff_span_mem(o, n, cfg, rep);
+        }
+    }
+    for n in &new.spans {
+        if !old.spans.iter().any(|s| s.path == n.path) {
+            rep.findings.push(Finding {
+                kind: "span".into(),
+                name: n.path.clone(),
+                old: "-".into(),
+                new: format!("{}×", n.count),
+                note: "new span (not in baseline)".into(),
+                status: Status::Info,
+            });
+        }
+    }
+}
+
+fn diff_span_wall(o: &SpanStat, n: &SpanStat, cfg: &DiffConfig, rep: &mut DiffReport) {
+    let (om, nm) = (o.mean_ns(), n.mean_ns());
+    let threshold = (om as f64 * (1.0 + cfg.span_wall_rel)) + cfg.span_wall_abs_ns as f64;
+    let status = if (nm as f64) > threshold {
+        Status::Regression
+    } else if nm < om {
+        Status::Improved
+    } else {
+        Status::Ok
+    };
+    let note = match status {
+        Status::Regression => format!(
+            "mean {} over limit ({} allowed)",
+            pct(rel_delta(om as f64, nm as f64)),
+            pct(cfg.span_wall_rel)
+        ),
+        Status::Improved => format!("mean {}", pct(-rel_delta(om as f64, nm as f64))),
+        _ => String::new(),
+    };
+    rep.findings.push(Finding {
+        kind: "span.wall".into(),
+        name: o.path.clone(),
+        old: format!("{om}ns"),
+        new: format!("{nm}ns"),
+        note,
+        status,
+    });
+}
+
+fn diff_span_mem(o: &SpanStat, n: &SpanStat, cfg: &DiffConfig, rep: &mut DiffReport) {
+    let (Some(om), Some(nm)) = (&o.mem, &n.mem) else {
+        // Memory attribution present on one side only: profiling settings
+        // differ, which is a usage note, not a code regression.
+        if o.mem.is_some() != n.mem.is_some() {
+            rep.findings.push(Finding {
+                kind: "span.mem".into(),
+                name: o.path.clone(),
+                old: if o.mem.is_some() { "profiled" } else { "-" }.into(),
+                new: if n.mem.is_some() { "profiled" } else { "-" }.into(),
+                note: "memory profiling differs between runs".into(),
+                status: Status::Info,
+            });
+        }
+        return;
+    };
+    mem_finding("span.mem", &o.path, om, nm, cfg, rep);
+}
+
+fn mem_finding(
+    kind: &str,
+    name: &str,
+    om: &MemStat,
+    nm: &MemStat,
+    cfg: &DiffConfig,
+    rep: &mut DiffReport,
+) {
+    let d_bytes = rel_delta(om.alloc_bytes as f64, nm.alloc_bytes as f64);
+    let d_allocs = rel_delta(om.allocs as f64, nm.allocs as f64);
+    let grew = nm.alloc_bytes > om.alloc_bytes || nm.allocs > om.allocs;
+    let status = if (d_bytes > cfg.mem_rel || d_allocs > cfg.mem_rel) && grew {
+        Status::Regression
+    } else if nm.alloc_bytes < om.alloc_bytes && d_bytes > cfg.mem_rel {
+        Status::Improved
+    } else {
+        Status::Ok
+    };
+    let note = match status {
+        Status::Regression => format!(
+            "allocs {} / bytes {} over {} limit",
+            pct(d_allocs),
+            pct(d_bytes),
+            pct(cfg.mem_rel)
+        ),
+        Status::Improved => format!("bytes {}", pct(-d_bytes)),
+        _ => String::new(),
+    };
+    rep.findings.push(Finding {
+        kind: kind.into(),
+        name: name.into(),
+        old: format!("{}B/{}", om.alloc_bytes, om.allocs),
+        new: format!("{}B/{}", nm.alloc_bytes, nm.allocs),
+        note,
+        status,
+    });
+}
+
+/// Counters whose value is elapsed nanoseconds (`*_ns` by convention) are
+/// wall clock in disguise: they follow the span wall-time policy instead
+/// of the exact deterministic-counter policy.
+fn is_wall_counter(name: &str) -> bool {
+    name.ends_with("_ns")
+}
+
+fn diff_counters(old: &Snapshot, new: &Snapshot, cfg: &DiffConfig, rep: &mut DiffReport) {
+    for (name, ov) in &old.counters {
+        if cfg.ignored(name) || (is_wall_counter(name) && cfg.ignore_wall) {
+            continue;
+        }
+        let Some(nv) = new.counter(name) else {
+            rep.findings.push(Finding {
+                kind: "counter".into(),
+                name: name.clone(),
+                old: ov.to_string(),
+                new: "-".into(),
+                note: "counter disappeared".into(),
+                status: Status::Regression,
+            });
+            continue;
+        };
+        let (status, note) = if is_wall_counter(name) {
+            let threshold = (*ov as f64 * (1.0 + cfg.span_wall_rel)) + cfg.span_wall_abs_ns as f64;
+            if nv as f64 > threshold {
+                let d = rel_delta(*ov as f64, nv as f64);
+                (
+                    Status::Regression,
+                    format!("{} over limit ({} allowed, wall counter)", pct(d), pct(cfg.span_wall_rel)),
+                )
+            } else if nv < *ov {
+                (Status::Improved, pct(-rel_delta(*ov as f64, nv as f64)))
+            } else {
+                (Status::Ok, String::new())
+            }
+        } else {
+            let d = rel_delta(*ov as f64, nv as f64);
+            if d > cfg.counter_rel {
+                (
+                    Status::Regression,
+                    format!("{} over {} limit (deterministic counter)", pct(d), pct(cfg.counter_rel)),
+                )
+            } else {
+                (Status::Ok, String::new())
+            }
+        };
+        rep.findings.push(Finding {
+            kind: "counter".into(),
+            name: name.clone(),
+            old: ov.to_string(),
+            new: nv.to_string(),
+            note,
+            status,
+        });
+    }
+    for (name, nv) in &new.counters {
+        if is_wall_counter(name) && cfg.ignore_wall {
+            continue;
+        }
+        if !cfg.ignored(name) && old.counter(name).is_none() {
+            rep.findings.push(Finding {
+                kind: "counter".into(),
+                name: name.clone(),
+                old: "-".into(),
+                new: nv.to_string(),
+                note: "new counter (not in baseline)".into(),
+                status: Status::Info,
+            });
+        }
+    }
+}
+
+fn diff_gauges(old: &Snapshot, new: &Snapshot, cfg: &DiffConfig, rep: &mut DiffReport) {
+    for (name, ov) in &old.gauges {
+        if cfg.ignored(name) {
+            continue;
+        }
+        let Some(nv) = new.gauge(name) else {
+            rep.findings.push(Finding {
+                kind: "gauge".into(),
+                name: name.clone(),
+                old: format!("{ov:.6}"),
+                new: "-".into(),
+                note: "gauge disappeared".into(),
+                status: Status::Regression,
+            });
+            continue;
+        };
+        let d = rel_delta(*ov, nv);
+        let status = if d > cfg.gauge_rel { Status::Regression } else { Status::Ok };
+        rep.findings.push(Finding {
+            kind: "gauge".into(),
+            name: name.clone(),
+            old: format!("{ov:.6}"),
+            new: format!("{nv:.6}"),
+            note: if status == Status::Regression {
+                format!("{} over {} limit", pct(d), pct(cfg.gauge_rel))
+            } else {
+                String::new()
+            },
+            status,
+        });
+    }
+}
+
+fn diff_histograms(old: &Snapshot, new: &Snapshot, cfg: &DiffConfig, rep: &mut DiffReport) {
+    for (name, oh) in &old.histograms {
+        if cfg.ignored(name) {
+            continue;
+        }
+        let Some(nh) = new.histogram(name) else {
+            rep.findings.push(Finding {
+                kind: "hist".into(),
+                name: name.clone(),
+                old: format!("n={}", oh.count()),
+                new: "-".into(),
+                note: "histogram disappeared".into(),
+                status: Status::Regression,
+            });
+            continue;
+        };
+        diff_one_histogram(name, oh, nh, rep);
+    }
+}
+
+/// Histograms compare structurally: identical bounds, then per-bucket
+/// count deltas (not just summary stats — a shape shift with a stable mean
+/// is still a behaviour change in a deterministic pipeline).
+fn diff_one_histogram(name: &str, oh: &Histogram, nh: &Histogram, rep: &mut DiffReport) {
+    if oh.bounds() != nh.bounds() {
+        rep.findings.push(Finding {
+            kind: "hist".into(),
+            name: name.to_string(),
+            old: format!("{} bounds", oh.bounds().len()),
+            new: format!("{} bounds", nh.bounds().len()),
+            note: "bucket boundaries differ — not comparable".into(),
+            status: Status::Regression,
+        });
+        return;
+    }
+    let mut moved = Vec::new();
+    for (i, (oc, nc)) in oh.counts().iter().zip(nh.counts()).enumerate() {
+        if oc != nc {
+            moved.push(format!("[{i}] {oc}→{nc}"));
+        }
+    }
+    let status = if moved.is_empty() { Status::Ok } else { Status::Regression };
+    rep.findings.push(Finding {
+        kind: "hist.bucket".into(),
+        name: name.to_string(),
+        old: format!("n={}", oh.count()),
+        new: format!("n={}", nh.count()),
+        note: if moved.is_empty() {
+            String::new()
+        } else {
+            format!("bucket deltas: {}", moved.join(", "))
+        },
+        status,
+    });
+}
+
+fn diff_stages(old: &Snapshot, new: &Snapshot, rep: &mut DiffReport) {
+    for (stage, ov) in &old.stages {
+        let nv = new.stages.iter().find(|(k, _)| k == stage).map(|(_, v)| *v);
+        // The one stage condition that gates: a stage that ran in the
+        // baseline and silently stopped running.
+        let status = match nv {
+            Some(nv) if *ov > 0 && nv == 0 => Status::Regression,
+            None if *ov > 0 => Status::Regression,
+            _ => Status::Ok,
+        };
+        rep.findings.push(Finding {
+            kind: "stage".into(),
+            name: stage.clone(),
+            old: ov.to_string(),
+            new: nv.map_or("-".into(), |v| v.to_string()),
+            note: if status == Status::Regression {
+                "stage stopped running".into()
+            } else {
+                String::new()
+            },
+            status,
+        });
+    }
+}
+
+fn diff_memory(old: &Snapshot, new: &Snapshot, cfg: &DiffConfig, rep: &mut DiffReport) {
+    let (Some(om), Some(nm)) = (&old.memory, &new.memory) else { return };
+    mem_finding("memory.unattr", "(unattributed)", &om.unattributed, &nm.unattributed, cfg, rep);
+    let d = rel_delta(om.peak_live_bytes as f64, nm.peak_live_bytes as f64);
+    let status = if d > cfg.mem_rel && nm.peak_live_bytes > om.peak_live_bytes {
+        Status::Regression
+    } else {
+        Status::Ok
+    };
+    rep.findings.push(Finding {
+        kind: "memory.peak".into(),
+        name: "peak_live_bytes".into(),
+        old: om.peak_live_bytes.to_string(),
+        new: nm.peak_live_bytes.to_string(),
+        note: if status == Status::Regression {
+            format!("{} over {} limit", pct(d), pct(cfg.mem_rel))
+        } else {
+            String::new()
+        },
+        status,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn snap(build: impl Fn(&Recorder)) -> Snapshot {
+        let r = Recorder::new_enabled();
+        build(&r);
+        r.snapshot()
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let s = snap(|r| {
+            r.record_span("fit", 1000);
+            r.record_span("fit/pair", 400);
+            r.counter_add("pairs", 37);
+            r.gauge_set("f1", 0.91);
+            r.hist_observe("sim", Some(&[0.5, 1.0]), 0.7);
+            r.register_stage("pair");
+        });
+        let rep = diff(&s, &s, &DiffConfig::default());
+        assert!(rep.passed(), "{}", rep.render_table(true));
+        assert!(!rep.findings.is_empty());
+    }
+
+    #[test]
+    fn slowed_span_regresses_and_faster_improves() {
+        let old = snap(|r| r.record_span("fit", 100_000_000));
+        let slow = snap(|r| r.record_span("fit", 200_000_000));
+        let fast = snap(|r| r.record_span("fit", 50_000_000));
+        let rep = diff(&old, &slow, &DiffConfig::default());
+        assert!(!rep.passed());
+        assert_eq!(rep.regressions()[0].kind, "span.wall");
+        let rep = diff(&old, &fast, &DiffConfig::default());
+        assert!(rep.passed());
+        assert!(rep.findings.iter().any(|f| f.status == Status::Improved));
+    }
+
+    #[test]
+    fn absolute_floor_shields_tiny_spans() {
+        // +100% but only 800ns absolute: under the 5ms floor, no gate.
+        let old = snap(|r| r.record_span("tiny", 800));
+        let new = snap(|r| r.record_span("tiny", 1_600));
+        assert!(diff(&old, &new, &DiffConfig::default()).passed());
+    }
+
+    #[test]
+    fn ignore_wall_skips_timing_entirely() {
+        let old = snap(|r| r.record_span("fit", 1));
+        let new = snap(|r| r.record_span("fit", 10_000_000_000));
+        let cfg = DiffConfig { ignore_wall: true, ..DiffConfig::default() };
+        let rep = diff(&old, &new, &cfg);
+        assert!(rep.passed(), "{}", rep.render_table(true));
+        assert!(rep.findings.iter().all(|f| f.kind != "span.wall"));
+    }
+
+    #[test]
+    fn nanosecond_counters_follow_the_wall_policy() {
+        // `*_ns` counters are elapsed time, not deterministic counts: they
+        // get the span rel+abs thresholds, Improved when faster, and vanish
+        // entirely under --ignore-wall.
+        let old = snap(|r| r.counter_add("scorer.forward_ns", 100_000_000));
+        let slow = snap(|r| r.counter_add("scorer.forward_ns", 200_000_000));
+        let fast = snap(|r| r.counter_add("scorer.forward_ns", 90_000_000));
+        let jitter = snap(|r| r.counter_add("scorer.forward_ns", 110_000_000));
+        assert!(!diff(&old, &slow, &DiffConfig::default()).passed());
+        assert!(diff(&old, &jitter, &DiffConfig::default()).passed());
+        let rep = diff(&old, &fast, &DiffConfig::default());
+        assert!(rep.passed());
+        assert!(rep.findings.iter().any(|f| f.status == Status::Improved));
+        let cfg = DiffConfig { ignore_wall: true, ..DiffConfig::default() };
+        let rep = diff(&old, &slow, &cfg);
+        assert!(rep.passed(), "{}", rep.render_table(true));
+        assert!(rep.findings.iter().all(|f| f.name != "scorer.forward_ns"));
+    }
+
+    #[test]
+    fn deterministic_counters_are_exact() {
+        let old = snap(|r| r.counter_add("pairs", 37));
+        let new = snap(|r| r.counter_add("pairs", 38));
+        let rep = diff(&old, &new, &DiffConfig::default());
+        assert!(!rep.passed());
+        assert_eq!(rep.regressions()[0].name, "pairs");
+    }
+
+    #[test]
+    fn dispatch_counters_are_ignored_by_default() {
+        let old = snap(|r| r.counter_add("kernel.dispatch.avx2_fma", 10));
+        let new = snap(|r| r.counter_add("kernel.dispatch.scalar", 10));
+        assert!(diff(&old, &new, &DiffConfig::default()).passed());
+    }
+
+    #[test]
+    fn missing_span_and_changed_count_regress() {
+        let old = snap(|r| {
+            r.record_span("fit", 10);
+            r.record_span("fit/pair", 5);
+            r.record_span("fit/pair", 5);
+        });
+        let new = snap(|r| {
+            r.record_span("fit", 10);
+            r.record_span("fit/pair", 5); // count 2 -> 1
+        });
+        let rep = diff(&old, &new, &DiffConfig { ignore_wall: true, ..DiffConfig::default() });
+        assert!(rep.regressions().iter().any(|f| f.kind == "span.count"));
+        let gone = snap(|r| r.record_span("fit", 10));
+        let rep = diff(&old, &gone, &DiffConfig { ignore_wall: true, ..DiffConfig::default() });
+        assert!(rep.regressions().iter().any(|f| f.kind == "span" && f.name == "fit/pair"));
+    }
+
+    #[test]
+    fn histograms_compare_per_bucket() {
+        // Same count and sum, shifted shape: summary stats alone would
+        // pass; the per-bucket compare must not.
+        let old = snap(|r| {
+            r.hist_observe("sim", Some(&[1.0, 2.0]), 0.5);
+            r.hist_observe("sim", Some(&[1.0, 2.0]), 2.5);
+        });
+        let new = snap(|r| {
+            r.hist_observe("sim", Some(&[1.0, 2.0]), 1.5);
+            r.hist_observe("sim", Some(&[1.0, 2.0]), 1.5);
+        });
+        assert_eq!(
+            old.histogram("sim").unwrap().count(),
+            new.histogram("sim").unwrap().count()
+        );
+        let rep = diff(&old, &new, &DiffConfig::default());
+        let reg = rep.regressions();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].kind, "hist.bucket");
+        assert!(reg[0].note.contains("bucket deltas"), "{}", reg[0].note);
+    }
+
+    #[test]
+    fn hist_bound_mismatch_is_a_regression() {
+        let old = snap(|r| r.hist_observe("sim", Some(&[1.0]), 0.5));
+        let new = snap(|r| r.hist_observe("sim", Some(&[2.0]), 0.5));
+        let rep = diff(&old, &new, &DiffConfig::default());
+        assert!(rep.regressions().iter().any(|f| f.note.contains("boundaries differ")));
+    }
+
+    #[test]
+    fn stage_going_silent_regresses() {
+        let old = snap(|r| {
+            r.register_stage("pair");
+            r.record_span("fit/pair", 10);
+        });
+        let new = snap(|r| {
+            r.register_stage("pair");
+            r.record_span("fit/other", 10);
+        });
+        let rep = diff(&old, &new, &DiffConfig { ignore_wall: true, ..DiffConfig::default() });
+        assert!(rep.regressions().iter().any(|f| f.kind == "stage" && f.name == "pair"));
+    }
+
+    #[test]
+    fn memory_growth_gates_and_ignore_mem_skips() {
+        let mk = |bytes: u64| {
+            let mut s = snap(|r| {
+                r.record_span_mem(
+                    "fit",
+                    10,
+                    Some(MemStat { allocs: 10, alloc_bytes: bytes, ..Default::default() }),
+                );
+            });
+            s.memory = Some(crate::recorder::MemorySection {
+                unattributed: MemStat { allocs: 1, alloc_bytes: 64, ..Default::default() },
+                live_bytes: 0,
+                peak_live_bytes: bytes as i64,
+            });
+            s
+        };
+        let old = mk(1_000);
+        let new = mk(2_000); // +100% > 25% threshold
+        let cfg = DiffConfig { ignore_wall: true, ..DiffConfig::default() };
+        let rep = diff(&old, &new, &cfg);
+        assert!(rep.regressions().iter().any(|f| f.kind == "span.mem"));
+        assert!(rep.regressions().iter().any(|f| f.kind == "memory.peak"));
+        let cfg = DiffConfig { ignore_wall: true, ignore_mem: true, ..DiffConfig::default() };
+        assert!(diff(&old, &new, &cfg).passed());
+    }
+
+    #[test]
+    fn new_span_is_info_not_regression() {
+        let old = snap(|r| r.record_span("fit", 10));
+        let new = snap(|r| {
+            r.record_span("fit", 10);
+            r.record_span("fit/extra", 5);
+        });
+        let rep = diff(&old, &new, &DiffConfig { ignore_wall: true, ..DiffConfig::default() });
+        assert!(rep.passed());
+        assert!(rep.findings.iter().any(|f| f.status == Status::Info));
+    }
+
+    #[test]
+    fn table_renders_summary_and_rows() {
+        let old = snap(|r| r.counter_add("pairs", 1));
+        let new = snap(|r| r.counter_add("pairs", 2));
+        let rep = diff(&old, &new, &DiffConfig::default());
+        let table = rep.render_table(false);
+        assert!(table.contains("REGRESSION"), "{table}");
+        assert!(table.contains("1 regressions"), "{table}");
+    }
+}

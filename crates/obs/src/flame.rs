@@ -1,0 +1,200 @@
+//! Flamegraph export: span trees as folded stacks.
+//!
+//! The folded-stack format — one `frame;frame;frame weight` line per
+//! stack — is what `inferno-flamegraph`, Brendan Gregg's original
+//! `flamegraph.pl`, and speedscope's "folded" importer all consume. Span
+//! paths map directly: `fit/discover/pair` becomes `fit;discover;pair`.
+//!
+//! Weights are **self** costs, because that is what the format expects —
+//! renderers reconstruct a parent's total by summing its subtree:
+//!
+//! * [`FlameWeight::WallNs`] — a span's total nanoseconds minus the total
+//!   nanoseconds of its direct children (clamped at zero: children that
+//!   overlap their parent's clock by measurement overhead cannot drive a
+//!   frame negative).
+//! * [`FlameWeight::AllocBytes`] — bytes the span's own extent allocated.
+//!   Per-span memory is already self-attributed (a child span's
+//!   allocations charge the child's cell, never the parent's), so the
+//!   recorded number is used as-is. The `(unattributed)` root appears as
+//!   its own single-frame stack when the snapshot carries a memory
+//!   section.
+
+use crate::prof::UNATTRIBUTED_NAME;
+use crate::recorder::Snapshot;
+use std::io;
+use std::path::Path;
+
+/// What a folded-stack line's weight measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlameWeight {
+    /// Self wall-clock nanoseconds.
+    WallNs,
+    /// Self allocated bytes (requires memory profiling).
+    AllocBytes,
+}
+
+impl FlameWeight {
+    /// Conventional file-name infix (`FLAME_run_wall.folded`).
+    pub fn infix(&self) -> &'static str {
+        match self {
+            FlameWeight::WallNs => "wall",
+            FlameWeight::AllocBytes => "alloc",
+        }
+    }
+}
+
+/// Renders `snap`'s span tree as folded stacks weighted by `weight`.
+/// Zero-weight stacks are omitted (renderers treat them as absent anyway);
+/// the output is sorted by stack name, matching the snapshot's span order.
+pub fn folded(snap: &Snapshot, weight: FlameWeight) -> String {
+    let mut out = String::new();
+    for span in &snap.spans {
+        let w = match weight {
+            FlameWeight::WallNs => self_ns(snap, &span.path, span.total_ns),
+            FlameWeight::AllocBytes => span.mem.as_ref().map_or(0, |m| m.alloc_bytes),
+        };
+        if w == 0 {
+            continue;
+        }
+        out.push_str(&span.path.replace('/', ";"));
+        out.push(' ');
+        out.push_str(&w.to_string());
+        out.push('\n');
+    }
+    if weight == FlameWeight::AllocBytes {
+        if let Some(mem) = &snap.memory {
+            if mem.unattributed.alloc_bytes > 0 {
+                out.push_str(&format!(
+                    "{UNATTRIBUTED_NAME} {}\n",
+                    mem.unattributed.alloc_bytes
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A span's self time: its total minus its direct children's totals,
+/// clamped at zero.
+fn self_ns(snap: &Snapshot, path: &str, total_ns: u64) -> u64 {
+    let child_total: u64 = snap
+        .spans
+        .iter()
+        .filter(|s| is_direct_child(path, &s.path))
+        .map(|s| s.total_ns)
+        .sum();
+    total_ns.saturating_sub(child_total)
+}
+
+fn is_direct_child(parent: &str, candidate: &str) -> bool {
+    candidate
+        .strip_prefix(parent)
+        .and_then(|rest| rest.strip_prefix('/'))
+        .is_some_and(|name| !name.contains('/'))
+}
+
+/// Writes `folded(snap, weight)` to `path`, creating parent directories.
+/// Returns the number of stack lines written.
+pub fn write_folded(
+    path: impl AsRef<Path>,
+    snap: &Snapshot,
+    weight: FlameWeight,
+) -> io::Result<usize> {
+    let text = folded(snap, weight);
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, &text)?;
+    Ok(text.lines().count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prof::MemStat;
+    use crate::recorder::{MemorySection, Recorder};
+
+    fn snap_with(spans: &[(&str, u64)]) -> Snapshot {
+        let r = Recorder::new_enabled();
+        for &(path, ns) in spans {
+            r.record_span(path, ns);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn wall_weights_are_self_time() {
+        let snap = snap_with(&[("fit", 100), ("fit/pair", 30), ("fit/pair/sm", 10), ("fit/score", 20)]);
+        let text = folded(&snap, FlameWeight::WallNs);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["fit 50", "fit;pair 20", "fit;pair;sm 10", "fit;score 20"],
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn folded_totals_match_the_span_tree_root() {
+        // Sum of self weights over a root's subtree == the root's total.
+        let snap = snap_with(&[("fit", 1000), ("fit/a", 400), ("fit/a/b", 150), ("fit/c", 50)]);
+        let total: u64 = folded(&snap, FlameWeight::WallNs)
+            .lines()
+            .filter(|l| l.starts_with("fit"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, snap.spans.iter().find(|s| s.path == "fit").unwrap().total_ns);
+    }
+
+    #[test]
+    fn overhead_clamps_to_zero_not_underflow() {
+        // Children measured longer than the parent (clock overhead): the
+        // parent's self time clamps to 0 and its line is omitted.
+        let snap = snap_with(&[("fit", 10), ("fit/pair", 15)]);
+        let text = folded(&snap, FlameWeight::WallNs);
+        assert_eq!(text, "fit;pair 15\n");
+    }
+
+    #[test]
+    fn sibling_prefixes_are_not_children() {
+        // `fit/pairing` must not count as a child of `fit/pair`.
+        let snap = snap_with(&[("fit/pair", 10), ("fit/pairing", 90)]);
+        let text = folded(&snap, FlameWeight::WallNs);
+        assert!(text.contains("fit;pair 10"), "{text}");
+        assert!(text.contains("fit;pairing 90"), "{text}");
+    }
+
+    #[test]
+    fn alloc_weights_use_recorded_mem_and_unattributed_root() {
+        let r = Recorder::new_enabled();
+        r.record_span_mem(
+            "fit",
+            100,
+            Some(MemStat { allocs: 2, alloc_bytes: 640, ..Default::default() }),
+        );
+        r.record_span("fit/pair", 50); // no mem recorded -> omitted
+        let mut snap = r.snapshot();
+        snap.memory = Some(MemorySection {
+            unattributed: MemStat { allocs: 1, alloc_bytes: 77, ..Default::default() },
+            live_bytes: 0,
+            peak_live_bytes: 0,
+        });
+        let text = folded(&snap, FlameWeight::AllocBytes);
+        assert_eq!(text, "fit 640\n(unattributed) 77\n");
+    }
+
+    #[test]
+    fn write_folded_creates_dirs_and_reports_lines() {
+        let snap = snap_with(&[("a", 5), ("b", 7)]);
+        let dir = std::env::temp_dir().join("wym_obs_flame_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("FLAME_t_wall.folded");
+        let n = write_folded(&path, &snap, FlameWeight::WallNs).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a 5\nb 7\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -69,6 +69,62 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from exported parts (the `obs_diff` read path).
+    /// The total count is derived from the bucket counts, so a rebuilt
+    /// histogram always satisfies the per-bucket/total consistency
+    /// invariant. `min`/`max` use the empty sentinels (+∞/−∞) when absent.
+    ///
+    /// # Errors
+    /// Rejects a `counts` slice whose length is not `bounds.len() + 1`.
+    pub fn from_parts(
+        bounds: &[f64],
+        counts: &[u64],
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) -> Result<Histogram, String> {
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "histogram needs {} bucket counts for {} bounds, got {}",
+                bounds.len() + 1,
+                bounds.len(),
+                counts.len()
+            ));
+        }
+        let mut h = Histogram::new(bounds);
+        h.counts = counts.to_vec();
+        h.count = counts.iter().sum();
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Ok(h)
+    }
+
+    /// Folds `other` into `self`: per-bucket counts, total count, and sum
+    /// add; min/max take the extrema. This is how per-thread or per-run
+    /// histograms aggregate without losing bucket resolution.
+    ///
+    /// # Panics
+    /// Panics when the two histograms have different bucket boundaries —
+    /// merging across bucketings would silently misbin.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket boundaries"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
     /// The bucket boundaries.
     pub fn bounds(&self) -> &[f64] {
         &self.bounds
@@ -165,5 +221,64 @@ mod tests {
     #[test]
     fn default_bounds_are_valid() {
         let _ = Histogram::new(&default_bounds());
+    }
+
+    #[test]
+    fn overflow_bucket_catches_everything_at_or_above_the_last_bound() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(10.0); // exactly the last bound
+        h.observe(1e300);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.counts(), &[0, 0, 3]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), f64::INFINITY);
+    }
+
+    #[test]
+    fn merge_keeps_sum_count_and_bucket_invariants() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.5);
+        a.observe(1.5);
+        let mut b = Histogram::new(&[1.0, 2.0]);
+        b.observe(1.5);
+        b.observe(3.0);
+        b.observe(0.1);
+        a.merge(&b);
+        // Total count equals the sum of bucket counts (the consistency
+        // invariant `from_parts` derives from) and both sides' totals.
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.counts().iter().sum::<u64>(), a.count());
+        assert_eq!(a.counts(), &[2, 2, 1]);
+        assert!((a.sum() - (0.5 + 1.5 + 1.5 + 3.0 + 0.1)).abs() < 1e-12);
+        assert_eq!(a.min(), 0.1);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    fn merging_into_empty_is_identity() {
+        let mut empty = Histogram::new(&[1.0, 2.0]);
+        let mut other = Histogram::new(&[1.0, 2.0]);
+        other.observe(1.5);
+        empty.merge(&other);
+        assert_eq!(empty, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket boundaries")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1.0]);
+        let b = Histogram::new(&[2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_bad_count_arity() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        let back =
+            Histogram::from_parts(h.bounds(), h.counts(), h.sum(), h.min(), h.max()).unwrap();
+        assert_eq!(back, h);
+        assert!(Histogram::from_parts(&[1.0, 2.0], &[1, 2], 0.0, 0.0, 0.0).is_err());
     }
 }

@@ -107,14 +107,14 @@ fn write_items(
         }
         if let Some(step) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(step * (depth + 1)));
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
         }
         write_item(out, i, indent, depth + 1);
     }
     if len > 0 {
         if let Some(step) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(step * depth));
+            out.extend(std::iter::repeat_n(' ', step * depth));
         }
     }
 }
@@ -138,6 +138,204 @@ fn write_string(out: &mut String, s: &str) {
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
+    }
+}
+
+/// Parses a JSON document into a [`Json`] tree — the read half of this
+/// module, used by `obs_diff` and the manifest/snapshot loaders. Numbers
+/// without a fraction or exponent come back as [`Json::UInt`] /
+/// [`Json::Int`]; everything else numeric is [`Json::Num`]. Duplicate
+/// object keys are kept in order (last one wins for typical readers).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Surrogates only appear for non-BMP chars the
+                            // writer never emits; map them to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !fractional {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("bad number"))
     }
 }
 
@@ -176,5 +374,51 @@ mod tests {
         let v = Json::obj(vec![("a", Json::Int(1))]);
         assert_eq!(v.pretty(), "{\n  \"a\": 1\n}\n");
         assert_eq!(Json::Arr(vec![]).pretty(), "[]\n");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Json::obj(vec![
+            ("spans", Json::Arr(vec![Json::obj(vec![
+                ("path", Json::str("fit/pair")),
+                ("count", Json::UInt(3)),
+                ("big", Json::UInt(u64::MAX)),
+            ])]),),
+            ("neg", Json::Int(-7)),
+            ("f", Json::Num(2.5)),
+            ("whole", Json::Num(2.0)),
+            ("s", Json::str("a\"b\\c\nd\t\u{1}")),
+            ("t", Json::Bool(true)),
+            ("n", Json::Null),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        for text in [v.render(), v.pretty()] {
+            let back = parse(&text).unwrap();
+            // `2.0` comes back as a float, everything else exact.
+            let Json::Obj(pairs) = &back else { panic!("not an object") };
+            assert_eq!(pairs.len(), 8);
+            assert_eq!(back.render(), v.render());
+        }
+    }
+
+    #[test]
+    fn parse_distinguishes_integer_kinds() {
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::UInt(u64::MAX));
+        assert_eq!(parse("-3").unwrap(), Json::Int(-3));
+        assert_eq!(parse("2.5e3").unwrap(), Json::Num(2500.0));
+        assert_eq!(parse("0").unwrap(), Json::UInt(0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "truish", "1 2", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        assert_eq!(parse(r#""a\u0041\n""#).unwrap(), Json::str("aA\n"));
+        assert_eq!(parse("\"héllo→\"").unwrap(), Json::str("héllo→"));
     }
 }

@@ -27,14 +27,20 @@
 //! values, and histogram bucket counts are identical for any thread count —
 //! while nanosecond totals naturally vary run to run.
 
+pub mod diff;
+pub mod flame;
 pub mod hist;
 pub mod json;
+pub mod manifest;
+pub mod prof;
 pub mod recorder;
 pub mod sink;
 
 pub use hist::Histogram;
 pub use json::Json;
-pub use recorder::{Recorder, Snapshot, SpanStat};
+pub use manifest::Manifest;
+pub use prof::{MemStat, TrackingAlloc};
+pub use recorder::{MemorySection, Recorder, Snapshot, SpanStat};
 pub use sink::{JsonFileSink, NoopSink, Sink, StderrSink};
 
 use std::cell::RefCell;
@@ -92,28 +98,34 @@ pub fn with_recorder<R>(rec: Arc<Recorder>, f: impl FnOnce() -> R) -> R {
 }
 
 /// A snapshot of this thread's observability context: active recorder
-/// override and open span path. Hand it to worker threads via
-/// [`in_context`] so their spans and metrics land under the logical parent.
+/// override, open span path, and (when memory profiling is on) the span's
+/// memory charge target. Hand it to worker threads via [`in_context`] so
+/// their spans, metrics, and allocations land under the logical parent.
 #[derive(Clone)]
 pub struct ObsContext {
     rec: Option<Arc<Recorder>>,
     path: Vec<String>,
+    mem: Option<Arc<prof::MemCell>>,
 }
 
-/// Captures the current thread's recorder override and span path.
+/// Captures the current thread's recorder override, span path, and memory
+/// charge target.
 pub fn capture() -> ObsContext {
     ObsContext {
         rec: LOCAL.with(|l| l.borrow().clone()),
         path: PATH.with(|p| p.borrow().clone()),
+        mem: prof::current_arc(),
     }
 }
 
-/// Runs `f` under a captured context (recorder override + span path),
-/// restoring the thread's previous context afterwards, even on panic.
+/// Runs `f` under a captured context (recorder override + span path +
+/// memory charge target), restoring the thread's previous context
+/// afterwards, even on panic.
 pub fn in_context<R>(ctx: &ObsContext, f: impl FnOnce() -> R) -> R {
     let _restore_rec = install(ctx.rec.clone());
     let prev_path = PATH.with(|p| std::mem::replace(&mut *p.borrow_mut(), ctx.path.clone()));
     let _restore_path = PathRestore(prev_path);
+    let _restore_mem = prof::CellScope::install(ctx.mem.clone());
     f()
 }
 
@@ -140,13 +152,23 @@ impl Drop for PathRestore {
     }
 }
 
-/// An open span; records its wall-clock duration under its path on drop.
+/// An open span; records its wall-clock duration (and, when memory
+/// profiling is on, its allocator activity) under its path on drop.
 /// Inert (no clock read, no allocation) when recording is disabled at open.
+///
+/// The guard manipulates thread-local state on open and drop, so it is
+/// deliberately `!Send`: close it on the thread that opened it.
 #[must_use = "a span records on drop; binding it to _ closes it immediately"]
 pub struct SpanGuard {
     rec: Option<Arc<Recorder>>,
     start: Option<Instant>,
     path: String,
+    /// Memory charge target installed for this span's extent; present only
+    /// while profiling is enabled. The scope restores the parent's cell
+    /// before the cell's totals are read, so the recorder's own bookkeeping
+    /// allocations charge the parent, not the closing span.
+    mem: Option<(Arc<prof::MemCell>, prof::CellScope)>,
+    _thread_bound: std::marker::PhantomData<*const ()>,
 }
 
 /// Opens a span named `name`, nested under the spans currently open on this
@@ -154,21 +176,42 @@ pub struct SpanGuard {
 /// of scope-bound guards.
 pub fn span(name: &str) -> SpanGuard {
     let Some(rec) = active() else {
-        return SpanGuard { rec: None, start: None, path: String::new() };
+        return SpanGuard {
+            rec: None,
+            start: None,
+            path: String::new(),
+            mem: None,
+            _thread_bound: std::marker::PhantomData,
+        };
     };
     let path = PATH.with(|p| {
         let mut p = p.borrow_mut();
         p.push(name.to_string());
         p.join("/")
     });
-    SpanGuard { rec: Some(rec), start: Some(Instant::now()), path }
+    let mem = prof::enabled().then(|| {
+        let cell = Arc::new(prof::MemCell::new());
+        let scope = prof::CellScope::install(Some(Arc::clone(&cell)));
+        (cell, scope)
+    });
+    SpanGuard {
+        rec: Some(rec),
+        start: Some(Instant::now()),
+        path,
+        mem,
+        _thread_bound: std::marker::PhantomData,
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(rec) = self.rec.take() {
             let ns = self.start.map_or(0, |s| s.elapsed().as_nanos() as u64);
-            rec.record_span(&self.path, ns);
+            let mem = self.mem.take().map(|(cell, scope)| {
+                drop(scope); // restore the parent's charge target first
+                cell.stat()
+            });
+            rec.record_span_mem(&self.path, ns, mem);
             PATH.with(|p| {
                 p.borrow_mut().pop();
             });
@@ -223,9 +266,19 @@ pub fn register_stages(names: &[&str]) {
     }
 }
 
-/// Snapshot of the active recorder's aggregated spans and metrics.
+/// Snapshot of the active recorder's aggregated spans and metrics. When
+/// memory profiling is on, the snapshot additionally carries the process
+/// [`MemorySection`]: the `(unattributed)` root and the live/peak track.
 pub fn snapshot() -> Snapshot {
-    LOCAL.with(|l| l.borrow().as_ref().unwrap_or_else(|| global()).snapshot())
+    let mut snap = LOCAL.with(|l| l.borrow().as_ref().unwrap_or_else(|| global()).snapshot());
+    if prof::enabled() {
+        snap.memory = Some(MemorySection {
+            unattributed: prof::unattributed(),
+            live_bytes: prof::live_bytes(),
+            peak_live_bytes: prof::peak_live_bytes(),
+        });
+    }
+    snap
 }
 
 /// Clears the active recorder's spans and metrics (registered stages and

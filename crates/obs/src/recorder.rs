@@ -10,6 +10,7 @@
 
 use crate::hist::{default_bounds, Histogram};
 use crate::json::Json;
+use crate::prof::MemStat;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -27,16 +28,17 @@ pub struct SpanStat {
     pub min_ns: u64,
     /// Longest single entry, in nanoseconds.
     pub max_ns: u64,
+    /// Allocator activity charged to this span's own extent (children
+    /// excluded — they charge their own cells). Present only when memory
+    /// profiling was on; counts/bytes sum across entries, the peak takes
+    /// the max.
+    pub mem: Option<MemStat>,
 }
 
 impl SpanStat {
     /// Mean nanoseconds per entry (0 when never entered).
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_ns / self.count
-        }
+        self.total_ns.checked_div(self.count).unwrap_or(0)
     }
 
     /// Depth in the span tree (number of `/` separators).
@@ -104,6 +106,12 @@ impl Recorder {
 
     /// Folds one closed span into the aggregate for `path`.
     pub fn record_span(&self, path: &str, ns: u64) {
+        self.record_span_mem(path, ns, None);
+    }
+
+    /// Folds one closed span with its memory charge into the aggregate for
+    /// `path`. `mem` is `None` when profiling was off for this entry.
+    pub fn record_span_mem(&self, path: &str, ns: u64, mem: Option<MemStat>) {
         let mut st = self.lock();
         let stat = st.spans.entry(path.to_string()).or_insert_with(|| SpanStat {
             path: path.to_string(),
@@ -111,11 +119,15 @@ impl Recorder {
             total_ns: 0,
             min_ns: u64::MAX,
             max_ns: 0,
+            mem: None,
         });
         stat.count += 1;
         stat.total_ns += ns;
         stat.min_ns = stat.min_ns.min(ns);
         stat.max_ns = stat.max_ns.max(ns);
+        if let Some(m) = mem {
+            stat.mem.get_or_insert_with(MemStat::default).merge(&m);
+        }
     }
 
     /// Adds `n` to counter `name`.
@@ -168,6 +180,7 @@ impl Recorder {
             gauges: st.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             histograms: st.hists.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
             stages,
+            memory: None,
         }
     }
 
@@ -180,6 +193,19 @@ impl Recorder {
         st.gauges.clear();
         st.hists.clear();
     }
+}
+
+/// Process-level memory numbers attached to a snapshot when profiling is
+/// on: everything the per-span cells could not attribute, plus the global
+/// live-byte track.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemorySection {
+    /// Allocator activity outside any span (the `(unattributed)` root).
+    pub unattributed: MemStat,
+    /// Live heap bytes (allocated minus freed) since profiling was enabled.
+    pub live_bytes: i64,
+    /// High-water mark of `live_bytes`.
+    pub peak_live_bytes: i64,
 }
 
 /// A point-in-time copy of a recorder's aggregates, ordered by name.
@@ -197,6 +223,8 @@ pub struct Snapshot {
     /// is the summed count of every span whose path contains the stage name
     /// as a segment; 0 flags a stage that never ran.
     pub stages: Vec<(String, u64)>,
+    /// Process-level memory numbers; `None` when profiling was off.
+    pub memory: Option<MemorySection>,
 }
 
 impl Snapshot {
@@ -230,21 +258,30 @@ impl Snapshot {
 
     /// The snapshot as a JSON tree — the schema of `results/OBS_*.json`:
     /// `spans` (array), `counters` / `gauges` (objects), `histograms`
-    /// (objects with `bounds` / `counts` / stats), and `stages` (object,
-    /// zero-valued for registered-but-never-run stages).
+    /// (objects with `bounds` / `counts` / stats), `stages` (object,
+    /// zero-valued for registered-but-never-run stages), and — when memory
+    /// profiling was on — per-span `mem` objects plus a top-level `memory`
+    /// section. Version-2 files written by [`crate::JsonFileSink`] prefix
+    /// all of this with a `manifest` header (see [`crate::Manifest`]);
+    /// version-1 files have neither manifest nor memory keys, and
+    /// [`Snapshot::from_json`] accepts both.
     pub fn to_json(&self) -> Json {
         let spans = Json::Arr(
             self.spans
                 .iter()
                 .map(|s| {
-                    Json::obj(vec![
+                    let mut fields = vec![
                         ("path", Json::str(&s.path)),
                         ("count", Json::UInt(s.count)),
                         ("total_ns", Json::UInt(s.total_ns)),
                         ("mean_ns", Json::UInt(s.mean_ns())),
                         ("min_ns", Json::UInt(s.min_ns)),
                         ("max_ns", Json::UInt(s.max_ns)),
-                    ])
+                    ];
+                    if let Some(m) = &s.mem {
+                        fields.push(("mem", mem_to_json(m)));
+                    }
+                    Json::obj(fields)
                 })
                 .collect(),
         );
@@ -273,13 +310,73 @@ impl Snapshot {
         );
         let stages =
             Json::Obj(self.stages.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect());
-        Json::obj(vec![
+        let mut sections = vec![
             ("spans", spans),
             ("counters", counters),
             ("gauges", gauges),
             ("histograms", histograms),
             ("stages", stages),
-        ])
+        ];
+        if let Some(mem) = &self.memory {
+            sections.push((
+                "memory",
+                Json::obj(vec![
+                    ("unattributed", mem_to_json(&mem.unattributed)),
+                    ("live_bytes", Json::Int(mem.live_bytes)),
+                    ("peak_live_bytes", Json::Int(mem.peak_live_bytes)),
+                ]),
+            ));
+        }
+        Json::obj(sections)
+    }
+
+    /// Parses a snapshot back out of its [`Snapshot::to_json`] form (the
+    /// body of an `OBS_*.json` file, with or without a `manifest` header).
+    /// Tolerant of version-1 files: missing `memory` keys and span `mem`
+    /// objects simply come back as `None`, and unknown keys are ignored.
+    pub fn from_json(v: &Json) -> Result<Snapshot, String> {
+        let Json::Obj(sections) = v else {
+            return Err("snapshot JSON must be an object".to_string());
+        };
+        let get = |name: &str| sections.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let mut snap = Snapshot::default();
+        if let Some(Json::Arr(spans)) = get("spans") {
+            for s in spans {
+                snap.spans.push(span_from_json(s)?);
+            }
+        }
+        if let Some(Json::Obj(counters)) = get("counters") {
+            for (k, v) in counters {
+                snap.counters.push((k.clone(), as_u64(v).ok_or("bad counter value")?));
+            }
+        }
+        if let Some(Json::Obj(gauges)) = get("gauges") {
+            for (k, v) in gauges {
+                snap.gauges.push((k.clone(), as_f64(v).ok_or("bad gauge value")?));
+            }
+        }
+        if let Some(Json::Obj(hists)) = get("histograms") {
+            for (k, v) in hists {
+                snap.histograms.push((k.clone(), hist_from_json(v)?));
+            }
+        }
+        if let Some(Json::Obj(stages)) = get("stages") {
+            for (k, v) in stages {
+                snap.stages.push((k.clone(), as_u64(v).ok_or("bad stage count")?));
+            }
+        }
+        if let Some(Json::Obj(mem)) = get("memory") {
+            let field = |name: &str| mem.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            snap.memory = Some(MemorySection {
+                unattributed: field("unattributed")
+                    .map(mem_from_json)
+                    .transpose()?
+                    .unwrap_or_default(),
+                live_bytes: field("live_bytes").and_then(as_i64).unwrap_or(0),
+                peak_live_bytes: field("peak_live_bytes").and_then(as_i64).unwrap_or(0),
+            });
+        }
+        Ok(snap)
     }
 
     /// Human-readable rendering: an indented span tree followed by metric
@@ -293,11 +390,33 @@ impl Snapshot {
         for s in &self.spans {
             let indent = "  ".repeat(s.depth());
             let label = format!("{indent}{}", s.name());
+            let mem = s
+                .mem
+                .as_ref()
+                .map(|m| {
+                    format!("  [{} allocs, {} self]", m.allocs, fmt_bytes(m.alloc_bytes))
+                })
+                .unwrap_or_default();
             out.push_str(&format!(
-                "{label:<34} {:>8} × {:>10}  (total {})\n",
+                "{label:<34} {:>8} × {:>10}  (total {}){mem}\n",
                 s.count,
                 fmt_ns(s.mean_ns()),
                 fmt_ns(s.total_ns)
+            ));
+        }
+        if let Some(mem) = &self.memory {
+            out.push_str("── memory ────────────────────────────────────────────\n");
+            out.push_str(&format!(
+                "{:<34} {:>8} allocs, {} ({} freed)\n",
+                crate::prof::UNATTRIBUTED_NAME,
+                mem.unattributed.allocs,
+                fmt_bytes(mem.unattributed.alloc_bytes),
+                fmt_bytes(mem.unattributed.free_bytes),
+            ));
+            out.push_str(&format!(
+                "live {} / peak {}\n",
+                fmt_bytes(mem.live_bytes.max(0) as u64),
+                fmt_bytes(mem.peak_live_bytes.max(0) as u64),
             ));
         }
         if !self.stages.is_empty() {
@@ -335,6 +454,100 @@ impl Snapshot {
     }
 }
 
+/// A [`MemStat`] as the JSON object stored under a span's `mem` key.
+fn mem_to_json(m: &MemStat) -> Json {
+    Json::obj(vec![
+        ("allocs", Json::UInt(m.allocs)),
+        ("frees", Json::UInt(m.frees)),
+        ("alloc_bytes", Json::UInt(m.alloc_bytes)),
+        ("free_bytes", Json::UInt(m.free_bytes)),
+        ("peak_net_bytes", Json::Int(m.peak_net_bytes)),
+    ])
+}
+
+fn mem_from_json(v: &Json) -> Result<MemStat, String> {
+    let Json::Obj(fields) = v else {
+        return Err("mem must be an object".to_string());
+    };
+    let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    Ok(MemStat {
+        allocs: get("allocs").and_then(as_u64).unwrap_or(0),
+        frees: get("frees").and_then(as_u64).unwrap_or(0),
+        alloc_bytes: get("alloc_bytes").and_then(as_u64).unwrap_or(0),
+        free_bytes: get("free_bytes").and_then(as_u64).unwrap_or(0),
+        peak_net_bytes: get("peak_net_bytes").and_then(as_i64).unwrap_or(0),
+    })
+}
+
+fn span_from_json(v: &Json) -> Result<SpanStat, String> {
+    let Json::Obj(fields) = v else {
+        return Err("span must be an object".to_string());
+    };
+    let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let Some(Json::Str(path)) = get("path") else {
+        return Err("span is missing its path".to_string());
+    };
+    Ok(SpanStat {
+        path: path.clone(),
+        count: get("count").and_then(as_u64).ok_or("span missing count")?,
+        total_ns: get("total_ns").and_then(as_u64).unwrap_or(0),
+        min_ns: get("min_ns").and_then(as_u64).unwrap_or(0),
+        max_ns: get("max_ns").and_then(as_u64).unwrap_or(0),
+        mem: get("mem").map(mem_from_json).transpose()?,
+    })
+}
+
+fn hist_from_json(v: &Json) -> Result<Histogram, String> {
+    let Json::Obj(fields) = v else {
+        return Err("histogram must be an object".to_string());
+    };
+    let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let Some(Json::Arr(bounds)) = get("bounds") else {
+        return Err("histogram missing bounds".to_string());
+    };
+    let Some(Json::Arr(counts)) = get("counts") else {
+        return Err("histogram missing counts".to_string());
+    };
+    let bounds: Vec<f64> =
+        bounds.iter().map(|b| as_f64(b).ok_or("bad bound")).collect::<Result<_, _>>()?;
+    let counts: Vec<u64> =
+        counts.iter().map(|c| as_u64(c).ok_or("bad bucket count")).collect::<Result<_, _>>()?;
+    // Exported min/max are null for empty histograms; fall back to the
+    // empty sentinels so the round trip is faithful.
+    Histogram::from_parts(
+        &bounds,
+        &counts,
+        get("sum").and_then(as_f64).unwrap_or(0.0),
+        get("min").and_then(as_f64).unwrap_or(f64::INFINITY),
+        get("max").and_then(as_f64).unwrap_or(f64::NEG_INFINITY),
+    )
+}
+
+fn as_u64(v: &Json) -> Option<u64> {
+    match v {
+        Json::UInt(n) => Some(*n),
+        Json::Int(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn as_i64(v: &Json) -> Option<i64> {
+    match v {
+        Json::Int(n) => Some(*n),
+        Json::UInt(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Json) -> Option<f64> {
+    match v {
+        Json::Num(n) => Some(*n),
+        Json::Int(n) => Some(*n as f64),
+        Json::UInt(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
 /// Pretty-prints nanoseconds at a human scale.
 fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
@@ -345,6 +558,19 @@ fn fmt_ns(ns: u64) -> String {
         format!("{:.2}µs", ns as f64 / 1e3)
     } else {
         format!("{ns}ns")
+    }
+}
+
+/// Pretty-prints a byte count at a human scale.
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2}KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b}B")
     }
 }
 

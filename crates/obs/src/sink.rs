@@ -1,5 +1,6 @@
 //! Snapshot sinks: where aggregated observability data goes at end of run.
 
+use crate::manifest::Manifest;
 use crate::recorder::Snapshot;
 use std::io::{self, Write};
 use std::path::PathBuf;
@@ -23,15 +24,26 @@ impl Sink for StderrSink {
 
 /// Writes the snapshot as pretty-printed JSON to a file, creating parent
 /// directories as needed. This is what produces `results/OBS_*.json`.
+///
+/// With a [`Manifest`] attached (the normal case since schema version 2),
+/// the exported object leads with a `manifest` key carrying the run's
+/// provenance; without one, the file is a bare version-1 snapshot.
 #[derive(Debug)]
 pub struct JsonFileSink {
     path: PathBuf,
+    manifest: Option<Manifest>,
 }
 
 impl JsonFileSink {
-    /// A sink writing to `path`.
+    /// A sink writing to `path` without provenance (version-1 layout).
     pub fn new(path: impl Into<PathBuf>) -> JsonFileSink {
-        JsonFileSink { path: path.into() }
+        JsonFileSink { path: path.into(), manifest: None }
+    }
+
+    /// Attaches the run's provenance header.
+    pub fn with_manifest(mut self, manifest: Manifest) -> JsonFileSink {
+        self.manifest = Some(manifest);
+        self
     }
 
     /// The destination path.
@@ -47,7 +59,16 @@ impl Sink for JsonFileSink {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        std::fs::write(&self.path, snap.to_json().pretty())
+        let body = snap.to_json();
+        let out = match &self.manifest {
+            Some(m) => {
+                let crate::json::Json::Obj(mut sections) = body else { unreachable!() };
+                sections.insert(0, ("manifest".to_string(), m.to_json()));
+                crate::json::Json::Obj(sections)
+            }
+            None => body,
+        };
+        std::fs::write(&self.path, out.pretty())
     }
 }
 
@@ -79,6 +100,28 @@ mod tests {
         assert!(text.contains("\"fit\""));
         assert!(text.contains("\"c\": 7"));
         assert!(text.ends_with('\n'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_header_leads_the_exported_object() {
+        let rec = Recorder::new_enabled();
+        rec.record_span("fit", 1_000);
+        let dir = std::env::temp_dir().join("wym_obs_sink_manifest_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("OBS_test.json");
+        let m = Manifest::new("sink-test").with_seed(9);
+        JsonFileSink::new(&path).with_manifest(m.clone()).emit(&rec.snapshot()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = crate::json::parse(&text).unwrap();
+        assert_eq!(Manifest::from_file_json(&parsed), Some(m));
+        // `manifest` must be the first key so readers (and humans) see
+        // provenance before data.
+        let crate::json::Json::Obj(sections) = parsed else { panic!() };
+        assert_eq!(sections[0].0, "manifest");
+        // The body still parses as a snapshot.
+        let snap = Snapshot::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(snap.span_count("fit"), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,146 @@
+//! End-to-end memory-attribution tests with [`wym_obs::TrackingAlloc`]
+//! actually installed as the global allocator — the unit tests inside the
+//! crate drive the hook functions directly; this binary exercises the real
+//! `#[global_allocator]` path.
+//!
+//! Tests here share one process, one allocator, and the process-wide
+//! profiling flag, and the harness runs them on parallel threads. So:
+//! profiling is switched on and never off, process-global numbers (the
+//! `(unattributed)` root, live/peak bytes) are only ever asserted as
+//! *lower-bound deltas*, and exact-ish assertions are reserved for span
+//! cells, which are installed per thread.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use wym_obs::{MemStat, Recorder};
+
+wym_obs::install_tracking_alloc!();
+
+fn enable() {
+    wym_obs::prof::set_enabled(true);
+}
+
+/// Allocates and immediately frees `n` heap bytes the optimizer can't elide.
+fn churn(n: usize) {
+    let v: Vec<u8> = black_box(vec![0xA5u8; n]);
+    drop(black_box(v));
+}
+
+#[test]
+fn out_of_span_allocations_charge_the_unattributed_root() {
+    enable();
+    let before = wym_obs::prof::unattributed();
+    churn(100_000);
+    let after = wym_obs::prof::unattributed();
+    assert!(
+        after.alloc_bytes >= before.alloc_bytes + 100_000,
+        "unattributed bytes {} -> {}",
+        before.alloc_bytes,
+        after.alloc_bytes
+    );
+    assert!(after.allocs > before.allocs);
+    assert!(after.free_bytes >= before.free_bytes + 100_000);
+}
+
+#[test]
+fn span_allocations_are_self_costs_not_parent_costs() {
+    enable();
+    let rec = Arc::new(Recorder::new_enabled());
+    wym_obs::with_recorder(Arc::clone(&rec), || {
+        let _outer = wym_obs::span("outer");
+        churn(10_000);
+        {
+            let _inner = wym_obs::span("inner");
+            churn(1_000_000);
+        }
+    });
+    let snap = rec.snapshot();
+    let mem = |path: &str| -> MemStat {
+        snap.spans
+            .iter()
+            .find(|s| s.path == path)
+            .and_then(|s| s.mem)
+            .unwrap_or_else(|| panic!("span {path} has no memory attribution: {snap:?}"))
+    };
+    let outer = mem("outer");
+    let inner = mem("outer/inner");
+    assert!(inner.alloc_bytes >= 1_000_000, "inner charged {}B", inner.alloc_bytes);
+    assert!(outer.alloc_bytes >= 10_000, "outer charged {}B", outer.alloc_bytes);
+    // The child's megabyte must NOT appear in the parent: per-span numbers
+    // are self costs. The parent's own traffic (10kB plus span overhead)
+    // stays far below the child's 1MB.
+    assert!(
+        outer.alloc_bytes < 1_000_000,
+        "outer {}B includes the child's allocation",
+        outer.alloc_bytes
+    );
+    assert!(inner.peak_net_bytes >= 1_000_000);
+}
+
+#[test]
+fn worker_allocations_land_under_the_capturing_span() {
+    enable();
+    let rec = Arc::new(Recorder::new_enabled());
+    wym_obs::with_recorder(Arc::clone(&rec), || {
+        let _root = wym_obs::span("fit");
+        let ctx = wym_obs::capture();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                wym_obs::in_context(&ctx, || {
+                    // No span of its own: the worker's traffic charges the
+                    // captured cell, i.e. `fit`'s self cost.
+                    churn(500_000);
+                });
+            })
+            .join()
+            .unwrap();
+        });
+    });
+    let snap = rec.snapshot();
+    let fit = snap.spans.iter().find(|s| s.path == "fit").unwrap();
+    let mem = fit.mem.expect("fit has memory attribution");
+    assert!(mem.alloc_bytes >= 500_000, "worker bytes missing: {}B", mem.alloc_bytes);
+}
+
+#[test]
+fn live_and_peak_track_the_global_heap() {
+    enable();
+    let peak_before = wym_obs::prof::peak_live_bytes();
+    let held: Vec<u8> = black_box(vec![1u8; 4_000_000]);
+    let peak_during = wym_obs::prof::peak_live_bytes();
+    assert!(
+        peak_during >= peak_before.max(4_000_000),
+        "peak {peak_during} after holding 4MB (was {peak_before})"
+    );
+    drop(black_box(held));
+    // Peak is a high-water mark: dropping must not lower it.
+    assert!(wym_obs::prof::peak_live_bytes() >= peak_during);
+}
+
+#[test]
+fn snapshot_and_flame_export_carry_the_attribution() {
+    enable();
+    let rec = Arc::new(Recorder::new_enabled());
+    let snap = wym_obs::with_recorder(Arc::clone(&rec), || {
+        {
+            let _s = wym_obs::span("work");
+            churn(200_000);
+        }
+        wym_obs::snapshot()
+    });
+    // The free-function snapshot attaches the process memory section.
+    let memory = snap.memory.expect("memory section present while profiling");
+    assert!(memory.peak_live_bytes > 0);
+    // The alloc-weighted flamegraph contains the span with its recorded
+    // bytes and the synthetic unattributed root.
+    let folded = wym_obs::flame::folded(&snap, wym_obs::flame::FlameWeight::AllocBytes);
+    let work_line = folded
+        .lines()
+        .find(|l| l.starts_with("work "))
+        .unwrap_or_else(|| panic!("no work stack in:\n{folded}"));
+    let weight: u64 = work_line.rsplit(' ').next().unwrap().parse().unwrap();
+    let recorded = snap.spans.iter().find(|s| s.path == "work").unwrap().mem.unwrap();
+    assert_eq!(weight, recorded.alloc_bytes, "folded weight mirrors the span tree");
+    assert!(weight >= 200_000);
+    assert!(folded.contains("(unattributed) "), "{folded}");
+}

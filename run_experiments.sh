@@ -6,9 +6,14 @@
 # the timing binary twice — once with the dispatched kernels (WYM_KERNEL=auto)
 # and once pinned to the scalar reference (WYM_KERNEL=scalar) — and fail if
 # (a) any registered pipeline stage recorded zero spans, (b) either run did
-# not record a kernel.dispatch.* counter, or (c) the two runs' deterministic
+# not record a kernel.dispatch.* counter, (c) the two runs' deterministic
 # relevance-score checksums differ, which would break the kernel layer's
-# bit-identity guarantee (see DESIGN.md §8–9).
+# bit-identity guarantee (see DESIGN.md §8–9), (d) `cargo clippy --workspace
+# -- -D warnings` reports anything, or (e) the obs_diff regression sentinel
+# finds either kernel variant's snapshot drifting from its committed
+# baseline (results/OBS_baseline_smoke*.json; wall times ignored — only the
+# deterministic structure, counters, gauges, and histograms gate; see
+# DESIGN.md §10).
 set -u
 cd "$(dirname "$0")"
 mkdir -p results
@@ -18,12 +23,19 @@ if [ "${1:-}" = "--smoke" ]; then
   OBS_AUTO=results/OBS_smoke.json
   OBS_SCALAR=results/OBS_smoke_scalar.json
   rm -f "$OBS_AUTO" "$OBS_SCALAR"
+  echo "=== smoke: clippy (workspace, -D warnings) ==="
+  if ! cargo clippy --workspace -- -D warnings; then
+    echo "SMOKE FAILED: clippy warnings" >&2
+    exit 1
+  fi
+  # --threads 1 pins the worker count so the exported snapshots (and the
+  # committed baselines they diff against) are machine-independent.
   echo "=== smoke: traced tiny run (WYM_KERNEL=auto) ==="
   WYM_KERNEL=auto ./target/release/timing --quick --cap 40 --datasets S-FZ \
-    --trace --metrics-out "$OBS_AUTO" "$@" 2>&1 | tee results/smoke.log
+    --threads 1 --trace --metrics-out "$OBS_AUTO" "$@" 2>&1 | tee results/smoke.log
   echo "=== smoke: pinned scalar kernels (WYM_KERNEL=scalar) ==="
   WYM_KERNEL=scalar ./target/release/timing --quick --cap 40 --datasets S-FZ \
-    --trace --metrics-out "$OBS_SCALAR" "$@" 2>&1 | tee results/smoke_scalar.log
+    --threads 1 --trace --metrics-out "$OBS_SCALAR" "$@" 2>&1 | tee results/smoke_scalar.log
   for f in "$OBS_AUTO" "$OBS_SCALAR"; do
     if [ ! -f "$f" ]; then
       echo "SMOKE FAILED: no metrics snapshot at $f" >&2
@@ -62,8 +74,32 @@ if [ "${1:-}" = "--smoke" ]; then
     echo "SMOKE FAILED: kernel dispatch changed scores: auto=$CK_AUTO scalar=$CK_SCALAR" >&2
     exit 1
   fi
+  # Regression sentinel. A snapshot diffed against itself must always pass
+  # (sentinel sanity), then both kernel variants diff against their
+  # committed baselines. Wall times are machine-dependent, so --ignore-wall;
+  # everything else in these snapshots — span structure and counts,
+  # counters, gauges (incl. the score checksum), histogram buckets — is
+  # deterministic and gates exactly.
+  echo "=== smoke: obs_diff regression sentinel ==="
+  if ! ./target/release/obs_diff "$OBS_AUTO" "$OBS_AUTO"; then
+    echo "SMOKE FAILED: obs_diff self-diff did not pass" >&2
+    exit 1
+  fi
+  for pair in "results/OBS_baseline_smoke.json:$OBS_AUTO" \
+              "results/OBS_baseline_smoke_scalar.json:$OBS_SCALAR"; do
+    BASE="${pair%%:*}"
+    CAND="${pair##*:}"
+    if [ ! -f "$BASE" ]; then
+      echo "SMOKE WARNING: no committed baseline $BASE; skipping diff" >&2
+      continue
+    fi
+    if ! ./target/release/obs_diff --ignore-wall "$BASE" "$CAND"; then
+      echo "SMOKE FAILED: $CAND regressed against $BASE" >&2
+      exit 1
+    fi
+  done
   DISPATCHED=$(grep -oE '"kernel\.dispatch\.[a-z0-9_]+"' "$OBS_AUTO" | head -1)
-  echo "SMOKE OK: all stages traced, $DISPATCHED == scalar checksum $CK_AUTO ($OBS_AUTO, $OBS_SCALAR)"
+  echo "SMOKE OK: all stages traced, $DISPATCHED == scalar checksum $CK_AUTO, obs_diff clean ($OBS_AUTO, $OBS_SCALAR)"
   exit 0
 fi
 

@@ -11,9 +11,14 @@
 //! ```
 //!
 //! Every command additionally accepts `--trace` (print a per-stage span
-//! tree and metric summary to stderr at exit) and `--metrics-out FILE`
+//! tree and metric summary to stderr at exit), `--metrics-out FILE`
 //! (write the machine-readable snapshot there; `--trace` alone defaults to
-//! `results/OBS_run.json`).
+//! `results/OBS_run.json`), `--flame` (export folded-stack flamegraphs to
+//! `results/FLAME_run_*.folded`; implies memory profiling so the alloc
+//! weights are populated), and `--profile-mem` (attribute allocator
+//! traffic to spans in the export). Exported metrics files carry a
+//! `manifest` provenance header (schema version, git sha, config hash,
+//! kernel dispatch, seed).
 //!
 //! CSV layout: `id,label,left_<attr>…,right_<attr>…` (see `wym::data::csv`).
 
@@ -25,9 +30,14 @@ use wym::data::{csv, magellan, DatasetType, EmDataset, Entity, RecordPair};
 use wym::nn::TrainConfig;
 use wym_obs::{JsonFileSink, Sink, StderrSink};
 
+// Route every allocation through the tracking wrapper so `--profile-mem` /
+// `--flame` can attribute it; with profiling off the wrapper is one relaxed
+// atomic load per alloc (pinned by the `prof` bench group).
+wym_obs::install_tracking_alloc!();
+
 /// Flags that never take a value, so a following positional argument (or
 /// file name) is not swallowed as their value.
-const BOOL_FLAGS: &[&str] = &["explain", "trace", "help"];
+const BOOL_FLAGS: &[&str] = &["explain", "trace", "help", "flame", "profile-mem"];
 
 struct Args {
     positional: Vec<String>,
@@ -47,9 +57,8 @@ impl Args {
                     iter.peek()
                         .filter(|v| !v.starts_with("--"))
                         .cloned()
-                        .map(|v| {
+                        .inspect(|_| {
                             iter.next();
-                            v
                         })
                         .unwrap_or_default() // presence-only flags store ""
                 };
@@ -94,23 +103,42 @@ fn usage() -> &'static str {
      wym train    --data <FILE> --model <OUT.json> [--epochs N]\n  \
      wym apply    --model <MODEL.json> --data <FILE> [--explain]\n  \
      wym datasets\n\
-     every command also accepts: --trace [--metrics-out <FILE>]"
+     every command also accepts: --trace [--metrics-out <FILE>] --flame --profile-mem"
 }
 
-/// Turns recording on when `--trace` or `--metrics-out` is present;
+/// Turns recording on when `--trace`, `--metrics-out`, or `--flame` is
+/// present (and memory profiling under `--profile-mem` / `--flame`);
 /// registers the canonical pipeline stages either way so zero-span stages
 /// are visible in the export.
 fn obs_setup(args: &Args) -> bool {
     wym_obs::register_stages(PIPELINE_STAGES);
-    let on = args.get("trace").is_some() || args.get("metrics-out").is_some();
+    let on = args.get("trace").is_some()
+        || args.get("metrics-out").is_some()
+        || args.get("flame").is_some();
     if on {
         wym_obs::set_enabled(true);
+    }
+    if args.get("profile-mem").is_some() || args.get("flame").is_some() {
+        wym_obs::prof::set_enabled(true);
     }
     on
 }
 
-/// Emits the recorded snapshot: span tree to stderr (under `--trace`) and
-/// the JSON export to `--metrics-out` (default `results/OBS_run.json`).
+/// The run's provenance header for exported metrics: commit, a hash of
+/// the full command line, the dispatched kernel, and the seed.
+fn manifest(args: &Args) -> wym_obs::Manifest {
+    let cmdline: Vec<String> = std::env::args().skip(1).collect();
+    let data = args.get("data").or(args.get("dataset")).unwrap_or("");
+    wym_obs::Manifest::new("wym")
+        .with_kernel(wym::linalg::kernels::active_name())
+        .with_seed(args.num("seed", 42u64))
+        .with_config_bytes(cmdline.join(" ").as_bytes())
+        .with_dataset_bytes(data.as_bytes())
+}
+
+/// Emits the recorded snapshot: span tree to stderr (under `--trace`),
+/// the JSON export with its manifest to `--metrics-out` (default
+/// `results/OBS_run.json`), and folded flamegraphs under `--flame`.
 fn obs_flush(args: &Args) {
     let snap = wym_obs::snapshot();
     if args.get("trace").is_some() {
@@ -120,9 +148,19 @@ fn obs_flush(args: &Args) {
         Some(p) if !p.is_empty() => p.to_string(),
         _ => "results/OBS_run.json".to_string(),
     };
-    match JsonFileSink::new(&path).emit(&snap) {
+    match JsonFileSink::new(&path).with_manifest(manifest(args)).emit(&snap) {
         Ok(()) => eprintln!("metrics written to {path}"),
         Err(e) => eprintln!("warning: cannot write metrics to {path}: {e}"),
+    }
+    if args.get("flame").is_some() {
+        use wym_obs::flame::{write_folded, FlameWeight};
+        for weight in [FlameWeight::WallNs, FlameWeight::AllocBytes] {
+            let flame_path = format!("results/FLAME_run_{}.folded", weight.infix());
+            match write_folded(&flame_path, &snap, weight) {
+                Ok(lines) => eprintln!("flamegraph ({lines} stacks) written to {flame_path}"),
+                Err(e) => eprintln!("warning: cannot write {flame_path}: {e}"),
+            }
+        }
     }
 }
 

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use wym::linalg::{Matrix, Rng64};
 use wym::ml::tree::{Tree, TreeParams};
-use wym::ml::{Classifier, ClassifierKind, StandardScaler};
+use wym::ml::{ClassifierKind, StandardScaler};
 use wym::nn::{Activation, Loss, Mlp, MlpConfig, TrainConfig};
 
 /// Strategy: a small random regression dataset.

@@ -75,6 +75,7 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_seq<I, T>(
     out: &mut String,
     items: I,
@@ -98,13 +99,13 @@ fn write_seq<I, T>(
         }
         if let Some(step) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(step * (depth + 1)));
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
         }
         write_item(out, item, indent, depth + 1);
     }
     if let Some(step) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(step * depth));
+        out.extend(std::iter::repeat_n(' ', step * depth));
     }
     out.push(close);
 }
