@@ -242,6 +242,66 @@ fn bench(c: &mut Criterion) {
         g.finish();
     }
 
+    // Blocking at scale (DESIGN.md §11), on a 5k-record slice of the
+    // synthetic dedup workload: index build, the posting-walk lexical query
+    // pass, the int8-quantized ANN scan, and the exact f32 re-score of one
+    // survivor set. `dot_i8` vs its scalar twin pins the integer-kernel
+    // speedup the quantized scan rides on.
+    {
+        use wym_block::{index::TokenIndex, AnnConfig, AnnIndex, SynthConfig};
+        use wym_linalg::kernels::{cosine_i8_with, cosine_with, detect_best, KernelImpl};
+        let table = wym_block::generate(&SynthConfig {
+            n_records: 5_000,
+            dup_frac: 0.2,
+            seed: 5,
+            medium_vocab: 1_000,
+        });
+        let texts: Vec<String> =
+            table.records.iter().map(wym_data::Entity::full_text).collect();
+        let best = detect_best();
+        let mut g = c.benchmark_group("blocking");
+        g.sample_size(10);
+        g.bench_function("index_build_5k", |bch| {
+            bch.iter(|| TokenIndex::build(&texts, 0.01, 16, 1))
+        });
+        let index = TokenIndex::build(&texts, 0.01, 16, 1);
+        g.bench_function("lexical_top_candidates_5k", |bch| {
+            bch.iter(|| index.top_candidates(10, 1))
+        });
+        let ann_config = AnnConfig::default();
+        g.bench_function("ann_index_build_5k", |bch| {
+            bch.iter(|| {
+                AnnIndex::build(index.vocab(), index.all_record_tokens(), &ann_config, best, 1)
+            })
+        });
+        let ann = AnnIndex::build(index.vocab(), index.all_record_tokens(), &ann_config, best, 1);
+        g.bench_function("ann_quantized_scan_5k", |bch| {
+            bch.iter(|| {
+                (0..1000u32).map(|qi| ann.quantized_survivors(qi).len()).sum::<usize>()
+            })
+        });
+        g.bench_function("ann_exact_rescore_1k", |bch| {
+            bch.iter(|| {
+                (0..1000usize)
+                    .map(|i| ann.exact_cosine(i, (i + 1) % 5_000, best))
+                    .sum::<f32>()
+            })
+        });
+        let qt = ann.quantized();
+        g.bench_function("cosine_i8_64", |bch| {
+            bch.iter(|| cosine_i8_with(best, qt.row(0), qt.row(1), qt.scale(0), qt.scale(1)))
+        });
+        g.bench_function("cosine_i8_64_scalar", |bch| {
+            bch.iter(|| {
+                cosine_i8_with(KernelImpl::Scalar, qt.row(0), qt.row(1), qt.scale(0), qt.scale(1))
+            })
+        });
+        g.bench_function("cosine_f32_64", |bch| {
+            bch.iter(|| cosine_with(best, ann.vector(0), ann.vector(1)))
+        });
+        g.finish();
+    }
+
     // Scoring + featurization + impacts on a fitted model.
     {
         let (model, _d, _s, test) = fitted_model(150);

@@ -1,0 +1,280 @@
+//! Synthetic million-record dedup tables with exact gold pairings.
+//!
+//! The Magellan generator (`wym-data`) produces *labeled pairs* for the
+//! matching experiments; blocking needs the step before — one large table
+//! containing duplicates whose identity is known exactly, so recall can be
+//! measured against ground truth instead of a heuristic. This generator
+//! builds product-shaped records (brand, category, descriptive words, a
+//! near-unique model code, a price) and duplicates a configurable fraction
+//! of them under realistic corruptions: dropped tokens, character typos
+//! (which defeat token-equality blocking and exercise the ANN recall
+//! layer), truncation-style abbreviations, and token reordering.
+//!
+//! Everything is driven by one [`wym_linalg::Rng64`] seed: the same config
+//! produces the byte-identical table and gold set on every machine, which
+//! is what lets `blocking_scale --smoke` diff its observability snapshot
+//! against a committed baseline.
+
+use wym_data::Entity;
+use wym_linalg::Rng64;
+
+/// Configuration of one synthetic dedup table.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Total records in the table (bases + duplicates).
+    pub n_records: usize,
+    /// Fraction of records that are duplicates of some base (0..1).
+    pub dup_frac: f64,
+    /// RNG seed; fully determines the table.
+    pub seed: u64,
+    /// Size of the mid-frequency descriptive vocabulary. Document frequency
+    /// of these words scales as `n_records / medium_vocab`, so this knob
+    /// controls posting-list lengths in the lexical index.
+    pub medium_vocab: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self { n_records: 1_000_000, dup_frac: 0.2, seed: 7, medium_vocab: 4000 }
+    }
+}
+
+/// A generated table: records plus the exact duplicate pairing.
+#[derive(Debug, Clone)]
+pub struct SynthTable {
+    /// The records, in randomized order.
+    pub records: Vec<Entity>,
+    /// Gold duplicate pairs `(i, j)` with `i < j`, sorted ascending.
+    pub gold: Vec<(u32, u32)>,
+}
+
+const BRANDS: &[&str] = &[
+    "sony", "canon", "nikon", "panasonic", "samsung", "olympus", "fujifilm", "kodak", "pentax",
+    "leica", "sigma", "tamron", "casio", "sanyo", "vivitar", "polaroid", "garmin", "tomtom",
+    "logitech", "netgear", "linksys", "belkin", "toshiba", "lenovo", "asus", "acer", "dell",
+    "epson", "brother", "xerox", "philips", "sharp", "pioneer", "yamaha", "denon", "onkyo",
+    "bose", "jbl", "klipsch", "sennheiser",
+];
+
+const CATEGORIES: &[&str] = &[
+    "camera", "camcorder", "lens", "printer", "scanner", "router", "modem", "monitor",
+    "keyboard", "mouse", "headphones", "speaker", "receiver", "projector", "tablet", "laptop",
+    "desktop", "server", "switch", "drive", "player", "recorder", "adapter", "charger",
+    "battery", "tripod", "flash", "filter", "microphone", "webcam",
+];
+
+const SYLLABLES: &[&str] = &[
+    "ba", "co", "di", "fu", "ga", "ho", "ji", "ka", "lu", "mo", "ne", "pi", "qua", "ro", "sa",
+    "te", "ul", "ve", "wo", "xi", "ya", "zo", "bra", "cli", "dro", "fle", "gri", "plo", "ste",
+    "tra",
+];
+
+/// The mid-frequency descriptive vocabulary: deterministic pronounceable
+/// words, `medium_vocab` of them.
+fn medium_words(n: usize, rng: &mut Rng64) -> Vec<String> {
+    (0..n)
+        .map(|_| {
+            let syllables = 2 + rng.gen_range(3);
+            let mut w = String::new();
+            for _ in 0..syllables {
+                w.push_str(SYLLABLES[rng.gen_range(SYLLABLES.len())]);
+            }
+            w
+        })
+        .collect()
+}
+
+/// A near-unique alphanumeric model code, e.g. `dsc4871xk`.
+fn model_code(rng: &mut Rng64) -> String {
+    let mut code = String::new();
+    for _ in 0..3 {
+        code.push((b'a' + rng.gen_range(26) as u8) as char);
+    }
+    for _ in 0..4 {
+        code.push((b'0' + rng.gen_range(10) as u8) as char);
+    }
+    for _ in 0..2 {
+        code.push((b'a' + rng.gen_range(26) as u8) as char);
+    }
+    code
+}
+
+/// One base record: `[name, description, price]`.
+fn base_record(words: &[String], rng: &mut Rng64) -> Entity {
+    let brand = BRANDS[rng.gen_range(BRANDS.len())];
+    let category = CATEGORIES[rng.gen_range(CATEGORIES.len())];
+    let code = model_code(rng);
+    let n_desc = 2 + rng.gen_range(3);
+    let desc: Vec<&str> =
+        (0..n_desc).map(|_| words[rng.gen_range(words.len())].as_str()).collect();
+    let price = format!("{}.{:02}", 5 + rng.gen_range(995), rng.gen_range(100));
+    Entity::new(vec![
+        format!("{brand} {category} {code}"),
+        desc.join(" "),
+        price,
+    ])
+}
+
+/// Introduces one character-level typo into a token (swap of two adjacent
+/// characters, or replacement of one character).
+fn typo(token: &str, rng: &mut Rng64) -> String {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.len() < 2 {
+        return token.to_string();
+    }
+    let mut chars = chars;
+    let at = rng.gen_range(chars.len() - 1);
+    if rng.gen_bool(0.5) {
+        chars.swap(at, at + 1);
+    } else {
+        chars[at] = (b'a' + rng.gen_range(26) as u8) as char;
+    }
+    chars.into_iter().collect()
+}
+
+/// A corrupted copy of `base`: 1–3 perturbations drawn from token drop,
+/// character typo, abbreviation, and token reorder. The corruption level is
+/// calibrated so a sound lexical+ANN blocker can reach ≥0.98 recall while a
+/// token-equality-only pass cannot.
+fn perturb(base: &Entity, rng: &mut Rng64) -> Entity {
+    let mut tokens: Vec<String> = base
+        .values
+        .iter()
+        .flat_map(|v| v.split_whitespace().map(str::to_string))
+        .collect();
+    let n_ops = 1 + rng.gen_range(3);
+    for _ in 0..n_ops {
+        if tokens.len() < 3 {
+            break;
+        }
+        match rng.gen_range(4) {
+            0 => {
+                let at = rng.gen_range(tokens.len());
+                tokens.remove(at);
+            }
+            1 => {
+                let at = rng.gen_range(tokens.len());
+                tokens[at] = typo(&tokens[at], rng);
+            }
+            2 => {
+                let at = rng.gen_range(tokens.len());
+                let t = &tokens[at];
+                if t.chars().count() > 4 {
+                    tokens[at] = t.chars().take(4).collect();
+                }
+            }
+            _ => {
+                let a = rng.gen_range(tokens.len());
+                let b = rng.gen_range(tokens.len());
+                tokens.swap(a, b);
+            }
+        }
+    }
+    // Duplicates collapse to a single free-text attribute, mimicking feeds
+    // that lose the source schema.
+    Entity::new(vec![tokens.join(" ")])
+}
+
+/// Generates the table. `n_records` records come back shuffled; `gold`
+/// holds every (base, duplicate) pair under the final ordering.
+pub fn generate(config: &SynthConfig) -> SynthTable {
+    let _span = wym_obs::span("block_synth");
+    let mut rng = Rng64::new(config.seed);
+    let words = medium_words(config.medium_vocab.max(1), &mut rng);
+    let n_dups = ((config.n_records as f64) * config.dup_frac).round() as usize;
+    let n_dups = n_dups.min(config.n_records / 2);
+    let n_bases = config.n_records - n_dups;
+
+    let bases: Vec<Entity> = (0..n_bases).map(|_| base_record(&words, &mut rng)).collect();
+    // Duplicate sources: a random subset of distinct bases.
+    let mut source_idx: Vec<usize> = (0..n_bases).collect();
+    rng.shuffle(&mut source_idx);
+    source_idx.truncate(n_dups);
+
+    let mut records = bases;
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(n_dups);
+    for &src in &source_idx {
+        let dup = perturb(&records[src], &mut rng);
+        pairs.push((src, records.len()));
+        records.push(dup);
+    }
+
+    // Shuffle the final table so duplicates are not clustered at the end.
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    rng.shuffle(&mut order);
+    let mut position = vec![0usize; records.len()];
+    for (new_pos, &old_pos) in order.iter().enumerate() {
+        position[old_pos] = new_pos;
+    }
+    let mut shuffled: Vec<Option<Entity>> = records.into_iter().map(Some).collect();
+    let records: Vec<Entity> =
+        order.iter().map(|&old| shuffled[old].take().expect("each index once")).collect();
+    let mut gold: Vec<(u32, u32)> = pairs
+        .into_iter()
+        .map(|(a, b)| {
+            let (x, y) = (position[a] as u32, position[b] as u32);
+            (x.min(y), x.max(y))
+        })
+        .collect();
+    gold.sort_unstable();
+    wym_obs::counter_add("block.synth.records", records.len() as u64);
+    wym_obs::counter_add("block.synth.gold_pairs", gold.len() as u64);
+    SynthTable { records, gold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SynthConfig {
+        SynthConfig { n_records: 500, dup_frac: 0.2, seed: 11, medium_vocab: 200 }
+    }
+
+    #[test]
+    fn sizes_and_gold_shape() {
+        let t = generate(&small());
+        assert_eq!(t.records.len(), 500);
+        assert_eq!(t.gold.len(), 100);
+        for &(i, j) in &t.gold {
+            assert!(i < j, "normalized pairs");
+            assert!((j as usize) < t.records.len());
+        }
+        let mut sorted = t.gold.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, t.gold, "gold is sorted and unique");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.gold, b.gold);
+        let c = generate(&SynthConfig { seed: 12, ..small() });
+        assert_ne!(a.records, c.records, "seed changes the table");
+    }
+
+    #[test]
+    fn duplicates_stay_recognizable() {
+        let t = generate(&small());
+        for &(i, j) in t.gold.iter().take(20) {
+            let a = t.records[i as usize].full_text();
+            let b = t.records[j as usize].full_text();
+            let ta: std::collections::HashSet<&str> = a.split_whitespace().collect();
+            let tb: std::collections::HashSet<&str> = b.split_whitespace().collect();
+            let shared = ta.intersection(&tb).count();
+            assert!(
+                shared + 3 >= ta.len().min(tb.len()),
+                "duplicate drifted too far: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dup_frac_is_capped_at_half() {
+        let t = generate(&SynthConfig { n_records: 100, dup_frac: 0.9, ..small() });
+        assert_eq!(t.records.len(), 100);
+        assert_eq!(t.gold.len(), 50);
+    }
+}

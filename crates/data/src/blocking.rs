@@ -58,28 +58,42 @@ pub fn block_candidates(
         ((right.len() as f32) * config.max_token_frequency).ceil().max(1.0) as usize;
     index.retain(|_, postings| postings.len() <= cutoff);
 
+    // Overlap counts accumulate in a dense scratch array with a touched
+    // list instead of a hash map: no hashing in the hot loop, and the
+    // candidate list is assembled in ascending right-index order by
+    // construction, so the stable (overlap desc, right index asc) key below
+    // fully determines the output — including which candidates survive the
+    // cap under tied overlaps — independent of any map iteration order.
     let mut out = Vec::new();
-    let mut overlap: HashMap<usize, usize> = HashMap::new();
+    let mut overlap: Vec<usize> = vec![0; right.len()];
+    let mut touched: Vec<usize> = Vec::new();
     for (i, entity) in left.iter().enumerate() {
-        overlap.clear();
         let mut tokens = tokenizer.tokenize(&entity.full_text());
         tokens.sort();
         tokens.dedup();
         for t in &tokens {
             if let Some(postings) = index.get(t) {
                 for &j in postings {
-                    *overlap.entry(j).or_insert(0) += 1;
+                    if overlap[j] == 0 {
+                        touched.push(j);
+                    }
+                    overlap[j] += 1;
                 }
             }
         }
-        let mut candidates: Vec<(usize, usize)> = overlap
+        touched.sort_unstable();
+        let mut candidates: Vec<(usize, usize)> = touched
             .iter()
-            .filter(|(_, &c)| c >= config.min_shared_tokens)
-            .map(|(&j, &c)| (j, c))
+            .filter(|&&j| overlap[j] >= config.min_shared_tokens)
+            .map(|&j| (j, overlap[j]))
             .collect();
         candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         candidates.truncate(config.max_candidates_per_entity);
         out.extend(candidates.into_iter().map(|(j, _)| (i, j)));
+        for &j in &touched {
+            overlap[j] = 0;
+        }
+        touched.clear();
     }
     out
 }
@@ -174,5 +188,33 @@ mod tests {
     fn empty_tables() {
         let cands = block_candidates(&[], &[], &BlockingConfig::default());
         assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn tied_overlaps_resolve_by_ascending_right_index() {
+        // Five right entities tie at overlap 1 with a cap of 3: the stable
+        // (overlap desc, right index asc) key must keep exactly the three
+        // lowest right indices, in that order, on every run.
+        let left = entities(&["alpha beta"]);
+        let right = entities(&[
+            "alpha one",
+            "alpha two",
+            "alpha three",
+            "alpha four",
+            "alpha five",
+            "beta alpha six",
+        ]);
+        let cfg = BlockingConfig {
+            max_candidates_per_entity: 3,
+            max_token_frequency: 1.0,
+            ..Default::default()
+        };
+        let cands = block_candidates(&left, &right, &cfg);
+        // Entity 5 has overlap 2 and ranks first; of the overlap-1 ties
+        // only the two lowest right indices survive the cap.
+        assert_eq!(cands, vec![(0, 5), (0, 0), (0, 1)]);
+        for _ in 0..10 {
+            assert_eq!(block_candidates(&left, &right, &cfg), cands);
+        }
     }
 }

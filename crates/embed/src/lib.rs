@@ -28,10 +28,12 @@
 pub mod context;
 pub mod finetune;
 pub mod hashed;
+pub mod quant;
 
 pub use context::ContextEncoder;
 pub use finetune::{build_centroid_pairs, EntityTokens};
 pub use hashed::HashedNgramEmbedder;
+pub use quant::QuantizedTable;
 
 use serde::{Deserialize, Serialize};
 use wym_nn::{SiameseConfig, SiameseProjection};

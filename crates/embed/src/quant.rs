@@ -1,0 +1,198 @@
+//! Int8 quantization of embedding tables (ROADMAP item 4b).
+//!
+//! The blocking ANN pass scans millions of record vectors; at f32 a
+//! 1M × 64 table is 256 MB of memory traffic per scan. Quantizing each row
+//! to int8 with one per-row scale cuts that 4×, and the integer dot kernel
+//! ([`wym_linalg::kernels::dot_i8`]) consumes the rows directly.
+//!
+//! The scheme is symmetric per-row absmax: `scale = max|v| / 127`,
+//! `q_i = round(v_i / scale)` clamped to `[-127, 127]`, reconstructing as
+//! `v_i ≈ q_i · scale`. Two properties the blocking layer relies on:
+//!
+//! 1. **Error bound.** Rounding is to nearest, so
+//!    `|v_i − q_i · scale| ≤ scale / 2 = max|v| / 254` per component. For
+//!    the unit-norm record vectors the ANN layer quantizes, `max|v| ≤ 1`,
+//!    giving a worst-case per-component error of `1/254 ≈ 0.004` and a
+//!    cosine error well under the re-scoring margin (DESIGN.md §11 derives
+//!    the bound; [`QuantizedTable::max_abs_error`] checks it empirically).
+//! 2. **Determinism.** Quantization is a pure per-element function of the
+//!    input — no accumulation — so the table is bit-identical for any
+//!    thread count or kernel choice, and the *exact* f32 re-scoring of
+//!    quantized-pass survivors (the stage that decides final candidates)
+//!    never sees a quantized value at all.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major int8 matrix with one reconstruction scale per row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTable {
+    dim: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedTable {
+    /// Quantizes `rows` (all of length `dim`) with per-row absmax scales.
+    ///
+    /// # Panics
+    /// Panics when a row's length differs from `dim`.
+    pub fn from_rows<R: AsRef<[f32]>>(rows: &[R], dim: usize) -> QuantizedTable {
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        let mut scales = Vec::with_capacity(rows.len());
+        for row in rows {
+            let row = row.as_ref();
+            assert_eq!(row.len(), dim, "row length must equal table dim");
+            let (q, scale) = quantize_row(row);
+            data.extend_from_slice(&q);
+            scales.push(scale);
+        }
+        QuantizedTable { dim, data, scales }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.scales.is_empty()
+    }
+
+    /// Row dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The quantized row `i`.
+    pub fn row(&self, i: usize) -> &[i8] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The reconstruction scale of row `i` (`value ≈ q · scale`).
+    pub fn scale(&self, i: usize) -> f32 {
+        self.scales[i]
+    }
+
+    /// Approximate cosine of rows `i` and `j`: the exact integer dot scaled
+    /// by both row scales. For rows quantized from unit vectors this tracks
+    /// the true cosine within the §11 error bound.
+    pub fn approx_cosine(&self, i: usize, j: usize) -> f32 {
+        wym_linalg::kernels::cosine_i8(self.row(i), self.row(j), self.scales[i], self.scales[j])
+    }
+
+    /// Reconstructs row `i` back to f32 (`q · scale` per component).
+    pub fn dequantize(&self, i: usize) -> Vec<f32> {
+        let s = self.scales[i];
+        self.row(i).iter().map(|&q| q as f32 * s).collect()
+    }
+
+    /// Bytes of quantized payload (rows + scales), for footprint telemetry.
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Largest per-component reconstruction error against `rows` — the
+    /// empirical check of the `max|v| / 254` bound.
+    pub fn max_abs_error<R: AsRef<[f32]>>(&self, rows: &[R]) -> f32 {
+        rows.iter()
+            .enumerate()
+            .flat_map(|(i, row)| {
+                let s = self.scales[i];
+                row.as_ref()
+                    .iter()
+                    .zip(self.row(i))
+                    .map(move |(&v, &q)| (v - q as f32 * s).abs())
+                    .collect::<Vec<f32>>()
+            })
+            .fold(0.0f32, f32::max)
+    }
+}
+
+/// Quantizes one row: symmetric absmax to int8. An all-zero (or empty) row
+/// gets scale 0 and all-zero codes, reconstructing exactly.
+pub fn quantize_row(row: &[f32]) -> (Vec<i8>, f32) {
+    let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        return (vec![0i8; row.len()], 0.0);
+    }
+    let scale = max_abs / 127.0;
+    let inv = 127.0 / max_abs;
+    let q = row.iter().map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8).collect();
+    (q, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wym_linalg::vector::{cosine, normalize};
+    use wym_linalg::Rng64;
+
+    fn unit_rows(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Rng64::new(seed);
+        (0..n)
+            .map(|_| {
+                let mut v: Vec<f32> = (0..dim).map(|_| rng.normal() as f32).collect();
+                normalize(&mut v);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_error_is_within_bound() {
+        let rows = unit_rows(64, 48, 3);
+        let table = QuantizedTable::from_rows(&rows, 48);
+        // Per-component bound: max|v| / 254 ≤ 1/254 for unit rows, plus one
+        // half-ulp of slack for the scale division itself.
+        assert!(table.max_abs_error(&rows) <= 1.0 / 254.0 + 1e-6);
+    }
+
+    #[test]
+    fn approx_cosine_tracks_exact_cosine() {
+        let rows = unit_rows(32, 64, 9);
+        let table = QuantizedTable::from_rows(&rows, 64);
+        for i in 0..rows.len() {
+            for j in 0..rows.len() {
+                let exact = cosine(&rows[i], &rows[j]);
+                let approx = table.approx_cosine(i, j);
+                assert!(
+                    (exact - approx).abs() < 0.05,
+                    "rows {i},{j}: exact {exact} vs quantized {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_reconstructs_exactly() {
+        let rows = vec![vec![0.0f32; 16], vec![1.0f32; 16]];
+        let table = QuantizedTable::from_rows(&rows, 16);
+        assert_eq!(table.scale(0), 0.0);
+        assert_eq!(table.dequantize(0), vec![0.0f32; 16]);
+        assert_eq!(table.approx_cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn extreme_components_hit_but_never_exceed_127() {
+        let (q, scale) = quantize_row(&[1.0, -1.0, 0.5, 0.0]);
+        assert_eq!(q[0], 127);
+        assert_eq!(q[1], -127);
+        assert!((scale - 1.0 / 127.0).abs() < 1e-9);
+        assert!(q.iter().all(|&v| (-127..=127).contains(&v)));
+    }
+
+    #[test]
+    fn payload_is_4x_smaller_than_f32_rows() {
+        let rows = unit_rows(100, 64, 1);
+        let table = QuantizedTable::from_rows(&rows, 64);
+        let f32_bytes = 100 * 64 * 4;
+        assert!(table.payload_bytes() < f32_bytes / 3, "{}", table.payload_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_length_panics() {
+        let _ = QuantizedTable::from_rows(&[vec![0.0f32; 8], vec![0.0f32; 9]], 8);
+    }
+}

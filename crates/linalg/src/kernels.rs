@@ -136,7 +136,71 @@ pub fn gemm_update4(coef: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f3
     gemm_update4_with(active(), coef, b0, b1, b2, b3, o);
 }
 
+/// Integer dot product of two int8 vectors under the active implementation.
+///
+/// Every product `a[i] * b[i]` is exact in i32 and integer addition is
+/// associative, so — unlike the f32 kernels — any accumulation order gives
+/// the same result and bit-identity across implementations is structural,
+/// not engineered. The i32 accumulator is exact for `len ≤ 133_000`
+/// (|dot| ≤ len · 127²), far beyond any embedding dimension.
+///
+/// # Panics
+/// Panics in debug builds on length mismatch.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    dot_i8_with(active(), a, b)
+}
+
+/// Integer squared Euclidean distance of two int8 vectors under the active
+/// implementation. Exact for `len ≤ 33_000` (sum ≤ len · 254²).
+#[inline]
+pub fn dist_sq_i8(a: &[i8], b: &[i8]) -> i32 {
+    dist_sq_i8_with(active(), a, b)
+}
+
+/// Fused int8 cosine: the exact integer dot scaled back to f32 by the two
+/// per-vector quantization scales (`value ≈ q · scale`). Because the dot is
+/// an exact integer and the two multiplies happen in one fixed order, the
+/// result is bit-identical across implementations and thread counts — the
+/// property the ANN blocking pass's determinism contract leans on.
+#[inline]
+pub fn cosine_i8(a: &[i8], b: &[i8], scale_a: f32, scale_b: f32) -> f32 {
+    (dot_i8(a, b) as f32) * (scale_a * scale_b)
+}
+
 // --- explicit-implementation entry points (tests, benches) ----------------
+
+/// [`dot_i8`] under an explicitly chosen implementation.
+#[inline]
+pub fn dot_i8_with(imp: KernelImpl, a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    match imp {
+        KernelImpl::Scalar => scalar::dot_i8(a, b),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx2Fma => unsafe { avx2::dot_i8(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelImpl::Avx2Fma => scalar::dot_i8(a, b),
+    }
+}
+
+/// [`cosine_i8`] under an explicitly chosen implementation.
+#[inline]
+pub fn cosine_i8_with(imp: KernelImpl, a: &[i8], b: &[i8], scale_a: f32, scale_b: f32) -> f32 {
+    (dot_i8_with(imp, a, b) as f32) * (scale_a * scale_b)
+}
+
+/// [`dist_sq_i8`] under an explicitly chosen implementation.
+#[inline]
+pub fn dist_sq_i8_with(imp: KernelImpl, a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    match imp {
+        KernelImpl::Scalar => scalar::dist_sq_i8(a, b),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx2Fma => unsafe { avx2::dist_sq_i8(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelImpl::Avx2Fma => scalar::dist_sq_i8(a, b),
+    }
+}
 
 /// [`dot`] under an explicitly chosen implementation.
 #[inline]
@@ -288,6 +352,25 @@ pub mod scalar {
         }
     }
 
+    /// Integer int8 dot product (exact; see [`super::dot_i8`]).
+    pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        let mut acc = 0i32;
+        for (&x, &y) in a.iter().zip(b) {
+            acc += x as i32 * y as i32;
+        }
+        acc
+    }
+
+    /// Integer int8 squared distance (exact; see [`super::dist_sq_i8`]).
+    pub fn dist_sq_i8(a: &[i8], b: &[i8]) -> i32 {
+        let mut acc = 0i32;
+        for (&x, &y) in a.iter().zip(b) {
+            let d = x as i32 - y as i32;
+            acc += d * d;
+        }
+        acc
+    }
+
     /// Element-wise four-step fused update (see [`super::gemm_update4`]).
     pub fn gemm_update4(
         coef: [f32; 4],
@@ -321,8 +404,9 @@ pub mod scalar {
 pub mod avx2 {
     use super::{reduce8, LANES};
     use std::arch::x86_64::{
-        _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps,
-        _mm256_sub_ps,
+        _mm256_add_epi32, _mm256_cvtepi8_epi16, _mm256_fmadd_ps, _mm256_loadu_ps,
+        _mm256_madd_epi16, _mm256_set1_ps, _mm256_setzero_ps, _mm256_setzero_si256,
+        _mm256_storeu_ps, _mm256_storeu_si256, _mm256_sub_epi16, _mm256_sub_ps, _mm_loadu_si128,
     };
 
     /// 8-lane dot product.
@@ -429,6 +513,65 @@ pub mod avx2 {
         for l in blocks..x.len() {
             y[l] = alpha.mul_add(x[l], y[l]);
         }
+    }
+
+    /// Width of one int8 block: 16 lanes widened to i16 in one `ymm`.
+    const I8_BLOCK: usize = 16;
+
+    /// Integer int8 dot product: 16 int8 lanes sign-extend to i16
+    /// (`vpmovsxbw`), multiply-accumulate pairwise into 8 i32 lanes
+    /// (`vpmaddwd`), and the lanes sum at the end. All arithmetic is exact
+    /// integer, so the result equals the scalar loop for any input.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2+FMA support (via
+    /// [`super::detect_best`]) before calling.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        let blocks = a.len() / I8_BLOCK * I8_BLOCK;
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i < blocks {
+            let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(i).cast()));
+            let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(i).cast()));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+            i += I8_BLOCK;
+        }
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        let mut total: i32 = lanes.iter().sum();
+        for l in blocks..a.len() {
+            total += a[l] as i32 * b[l] as i32;
+        }
+        total
+    }
+
+    /// Integer int8 squared distance: differences in i16 (range ±254, no
+    /// overflow), squared and pair-summed by `vpmaddwd`. Exact integer.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2+FMA support (via
+    /// [`super::detect_best`]) before calling.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dist_sq_i8(a: &[i8], b: &[i8]) -> i32 {
+        let blocks = a.len() / I8_BLOCK * I8_BLOCK;
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i < blocks {
+            let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(i).cast()));
+            let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(i).cast()));
+            let d = _mm256_sub_epi16(va, vb);
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
+            i += I8_BLOCK;
+        }
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        let mut total: i32 = lanes.iter().sum();
+        for l in blocks..a.len() {
+            let d = a[l] as i32 - b[l] as i32;
+            total += d * d;
+        }
+        total
     }
 
     /// Element-wise four-step fused update.
@@ -548,6 +691,61 @@ mod tests {
             assert_eq!(aa.to_bits(), scalar::dot(&a, &a).to_bits(), "aa len {len}");
             assert_eq!(bb.to_bits(), scalar::dot(&b, &b).to_bits(), "bb len {len}");
         }
+    }
+
+    fn i8_vecs(len: usize, seed: u64) -> (Vec<i8>, Vec<i8>) {
+        let mut rng = Rng64::new(seed);
+        let gen = |rng: &mut Rng64| -> Vec<i8> {
+            (0..len).map(|_| (rng.gen_range(255) as i32 - 127) as i8).collect()
+        };
+        let a = gen(&mut rng);
+        let b = gen(&mut rng);
+        (a, b)
+    }
+
+    /// The int8 kernels are exact integer arithmetic: the best-detected path
+    /// must equal the scalar path (and an i64 reference) on every length,
+    /// including the extreme ±127 corners.
+    #[test]
+    fn i8_kernels_exact_across_impls() {
+        let best = detect_best();
+        for len in 0..=70usize {
+            let (a, b) = i8_vecs(len, 31 ^ len as u64);
+            let dot_ref: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+            let dist_ref: i64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| {
+                    let d = x as i64 - y as i64;
+                    d * d
+                })
+                .sum();
+            assert_eq!(dot_i8_with(best, &a, &b) as i64, dot_ref, "dot_i8 len {len}");
+            assert_eq!(
+                dot_i8_with(best, &a, &b),
+                dot_i8_with(KernelImpl::Scalar, &a, &b),
+                "dot_i8 dispatch len {len}"
+            );
+            assert_eq!(dist_sq_i8_with(best, &a, &b) as i64, dist_ref, "dist_sq_i8 len {len}");
+            assert_eq!(
+                dist_sq_i8_with(best, &a, &b),
+                dist_sq_i8_with(KernelImpl::Scalar, &a, &b),
+                "dist_sq_i8 dispatch len {len}"
+            );
+        }
+        let extremes: Vec<i8> = vec![127, -127, 127, -127, 127, -127, 127, -127];
+        let negated: Vec<i8> = extremes.iter().map(|&v| -v).collect();
+        assert_eq!(dot_i8(&extremes, &extremes), 8 * 127 * 127);
+        assert_eq!(dist_sq_i8(&extremes, &negated), 8 * 254 * 254);
+    }
+
+    #[test]
+    fn cosine_i8_scales_the_exact_dot() {
+        let (a, b) = i8_vecs(64, 5);
+        let expected = (dot_i8(&a, &b) as f32) * (0.01f32 * 0.02f32);
+        assert_eq!(cosine_i8(&a, &b, 0.01, 0.02).to_bits(), expected.to_bits());
+        assert_eq!(dot_i8(&[], &[]), 0);
+        assert_eq!(dist_sq_i8(&[], &[]), 0);
     }
 
     #[test]

@@ -18,6 +18,13 @@ pub fn default_bounds() -> Vec<f64> {
     vec![0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 1000.0]
 }
 
+/// Power-of-two boundaries `1, 2, 4, …, 2^(n-1)` — the natural ladder for
+/// size-like counts spanning orders of magnitude (posting-list lengths,
+/// bucket occupancies, candidate counts per record).
+pub fn pow2_bounds(n: u32) -> Vec<f64> {
+    (0..n).map(|e| (1u64 << e) as f64).collect()
+}
+
 /// A fixed-bucket histogram with running sum / min / max.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {

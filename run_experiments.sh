@@ -13,7 +13,9 @@
 # finds either kernel variant's snapshot drifting from its committed
 # baseline (results/OBS_baseline_smoke*.json; wall times ignored — only the
 # deterministic structure, counters, gauges, and histograms gate; see
-# DESIGN.md §10).
+# DESIGN.md §10), or (f) the blocking pipeline's candidate-set checksum
+# differs between kernel variants or its scalar snapshot drifts from
+# results/OBS_baseline_blocking.json (DESIGN.md §11).
 set -u
 cd "$(dirname "$0")"
 mkdir -p results
@@ -98,8 +100,48 @@ if [ "${1:-}" = "--smoke" ]; then
       exit 1
     fi
   done
+  # Blocking gate: the candidate-generation pipeline (wym-block) runs its
+  # own tiny table under both kernel variants. The `block.checksum` counter
+  # is an FNV-1a over the final candidate pair set, so equal checksums mean
+  # the candidate sets are bit-identical — the DESIGN.md §11 guarantee.
+  # The scalar snapshot (kernel-independent by that same guarantee, and
+  # with a machine-independent kernel.dispatch.scalar counter) then diffs
+  # against its committed baseline.
+  BLOCK_AUTO=results/OBS_blocking_smoke.json
+  BLOCK_SCALAR=results/OBS_blocking_smoke_scalar.json
+  rm -f "$BLOCK_AUTO" "$BLOCK_SCALAR"
+  echo "=== smoke: blocking at scale (WYM_KERNEL=auto) ==="
+  WYM_KERNEL=auto ./target/release/blocking_scale --smoke --threads 1 \
+    --metrics-out "$BLOCK_AUTO" 2>&1 | tee results/smoke_blocking.log
+  echo "=== smoke: blocking at scale (WYM_KERNEL=scalar) ==="
+  WYM_KERNEL=scalar ./target/release/blocking_scale --smoke --threads 1 \
+    --metrics-out "$BLOCK_SCALAR" 2>&1 | tee results/smoke_blocking_scalar.log
+  for f in "$BLOCK_AUTO" "$BLOCK_SCALAR"; do
+    if [ ! -f "$f" ]; then
+      echo "SMOKE FAILED: no blocking metrics snapshot at $f" >&2
+      exit 1
+    fi
+  done
+  BCK_AUTO=$(grep -o '"block\.checksum": *[0-9]*' "$BLOCK_AUTO" | head -1 | sed 's/.*: *//')
+  BCK_SCALAR=$(grep -o '"block\.checksum": *[0-9]*' "$BLOCK_SCALAR" | head -1 | sed 's/.*: *//')
+  if [ -z "$BCK_AUTO" ] || [ -z "$BCK_SCALAR" ]; then
+    echo "SMOKE FAILED: block.checksum counter missing from a blocking snapshot" >&2
+    exit 1
+  fi
+  if [ "$BCK_AUTO" != "$BCK_SCALAR" ]; then
+    echo "SMOKE FAILED: kernel dispatch changed the candidate set: auto=$BCK_AUTO scalar=$BCK_SCALAR" >&2
+    exit 1
+  fi
+  if [ -f results/OBS_baseline_blocking.json ]; then
+    if ! ./target/release/obs_diff --ignore-wall results/OBS_baseline_blocking.json "$BLOCK_SCALAR"; then
+      echo "SMOKE FAILED: $BLOCK_SCALAR regressed against results/OBS_baseline_blocking.json" >&2
+      exit 1
+    fi
+  else
+    echo "SMOKE WARNING: no committed baseline results/OBS_baseline_blocking.json; skipping diff" >&2
+  fi
   DISPATCHED=$(grep -oE '"kernel\.dispatch\.[a-z0-9_]+"' "$OBS_AUTO" | head -1)
-  echo "SMOKE OK: all stages traced, $DISPATCHED == scalar checksum $CK_AUTO, obs_diff clean ($OBS_AUTO, $OBS_SCALAR)"
+  echo "SMOKE OK: all stages traced, $DISPATCHED == scalar checksum $CK_AUTO, blocking checksum $BCK_AUTO, obs_diff clean ($OBS_AUTO, $OBS_SCALAR, $BLOCK_SCALAR)"
   exit 0
 fi
 
