@@ -1,0 +1,209 @@
+//! File-backed byte blobs: buffered read or memory map.
+//!
+//! The artifact loader needs the file's bytes either way; the two paths
+//! trade copy cost against page-fault latency:
+//!
+//! * [`LoadMode::Read`] — `std::fs::read` into an owned `Vec<u8>`. One full
+//!   copy up front, no page faults later, works everywhere.
+//! * [`LoadMode::Mmap`] — `mmap(2)` the file read-only and let the OS page
+//!   it in on demand. Tensor sections are page-aligned inside the artifact
+//!   (see [`crate::format::TENSOR_ALIGN`]), so a mapped tensor payload can
+//!   be byte-cast to `&[f32]` without copying. Unix-only; on other
+//!   platforms (and on empty files, which `mmap` rejects) it silently falls
+//!   back to the read path — the bytes, and therefore every downstream
+//!   checksum and model bit, are identical either way.
+//!
+//! The mapping is private and read-only; the region is unmapped on drop.
+//! No external crate is involved: the binding is two `extern "C"`
+//! declarations against libc, which every unix target links anyway.
+
+use std::io;
+use std::path::Path;
+
+/// How to get an artifact's bytes off disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Buffered read into an owned buffer.
+    Read,
+    /// Memory-map (unix); falls back to [`LoadMode::Read`] elsewhere.
+    Mmap,
+}
+
+/// An immutable byte blob, owned or mapped. Dereferences to `&[u8]`.
+pub struct Blob {
+    repr: Repr,
+}
+
+enum Repr {
+    Owned(Vec<u8>),
+    #[cfg(unix)]
+    Mapped(MapRegion),
+}
+
+impl Blob {
+    /// Loads `path` with the requested mode.
+    pub fn open(path: &Path, mode: LoadMode) -> io::Result<Blob> {
+        match mode {
+            LoadMode::Read => Ok(Blob { repr: Repr::Owned(std::fs::read(path)?) }),
+            LoadMode::Mmap => Self::open_mapped(path),
+        }
+    }
+
+    /// True when the blob is a live memory map (telemetry only).
+    pub fn is_mapped(&self) -> bool {
+        match &self.repr {
+            Repr::Owned(_) => false,
+            #[cfg(unix)]
+            Repr::Mapped(_) => true,
+        }
+    }
+
+    #[cfg(unix)]
+    fn open_mapped(path: &Path) -> io::Result<Blob> {
+        use std::os::unix::io::AsRawFd;
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings; an empty artifact is
+            // rejected later by the format layer either way.
+            return Ok(Blob { repr: Repr::Owned(Vec::new()) });
+        }
+        // SAFETY: we request a fresh private read-only mapping of `len`
+        // bytes backed by an open fd; on success the kernel guarantees
+        // `[ptr, ptr + len)` stays valid until `munmap`, which only the
+        // `MapRegion` destructor issues.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::other(format!(
+                "mmap of {} ({len} bytes) failed",
+                path.display()
+            )));
+        }
+        Ok(Blob { repr: Repr::Mapped(MapRegion { ptr: ptr.cast::<u8>(), len }) })
+    }
+
+    #[cfg(not(unix))]
+    fn open_mapped(path: &Path) -> io::Result<Blob> {
+        Self::open(path, LoadMode::Read)
+    }
+}
+
+impl std::ops::Deref for Blob {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Owned(v) => v,
+            #[cfg(unix)]
+            // SAFETY: the region is mapped readable for `len` bytes and
+            // stays mapped for the lifetime of `self` (unmapped in Drop).
+            Repr::Mapped(m) => unsafe { std::slice::from_raw_parts(m.ptr, m.len) },
+        }
+    }
+}
+
+#[cfg(unix)]
+struct MapRegion {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ, MAP_PRIVATE) and owned
+// exclusively by this region, so sharing references across threads is as
+// safe as sharing a `&[u8]`.
+#[cfg(unix)]
+unsafe impl Send for MapRegion {}
+#[cfg(unix)]
+unsafe impl Sync for MapRegion {}
+
+#[cfg(unix)]
+impl Drop for MapRegion {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` came from a successful mmap and are unmapped
+        // exactly once, here.
+        unsafe {
+            let _ = sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+        }
+    }
+}
+
+/// Minimal libc surface. Kept private: the rest of the crate sees only
+/// `Blob`.
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::os::raw::c_int;
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("wym_blob_{name}_{}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn read_and_mmap_see_identical_bytes() {
+        let path = tmp_file("ident", b"hello artifact");
+        let read = Blob::open(&path, LoadMode::Read).unwrap();
+        let mapped = Blob::open(&path, LoadMode::Mmap).unwrap();
+        assert_eq!(&*read, &*mapped);
+        assert!(!read.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_of_empty_file_falls_back_to_owned() {
+        let path = tmp_file("empty", b"");
+        let blob = Blob::open(&path, LoadMode::Mmap).unwrap();
+        assert!(blob.is_empty());
+        assert!(!blob.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let path = std::env::temp_dir().join("wym_blob_definitely_missing");
+        assert!(Blob::open(&path, LoadMode::Read).is_err());
+        assert!(Blob::open(&path, LoadMode::Mmap).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_is_actually_mapped_on_unix() {
+        let path = tmp_file("mapped", &[7u8; 9000]);
+        let blob = Blob::open(&path, LoadMode::Mmap).unwrap();
+        assert!(blob.is_mapped());
+        assert_eq!(blob.len(), 9000);
+        assert!(blob.iter().all(|&b| b == 7));
+        std::fs::remove_file(&path).ok();
+    }
+}

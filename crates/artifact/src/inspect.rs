@@ -1,0 +1,139 @@
+//! Artifact introspection: `wym model inspect` and `wym model diff`.
+//!
+//! Both operate on [`ArtifactInfo`], a cheap summary read with the normal
+//! verified open (so an inspect doubles as an integrity check): schema
+//! version, provenance manifest, and the full section table with shapes
+//! and payload checksums. [`diff`] compares two summaries field by field —
+//! because every section carries an FNV-1a of its payload, two artifacts
+//! with an empty diff hold bit-identical models.
+
+use crate::format::Artifact;
+use crate::model::read_manifest;
+use crate::{ArtifactError, LoadMode, Section};
+use std::path::Path;
+use wym_obs::Manifest;
+
+/// Summary of one artifact file.
+pub struct ArtifactInfo {
+    /// The inspected path, as given.
+    pub path: String,
+    /// Container schema version.
+    pub schema_version: u32,
+    /// File size in bytes.
+    pub file_bytes: u64,
+    /// Embedded provenance header.
+    pub manifest: Manifest,
+    /// The section table, in file order.
+    pub sections: Vec<Section>,
+}
+
+/// Opens, verifies, and summarizes `path` (read mode — inspect should work
+/// from any filesystem, mapped or not).
+pub fn inspect(path: &Path) -> Result<ArtifactInfo, ArtifactError> {
+    let artifact = Artifact::open(path, LoadMode::Read)?;
+    let manifest = read_manifest(&artifact)?;
+    Ok(ArtifactInfo {
+        path: path.display().to_string(),
+        schema_version: artifact.schema_version(),
+        file_bytes: artifact.file_bytes(),
+        manifest,
+        sections: artifact.sections().to_vec(),
+    })
+}
+
+impl ArtifactInfo {
+    /// Multi-line human-readable rendering (the `model inspect` output).
+    pub fn render(&self) -> String {
+        let m = &self.manifest;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} — WYMA v{}, {} bytes, {} sections\n",
+            self.path,
+            self.schema_version,
+            self.file_bytes,
+            self.sections.len()
+        ));
+        out.push_str(&format!(
+            "  provenance: tool={} git_sha={} kernel={} threads={} seed={}\n",
+            m.tool, m.git_sha, m.kernel, m.threads, m.seed
+        ));
+        out.push_str(&format!(
+            "  fingerprints: config={} dataset={}\n",
+            m.config_hash, m.dataset_fingerprint
+        ));
+        for s in &self.sections {
+            let shape = if s.rows > 0 || s.cols > 0 {
+                format!(" {}×{}", s.rows, s.cols)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  section {:<28} {:>4}{shape:<12} {:>10} bytes  fnv {:016x}\n",
+                s.name,
+                s.kind.name(),
+                s.len,
+                s.fnv
+            ));
+        }
+        out
+    }
+}
+
+/// Compares two artifact summaries. Returns one human-readable line per
+/// difference; an empty result means the two files hold bit-identical
+/// payloads (same sections, shapes, and checksums) and matching
+/// provenance.
+pub fn diff(a: &ArtifactInfo, b: &ArtifactInfo) -> Vec<String> {
+    let mut out = Vec::new();
+    if a.schema_version != b.schema_version {
+        out.push(format!(
+            "schema version: {} vs {}",
+            a.schema_version, b.schema_version
+        ));
+    }
+    type Field<'a> = (&'a str, &'a dyn Fn(&Manifest) -> String);
+    let fields: [Field; 7] = [
+        ("tool", &|m| m.tool.clone()),
+        ("git_sha", &|m| m.git_sha.clone()),
+        ("kernel", &|m| m.kernel.clone()),
+        ("threads", &|m| m.threads.to_string()),
+        ("seed", &|m| m.seed.to_string()),
+        ("config_hash", &|m| m.config_hash.clone()),
+        ("dataset_fingerprint", &|m| m.dataset_fingerprint.clone()),
+    ];
+    for (name, get) in fields {
+        let (va, vb) = (get(&a.manifest), get(&b.manifest));
+        if va != vb {
+            out.push(format!("manifest.{name}: {va} vs {vb}"));
+        }
+    }
+    for sa in &a.sections {
+        match b.sections.iter().find(|s| s.name == sa.name) {
+            None => out.push(format!("section {}: only in {}", sa.name, a.path)),
+            Some(sb) => {
+                if (sa.rows, sa.cols) != (sb.rows, sb.cols) {
+                    out.push(format!(
+                        "section {}: shape {}×{} vs {}×{}",
+                        sa.name, sa.rows, sa.cols, sb.rows, sb.cols
+                    ));
+                } else if sa.len != sb.len {
+                    out.push(format!(
+                        "section {}: {} vs {} bytes",
+                        sa.name, sa.len, sb.len
+                    ));
+                } else if sa.fnv != sb.fnv {
+                    out.push(format!(
+                        "section {}: payload differs (fnv {:016x} vs {:016x})",
+                        sa.name, sa.fnv, sb.fnv
+                    ));
+                }
+            }
+        }
+    }
+    for sb in &b.sections {
+        if !a.sections.iter().any(|s| s.name == sb.name) {
+            out.push(format!("section {}: only in {}", sb.name, b.path));
+        }
+    }
+    out
+}

@@ -1,0 +1,132 @@
+//! Multi-model residency: an LRU-with-byte-budget model registry.
+//!
+//! A serving process (the ROADMAP north-star) holds one model per dataset
+//! or tenant. Models are cheap to *use* but not free to *hold* — the scorer
+//! network plus projection of a default-config model is a few MB — so the
+//! registry keeps the most recently used models resident and evicts from
+//! the least recently used end once the configured byte budget is
+//! exceeded. Byte accounting uses the artifact's on-disk size, which
+//! tracks the resident tensor + head footprint closely (both are the same
+//! bytes modulo JSON framing).
+//!
+//! Semantics, all deterministic:
+//!
+//! * [`ModelRegistry::load`] on a resident name is a hit: it refreshes
+//!   recency and returns the cached [`Arc`] without touching the file.
+//! * A miss loads the artifact, inserts it as most-recent, then evicts
+//!   least-recently-used entries until the budget is met — but never the
+//!   entry just inserted, so a single over-budget model still serves.
+//! * Counters `artifact.registry.{hits,misses,evictions}` and the gauge
+//!   `artifact.registry.resident_bytes` feed the usual obs exports.
+
+use crate::model::{load_model, LoadedModel};
+use crate::{ArtifactError, LoadMode};
+use std::path::Path;
+use std::sync::Arc;
+use wym_core::pipeline::WymModel;
+use wym_obs::Manifest;
+
+struct Entry {
+    name: String,
+    model: Arc<WymModel>,
+    manifest: Manifest,
+    bytes: u64,
+}
+
+/// Several models resident behind an LRU with byte-budget eviction.
+pub struct ModelRegistry {
+    budget_bytes: u64,
+    /// Recency order: least recently used first, most recent last.
+    entries: Vec<Entry>,
+}
+
+impl ModelRegistry {
+    /// A registry that evicts once resident artifacts exceed
+    /// `budget_bytes` (the most recently loaded model is always kept).
+    pub fn new(budget_bytes: u64) -> ModelRegistry {
+        ModelRegistry { budget_bytes, entries: Vec::new() }
+    }
+
+    /// Returns the model registered under `name`, loading it from `path`
+    /// on a miss. Hits refresh recency and never touch the filesystem.
+    pub fn load(
+        &mut self,
+        name: &str,
+        path: &Path,
+        mode: LoadMode,
+    ) -> Result<Arc<WymModel>, ArtifactError> {
+        if let Some(model) = self.get(name) {
+            return Ok(model);
+        }
+        wym_obs::counter_add("artifact.registry.misses", 1);
+        let LoadedModel { model, manifest, file_bytes, .. } = load_model(path, mode)?;
+        self.entries.push(Entry {
+            name: name.to_string(),
+            model: Arc::new(model),
+            manifest,
+            bytes: file_bytes,
+        });
+        while self.resident_bytes() > self.budget_bytes && self.entries.len() > 1 {
+            let evicted = self.entries.remove(0);
+            wym_obs::counter_add("artifact.registry.evictions", 1);
+            drop(evicted);
+        }
+        wym_obs::gauge_set("artifact.registry.resident_bytes", self.resident_bytes() as f64);
+        Ok(Arc::clone(&self.entries.last().expect("just inserted").model))
+    }
+
+    /// The resident model under `name`, refreshing its recency.
+    pub fn get(&mut self, name: &str) -> Option<Arc<WymModel>> {
+        let idx = self.entries.iter().position(|e| e.name == name)?;
+        let entry = self.entries.remove(idx);
+        let model = Arc::clone(&entry.model);
+        self.entries.push(entry);
+        wym_obs::counter_add("artifact.registry.hits", 1);
+        Some(model)
+    }
+
+    /// The provenance manifest of a resident model (does not touch
+    /// recency).
+    pub fn manifest(&self, name: &str) -> Option<&Manifest> {
+        self.entries.iter().find(|e| e.name == name).map(|e| &e.manifest)
+    }
+
+    /// Drops the model under `name`. Returns whether it was resident.
+    pub fn evict(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.name != name);
+        let evicted = self.entries.len() != before;
+        if evicted {
+            wym_obs::gauge_set(
+                "artifact.registry.resident_bytes",
+                self.resident_bytes() as f64,
+            );
+        }
+        evicted
+    }
+
+    /// True when `name` is resident (does not touch recency).
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    /// Number of resident models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of resident artifact sizes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Resident model names, least recently used first.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+}

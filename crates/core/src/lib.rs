@@ -29,6 +29,7 @@ pub mod pipeline;
 pub mod record;
 pub mod rules;
 pub mod scorer;
+pub mod state;
 pub mod units;
 
 pub use algorithm1::{discover_units, DiscoveryConfig};
@@ -36,4 +37,5 @@ pub use explanation::{ExplainedUnit, Explanation};
 pub use pipeline::{Prediction, ProcessedRecord, WymConfig, WymModel};
 pub use record::{Side, TokenRef, TokenizedRecord};
 pub use rules::UnitRule;
+pub use state::{NamedTensor, ScorerNetSpec, WymModelHead, WymModelState};
 pub use units::{DecisionUnit, UnitKey};

@@ -371,6 +371,11 @@ impl WymModel {
         &self.config
     }
 
+    /// The tokenizer.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
     /// The fitted embedder.
     pub fn embedder(&self) -> &Embedder {
         &self.embedder

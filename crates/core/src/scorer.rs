@@ -207,6 +207,19 @@ impl RelevanceScorer {
         &self.config
     }
 
+    /// The trained network, when the kind has one (`Neural` with a
+    /// non-empty training set; the ablation kinds are parameterless).
+    pub fn model(&self) -> Option<&Mlp> {
+        self.model.as_ref()
+    }
+
+    /// Reassembles a scorer from its configuration and (optional) trained
+    /// network — the inverse of [`RelevanceScorer::config`] +
+    /// [`RelevanceScorer::model`], used by the model artifact loader.
+    pub fn from_parts(config: ScorerConfig, model: Option<Mlp>) -> RelevanceScorer {
+        RelevanceScorer { config, model }
+    }
+
     /// Scores every unit of a record, in `[-1, 1]`.
     ///
     /// One-record convenience over [`Self::score_batch`]; a single forward

@@ -1,0 +1,275 @@
+//! Serializable model state: the head / tensor split behind model artifacts.
+//!
+//! A fitted [`WymModel`] decomposes into two kinds of data with very
+//! different storage needs:
+//!
+//! * the **head** — configuration, tokenizer, context-mixing weights,
+//!   feature specs, classifier-pool coefficients, and scaler statistics.
+//!   Small (kilobytes), irregular, and best kept human-readable: the head
+//!   serializes as JSON, which round-trips every `f32`/`f64` bit-exactly
+//!   because the workspace JSON writer prints floats shortest-exact.
+//! * the **tensors** — the scorer network's dense weight matrices and the
+//!   embedder's trained projection. Large, rectangular, and hot at load
+//!   time: `wym-artifact` writes them as raw little-endian `f32` in a
+//!   page-aligned section so a loader can memory-map them.
+//!
+//! [`WymModelState::from_model`] performs the split and
+//! [`WymModelState::into_model`] reverses it. The round trip is bit-exact:
+//! tensors are copied verbatim and nothing is retrained or re-quantized, so
+//! a reassembled model reproduces the original's verdicts, impact scores,
+//! and `score_checksum` to the last bit (enforced by the artifact round-trip
+//! proptests and the smoke gate).
+
+use crate::matcher::SavedMatcher;
+use crate::pipeline::{SavedWymModel, WymConfig, WymModel};
+use crate::scorer::{RelevanceScorer, ScorerConfig};
+use serde::{Deserialize, Serialize};
+use wym_embed::{Embedder, EmbedderHead, EmbedderKind};
+use wym_linalg::Matrix;
+use wym_nn::{Activation, Dense, Loss, Mlp, SiameseProjection};
+use wym_tokenize::Tokenizer;
+
+/// A named row-major `f32` tensor destined for the artifact tensor heap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedTensor {
+    /// Stable identifier, e.g. `scorer.layer0.w` or `embed.projection`.
+    pub name: String,
+    /// The weights. Biases are stored as `1 × n` matrices.
+    pub data: Matrix,
+}
+
+/// Architecture of the scorer network that is *not* captured by its weight
+/// shapes: per-layer activations and the training loss.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScorerNetSpec {
+    /// Activation of each layer, input to output.
+    pub activations: Vec<Activation>,
+    /// The loss the network was trained with.
+    pub loss: Loss,
+}
+
+/// The JSON-serializable head of a model (everything but the tensors).
+#[derive(Serialize, Deserialize)]
+pub struct WymModelHead {
+    /// Full pipeline configuration.
+    pub config: WymConfig,
+    /// The tokenizer.
+    pub tokenizer: Tokenizer,
+    /// Embedder minus its projection matrix (see [`EmbedderHead`]).
+    pub embedder: EmbedderHead,
+    /// Relevance-scorer configuration.
+    pub scorer_config: ScorerConfig,
+    /// Scorer network architecture; `None` for the parameterless ablation
+    /// kinds (and for a `Neural` scorer fitted on an empty unit set).
+    pub scorer_net: Option<ScorerNetSpec>,
+    /// Feature specs + selected pool classifier + scaler.
+    pub matcher: SavedMatcher,
+    /// Schema attribute names.
+    pub attr_names: Vec<String>,
+}
+
+/// A fitted model split into head + named tensors.
+pub struct WymModelState {
+    /// The JSON head.
+    pub head: WymModelHead,
+    /// The dense tensors, in a fixed order: scorer layers (w then b, input
+    /// to output), then the embedding projection when present.
+    pub tensors: Vec<NamedTensor>,
+}
+
+impl WymModelState {
+    /// Splits a fitted model into head and tensors. Pure data movement —
+    /// weights are cloned verbatim.
+    pub fn from_model(model: &WymModel) -> WymModelState {
+        let mut tensors = Vec::new();
+        let scorer_net = model.scorer().model().map(|mlp| {
+            for (i, layer) in mlp.layers().iter().enumerate() {
+                tensors.push(NamedTensor {
+                    name: format!("scorer.layer{i}.w"),
+                    data: layer.w.clone(),
+                });
+                tensors.push(NamedTensor {
+                    name: format!("scorer.layer{i}.b"),
+                    data: Matrix::from_vec(1, layer.b.len(), layer.b.clone()),
+                });
+            }
+            ScorerNetSpec {
+                activations: mlp.layers().iter().map(|l| l.activation).collect(),
+                loss: mlp.loss_kind(),
+            }
+        });
+        if let Some(proj) = model.embedder().projection() {
+            tensors.push(NamedTensor {
+                name: "embed.projection".to_string(),
+                data: proj.matrix().clone(),
+            });
+        }
+        WymModelState {
+            head: WymModelHead {
+                config: model.config().clone(),
+                tokenizer: model.tokenizer().clone(),
+                embedder: model.embedder().to_head(),
+                scorer_config: model.scorer().config().clone(),
+                scorer_net,
+                matcher: model.matcher().to_saved(),
+                attr_names: model.attr_names().to_vec(),
+            },
+            tensors,
+        }
+    }
+
+    /// Reassembles a working model, validating that every tensor the head
+    /// promises is present with a consistent shape. Errors name the missing
+    /// or malformed tensor so a truncated artifact is diagnosable.
+    pub fn into_model(self) -> Result<WymModel, String> {
+        let WymModelState { head, tensors } = self;
+        let take = |name: &str| -> Result<&NamedTensor, String> {
+            tensors.iter().find(|t| t.name == name).ok_or_else(|| {
+                format!(
+                    "model state is missing tensor `{name}` (have: {}); \
+                     the artifact is truncated or was written by an \
+                     incompatible version",
+                    tensors.iter().map(|t| t.name.as_str()).collect::<Vec<_>>().join(", ")
+                )
+            })
+        };
+
+        let scorer_model = match &head.scorer_net {
+            None => None,
+            Some(spec) => {
+                let mut layers = Vec::with_capacity(spec.activations.len());
+                for (i, &activation) in spec.activations.iter().enumerate() {
+                    let w = take(&format!("scorer.layer{i}.w"))?.data.clone();
+                    let b = take(&format!("scorer.layer{i}.b"))?;
+                    if b.data.rows() != 1 || b.data.cols() != w.cols() {
+                        return Err(format!(
+                            "tensor `scorer.layer{i}.b` has shape {:?}, expected (1, {})",
+                            b.data.shape(),
+                            w.cols()
+                        ));
+                    }
+                    if let Some(prev_out) = layers.last().map(|l: &Dense| l.out_dim()) {
+                        if w.rows() != prev_out {
+                            return Err(format!(
+                                "tensor `scorer.layer{i}.w` has {} input rows but \
+                                 layer {} produces {prev_out} outputs",
+                                w.rows(),
+                                i - 1
+                            ));
+                        }
+                    }
+                    layers.push(Dense { w, b: b.data.as_slice().to_vec(), activation });
+                }
+                if layers.is_empty() {
+                    return Err("scorer_net promises a network but lists no layers".into());
+                }
+                Some(Mlp::from_parts(layers, spec.loss))
+            }
+        };
+
+        let projection = match head.embedder.kind {
+            EmbedderKind::Static => None,
+            EmbedderKind::FineTuned | EmbedderKind::Siamese => {
+                let t = take("embed.projection")?;
+                let dim = head.embedder.hashed.dim();
+                if t.data.shape() != (dim, dim) {
+                    return Err(format!(
+                        "tensor `embed.projection` has shape {:?}, expected ({dim}, {dim})",
+                        t.data.shape()
+                    ));
+                }
+                Some(SiameseProjection::from_matrix(t.data.clone()))
+            }
+        };
+
+        Ok(WymModel::from_saved(SavedWymModel {
+            config: head.config,
+            tokenizer: head.tokenizer,
+            embedder: Embedder::from_parts(head.embedder, projection),
+            scorer: RelevanceScorer::from_parts(head.scorer_config, scorer_model),
+            matcher: head.matcher,
+            attr_names: head.attr_names,
+        }))
+    }
+}
+
+impl WymModelHead {
+    /// The selected pool classifier recorded in the head (readable without
+    /// rehydrating the model — `model inspect` prints this).
+    pub fn classifier_kind(&self) -> wym_ml::ClassifierKind {
+        self.matcher.selected.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wym_data::{magellan, split::paper_split};
+    use wym_ml::ClassifierKind;
+    use wym_nn::TrainConfig;
+
+    fn fitted(kind: EmbedderKind) -> WymModel {
+        let dataset = magellan::generate_by_name("S-FZ", 42).unwrap().subsample(120, 0);
+        let split = paper_split(&dataset, 0);
+        let mut cfg = WymConfig::default();
+        cfg.embed_dim = 24;
+        cfg.embedder_kind = kind;
+        cfg.scorer.train =
+            TrainConfig { epochs: 4, batch_size: 128, lr: 2e-3, ..Default::default() };
+        cfg.matcher.kinds =
+            vec![ClassifierKind::LogisticRegression, ClassifierKind::DecisionTree];
+        WymModel::fit(&dataset, &split, cfg)
+    }
+
+    #[test]
+    fn state_round_trip_reproduces_predictions() {
+        let model = fitted(EmbedderKind::Siamese);
+        let dataset = magellan::generate_by_name("S-FZ", 42).unwrap().subsample(120, 0);
+        let split = paper_split(&dataset, 0);
+        let state = WymModelState::from_model(&model);
+        assert!(
+            state.tensors.iter().any(|t| t.name == "embed.projection"),
+            "siamese model must export its projection"
+        );
+        let back = state.into_model().expect("state must reassemble");
+        for &i in split.test.iter().take(20) {
+            let pair = &dataset.pairs[i];
+            let a = model.predict(pair);
+            let b = back.predict(pair);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.probability.to_bits(), b.probability.to_bits(), "pair {i}");
+        }
+    }
+
+    #[test]
+    fn static_model_has_no_projection_tensor() {
+        let model = fitted(EmbedderKind::Static);
+        let state = WymModelState::from_model(&model);
+        assert!(state.tensors.iter().all(|t| t.name != "embed.projection"));
+        assert!(state.into_model().is_ok());
+    }
+
+    #[test]
+    fn missing_tensor_is_an_actionable_error() {
+        let model = fitted(EmbedderKind::Siamese);
+        let mut state = WymModelState::from_model(&model);
+        state.tensors.retain(|t| t.name != "embed.projection");
+        let err = state.into_model().err().expect("must reject missing tensor");
+        assert!(err.contains("embed.projection"), "{err}");
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_actionable_error() {
+        let model = fitted(EmbedderKind::Siamese);
+        let mut state = WymModelState::from_model(&model);
+        let t = state
+            .tensors
+            .iter_mut()
+            .find(|t| t.name == "embed.projection")
+            .expect("projection present");
+        t.data = Matrix::zeros(3, 5);
+        let err = state.into_model().err().expect("must reject bad shape");
+        assert!(err.contains("embed.projection") && err.contains("expected"), "{err}");
+    }
+}

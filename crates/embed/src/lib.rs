@@ -62,6 +62,20 @@ pub struct Embedder {
     projection: Option<SiameseProjection>,
 }
 
+/// The tensor-free part of an [`Embedder`]: everything except the trained
+/// projection matrix. Model artifacts store this head as JSON and the
+/// projection as a raw little-endian tensor (so the tensor section can be
+/// memory-mapped); [`Embedder::from_parts`] reassembles the two.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbedderHead {
+    /// The embedding variant.
+    pub kind: EmbedderKind,
+    /// Character-n-gram hasher (dimension, seed, wordpiece config).
+    pub hashed: HashedNgramEmbedder,
+    /// Context-mixing weights.
+    pub context: ContextEncoder,
+}
+
 impl Embedder {
     /// An untrained (static) embedder of the given dimension.
     pub fn new_static(dim: usize, seed: u64) -> Self {
@@ -159,6 +173,36 @@ impl Embedder {
     /// per-unit aggregation (Eq. 3 keys units by surface form, not context).
     pub fn embed_token_static(&self, token: &str) -> Vec<f32> {
         self.hashed.embed_token(token)
+    }
+
+    /// The trained projection, when the kind has one.
+    pub fn projection(&self) -> Option<&SiameseProjection> {
+        self.projection.as_ref()
+    }
+
+    /// Splits off the tensor-free head (see [`EmbedderHead`]).
+    pub fn to_head(&self) -> EmbedderHead {
+        EmbedderHead {
+            kind: self.kind,
+            hashed: self.hashed.clone(),
+            context: self.context.clone(),
+        }
+    }
+
+    /// Reassembles an embedder from its head and (optional) projection —
+    /// the inverse of [`Embedder::to_head`] + [`Embedder::projection`].
+    ///
+    /// # Panics
+    /// Panics when the projection dimension disagrees with the head's.
+    pub fn from_parts(head: EmbedderHead, projection: Option<SiameseProjection>) -> Self {
+        if let Some(p) = &projection {
+            assert_eq!(
+                p.dim(),
+                head.hashed.dim(),
+                "projection dimension must match embedder dimension"
+            );
+        }
+        Self { kind: head.kind, hashed: head.hashed, context: head.context, projection }
     }
 }
 

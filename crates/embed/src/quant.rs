@@ -92,6 +92,28 @@ impl QuantizedTable {
         self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
     }
 
+    /// The raw storage — `(dim, codes, scales)` — in the fixed layout model
+    /// artifacts persist (row-major i8 codes, one f32 scale per row).
+    pub fn raw_parts(&self) -> (usize, &[i8], &[f32]) {
+        (self.dim, &self.data, &self.scales)
+    }
+
+    /// Rebuilds a table from raw storage — the inverse of
+    /// [`QuantizedTable::raw_parts`]. Bit-exact: quantization is never
+    /// re-run, the codes and scales are adopted verbatim.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != scales.len() * dim` (or when `dim == 0`
+    /// while codes are present): the layout would be unreadable.
+    pub fn from_raw_parts(dim: usize, data: Vec<i8>, scales: Vec<f32>) -> QuantizedTable {
+        assert_eq!(
+            data.len(),
+            scales.len() * dim,
+            "quantized payload must hold scales.len() rows of dim codes"
+        );
+        QuantizedTable { dim, data, scales }
+    }
+
     /// Largest per-component reconstruction error against `rows` — the
     /// empirical check of the `max|v| / 254` bound.
     pub fn max_abs_error<R: AsRef<[f32]>>(&self, rows: &[R]) -> f32 {

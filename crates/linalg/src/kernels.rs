@@ -10,7 +10,7 @@
 //!    same fused update (a lane that receives no tail element keeps its
 //!    block-loop value exactly, because `fma(0, 0, acc) == acc`);
 //! 3. the eight lane accumulators collapse in the fixed tree
-//!    `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` ([`reduce8`]).
+//!    `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` (`reduce8`).
 //!
 //! The element-wise kernels ([`axpy`], [`gemm_update4`]) perform the same
 //! fused update per output element in both implementations, so they are

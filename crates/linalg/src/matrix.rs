@@ -190,7 +190,7 @@ impl Matrix {
 
     /// Matrix product `self * other`, cache-blocked over the inner dimension.
     ///
-    /// The inner dimension is processed in [`KC`]-sized panels so the active
+    /// The inner dimension is processed in `KC`-sized panels so the active
     /// slice of `other` stays L1/L2-resident while every row of `self`
     /// streams past it, and four inner-dimension steps are combined per pass
     /// over the output row (4× fewer output-row traversals, four independent

@@ -86,6 +86,24 @@ impl Mlp {
         Self { layers, loss: config.loss }
     }
 
+    /// Reassembles a network from an explicit layer stack and loss — the
+    /// inverse of [`Mlp::layers`] + [`Mlp::loss_kind`], used by the model
+    /// artifact loader to rebuild a trained network from exported tensors.
+    ///
+    /// # Panics
+    /// Panics when `layers` is empty or consecutive layer shapes disagree.
+    pub fn from_parts(layers: Vec<Dense>, loss: Loss) -> Self {
+        assert!(!layers.is_empty(), "an Mlp needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_dim(),
+                pair[1].in_dim(),
+                "consecutive layer shapes must chain"
+            );
+        }
+        Self { layers, loss }
+    }
+
     /// The layer stack (read-only).
     pub fn layers(&self) -> &[Dense] {
         &self.layers

@@ -56,6 +56,22 @@ impl SiameseProjection {
         self.p.rows()
     }
 
+    /// The learned projection matrix (read-only) — exported verbatim into
+    /// model artifacts.
+    pub fn matrix(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// Rebuilds a projection from a stored matrix — the inverse of
+    /// [`SiameseProjection::matrix`].
+    ///
+    /// # Panics
+    /// Panics when `p` is not square (projection must map dim → dim).
+    pub fn from_matrix(p: Matrix) -> Self {
+        assert_eq!(p.rows(), p.cols(), "projection matrix must be square");
+        Self { p }
+    }
+
     /// Projects a vector (result is L2-normalized).
     pub fn project(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.p.rows(), "dimension mismatch");

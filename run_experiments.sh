@@ -15,7 +15,11 @@
 # deterministic structure, counters, gauges, and histograms gate; see
 # DESIGN.md §10), or (f) the blocking pipeline's candidate-set checksum
 # differs between kernel variants or its scalar snapshot drifts from
-# results/OBS_baseline_blocking.json (DESIGN.md §11).
+# results/OBS_baseline_blocking.json (DESIGN.md §11), or (g)
+# `RUSTDOCFLAGS="-D warnings" cargo doc --no-deps` reports anything, or
+# (h) the model-artifact round trip (train→save→load→classify, DESIGN.md
+# §12) is not bit-identical to the in-memory model under either kernel
+# variant, or the two kernels serialize different model bytes.
 set -u
 cd "$(dirname "$0")"
 mkdir -p results
@@ -28,6 +32,11 @@ if [ "${1:-}" = "--smoke" ]; then
   echo "=== smoke: clippy (workspace, -D warnings) ==="
   if ! cargo clippy --workspace -- -D warnings; then
     echo "SMOKE FAILED: clippy warnings" >&2
+    exit 1
+  fi
+  echo "=== smoke: rustdoc (workspace, -D warnings) ==="
+  if ! RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q; then
+    echo "SMOKE FAILED: rustdoc warnings (RUSTDOCFLAGS=-D warnings cargo doc --no-deps)" >&2
     exit 1
   fi
   # --threads 1 pins the worker count so the exported snapshots (and the
@@ -140,8 +149,47 @@ if [ "${1:-}" = "--smoke" ]; then
   else
     echo "SMOKE WARNING: no committed baseline results/OBS_baseline_blocking.json; skipping diff" >&2
   fi
+  # Artifact gate (DESIGN.md §12): the round-trip binary trains a tiny
+  # model, saves it, reloads it under both LoadMode::Read and ::Mmap, and
+  # exits nonzero unless verdicts, impact scores, and score_checksum are
+  # bit-identical to the in-memory model. Run once per kernel variant, then
+  # compare the printed "artifact model fnv" — a fold of every section
+  # checksum except the provenance manifest — so both kernels must also
+  # have serialized the exact same model bytes. --threads is pinned because
+  # the saved head embeds the config's n_threads knob (see the binary's
+  # docs); thread-count invariance of the *outputs* is covered by the
+  # round trip itself at whatever thread count the run uses.
+  rm -f results/BENCH_artifact.json
+  echo "=== smoke: artifact round trip (WYM_KERNEL=auto) ==="
+  WYM_KERNEL=auto ./target/release/artifact_roundtrip --quick --cap 40 \
+    --datasets S-FZ --threads 1 2>&1 | tee results/smoke_artifact.log
+  if [ "${PIPESTATUS[0]}" -ne 0 ]; then
+    echo "SMOKE FAILED: artifact round trip diverged under WYM_KERNEL=auto" >&2
+    exit 1
+  fi
+  echo "=== smoke: artifact round trip (WYM_KERNEL=scalar) ==="
+  WYM_KERNEL=scalar ./target/release/artifact_roundtrip --quick --cap 40 \
+    --datasets S-FZ --threads 1 2>&1 | tee results/smoke_artifact_scalar.log
+  if [ "${PIPESTATUS[0]}" -ne 0 ]; then
+    echo "SMOKE FAILED: artifact round trip diverged under WYM_KERNEL=scalar" >&2
+    exit 1
+  fi
+  AFNV_AUTO=$(grep -o 'artifact model fnv: [0-9a-f]*' results/smoke_artifact.log | head -1 | sed 's/.*: //')
+  AFNV_SCALAR=$(grep -o 'artifact model fnv: [0-9a-f]*' results/smoke_artifact_scalar.log | head -1 | sed 's/.*: //')
+  if [ -z "$AFNV_AUTO" ] || [ -z "$AFNV_SCALAR" ]; then
+    echo "SMOKE FAILED: artifact model fnv missing from a round-trip log" >&2
+    exit 1
+  fi
+  if [ "$AFNV_AUTO" != "$AFNV_SCALAR" ]; then
+    echo "SMOKE FAILED: kernel dispatch changed the saved model: auto=$AFNV_AUTO scalar=$AFNV_SCALAR" >&2
+    exit 1
+  fi
+  if [ ! -f results/BENCH_artifact.json ]; then
+    echo "SMOKE FAILED: artifact round trip wrote no results/BENCH_artifact.json" >&2
+    exit 1
+  fi
   DISPATCHED=$(grep -oE '"kernel\.dispatch\.[a-z0-9_]+"' "$OBS_AUTO" | head -1)
-  echo "SMOKE OK: all stages traced, $DISPATCHED == scalar checksum $CK_AUTO, blocking checksum $BCK_AUTO, obs_diff clean ($OBS_AUTO, $OBS_SCALAR, $BLOCK_SCALAR)"
+  echo "SMOKE OK: all stages traced, $DISPATCHED == scalar checksum $CK_AUTO, blocking checksum $BCK_AUTO, artifact fnv $AFNV_AUTO, obs_diff clean ($OBS_AUTO, $OBS_SCALAR, $BLOCK_SCALAR)"
   exit 0
 fi
 

@@ -6,9 +6,19 @@
 //! wym explain  --data restaurants.csv --id 12 [--epochs 15]
 //! wym match    --data restaurants.csv --left "a|b|c" --right "x|y|z"
 //! wym train    --data restaurants.csv --model model.json
+//! wym train    --data restaurants.csv --save-model model.wym
 //! wym apply    --model model.json --data more.csv [--explain]
+//! wym classify --load-model model.wym --data more.csv [--explain] [--mmap]
+//! wym model inspect model.wym
+//! wym model diff old.wym new.wym
 //! wym datasets
 //! ```
+//!
+//! `train --save-model` writes a binary WYMA artifact (see `wym-artifact`
+//! and DESIGN.md §12): schema-versioned, checksummed, with the provenance
+//! manifest embedded and tensors page-aligned for memory-mapped loading.
+//! `classify` reloads such an artifact (`--mmap` maps instead of reading)
+//! and reproduces the in-memory model's verdicts bit-for-bit.
 //!
 //! Every command additionally accepts `--trace` (print a per-stage span
 //! tree and metric summary to stderr at exit), `--metrics-out FILE`
@@ -24,6 +34,7 @@
 
 use std::path::Path;
 use std::process::ExitCode;
+use wym::artifact;
 use wym::core::pipeline::{SavedWymModel, WymConfig, WymModel, PIPELINE_STAGES};
 use wym::data::split::paper_split;
 use wym::data::{csv, magellan, DatasetType, EmDataset, Entity, RecordPair};
@@ -37,7 +48,7 @@ wym_obs::install_tracking_alloc!();
 
 /// Flags that never take a value, so a following positional argument (or
 /// file name) is not swallowed as their value.
-const BOOL_FLAGS: &[&str] = &["explain", "trace", "help", "flame", "profile-mem"];
+const BOOL_FLAGS: &[&str] = &["explain", "trace", "help", "flame", "profile-mem", "mmap"];
 
 struct Args {
     positional: Vec<String>,
@@ -100,8 +111,11 @@ fn usage() -> &'static str {
      wym eval     --data <FILE> [--epochs N] [--seed N]\n  \
      wym explain  --data <FILE> --id <RECORD_ID> [--epochs N]\n  \
      wym match    --data <FILE> --left \"a|b|c\" --right \"x|y|z\"\n  \
-     wym train    --data <FILE> --model <OUT.json> [--epochs N]\n  \
+     wym train    --data <FILE> --model <OUT.json> | --save-model <OUT.wym> [--epochs N]\n  \
      wym apply    --model <MODEL.json> --data <FILE> [--explain]\n  \
+     wym classify --load-model <MODEL.wym> --data <FILE> [--explain] [--mmap]\n  \
+     wym model    inspect <MODEL.wym>\n  \
+     wym model    diff <A.wym> <B.wym>\n  \
      wym datasets\n\
      every command also accepts: --trace [--metrics-out <FILE>] --flame --profile-mem"
 }
@@ -277,13 +291,24 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "train" => {
             let dataset = load(args.require("data")?)?;
-            let out = args.require("model")?;
+            let json_out = args.get("model").filter(|v| !v.is_empty());
+            let artifact_out = args.get("save-model").filter(|v| !v.is_empty());
+            if json_out.is_none() && artifact_out.is_none() {
+                return Err("train needs --model <OUT.json> and/or --save-model <OUT.wym>".into());
+            }
             let (model, test) = fit(&dataset, args);
             println!("test F1: {:.3} ({:?})", model.f1_on(&test), model.classifier());
-            let json = serde_json::to_vec(&model.to_saved())
-                .map_err(|e| format!("cannot serialize model: {e}"))?;
-            std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
-            println!("model saved to {out}");
+            if let Some(out) = json_out {
+                let json = serde_json::to_vec(&model.to_saved())
+                    .map_err(|e| format!("cannot serialize model: {e}"))?;
+                std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+                println!("model saved to {out}");
+            }
+            if let Some(out) = artifact_out {
+                let bytes = artifact::save_model(Path::new(out), &model, &manifest(args))
+                    .map_err(|e| e.to_string())?;
+                println!("model artifact saved to {out} ({bytes} bytes)");
+            }
             Ok(())
         }
         "apply" => {
@@ -315,6 +340,80 @@ fn run(args: &Args) -> Result<(), String> {
                 dataset.len()
             );
             Ok(())
+        }
+        "classify" => {
+            let model_path = args.require("load-model")?;
+            let mode = if args.get("mmap").is_some() {
+                artifact::LoadMode::Mmap
+            } else {
+                artifact::LoadMode::Read
+            };
+            let loaded = artifact::load_model(Path::new(model_path), mode)
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "loaded {model_path} ({} bytes, {}; trained with kernel={} seed={} git={})",
+                loaded.file_bytes,
+                if loaded.mapped { "mmap" } else { "read" },
+                loaded.manifest.kernel,
+                loaded.manifest.seed,
+                loaded.manifest.git_sha,
+            );
+            let model = loaded.model;
+            let dataset = load(args.require("data")?)?;
+            let explain = args.get("explain").is_some();
+            let mut predicted_matches = 0usize;
+            for pair in &dataset.pairs {
+                let p = model.predict(pair);
+                if explain {
+                    println!("{}", model.explain(pair));
+                } else {
+                    println!(
+                        "{}\t{}\t{:.4}",
+                        pair.id,
+                        if p.label { "match" } else { "non-match" },
+                        p.probability
+                    );
+                }
+                predicted_matches += usize::from(p.label);
+            }
+            eprintln!(
+                "{predicted_matches} predicted matches out of {} pairs",
+                dataset.len()
+            );
+            Ok(())
+        }
+        "model" => {
+            let sub = args.positional.get(1).map(String::as_str).unwrap_or("");
+            match sub {
+                "inspect" => {
+                    let path = args
+                        .positional
+                        .get(2)
+                        .ok_or("usage: wym model inspect <MODEL.wym>")?;
+                    let info = artifact::inspect(Path::new(path)).map_err(|e| e.to_string())?;
+                    print!("{}", info.render());
+                    Ok(())
+                }
+                "diff" => {
+                    let (a, b) = match (args.positional.get(2), args.positional.get(3)) {
+                        (Some(a), Some(b)) => (a, b),
+                        _ => return Err("usage: wym model diff <A.wym> <B.wym>".into()),
+                    };
+                    let ia = artifact::inspect(Path::new(a)).map_err(|e| e.to_string())?;
+                    let ib = artifact::inspect(Path::new(b)).map_err(|e| e.to_string())?;
+                    let lines = artifact::diff(&ia, &ib);
+                    if lines.is_empty() {
+                        println!("artifacts are identical (same sections, shapes, checksums)");
+                        Ok(())
+                    } else {
+                        for line in &lines {
+                            println!("{line}");
+                        }
+                        Err(format!("{} difference(s)", lines.len()))
+                    }
+                }
+                other => Err(format!("unknown model subcommand {other:?}\n{}", usage())),
+            }
         }
         "" | "help" | "--help" => {
             println!("{}", usage());

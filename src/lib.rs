@@ -18,12 +18,15 @@
 //!
 //! * [`core`] — decision units, stable-marriage pairing, relevance scorer,
 //!   explainable matcher (the paper's contribution);
+//! * [`artifact`] — versioned binary model artifacts (WYMA container,
+//!   mmap loading, multi-model registry);
 //! * [`data`] — dataset model and the synthetic Magellan benchmark;
 //! * [`embed`] — the BERT/SBERT-substitute embedding stack;
 //! * [`explain`] — post-hoc explainer baselines and explanation metrics;
 //! * [`baselines`] — DeepMatcher+/AutoML/CorDEL/DITTO proxies;
 //! * [`nn`], [`ml`], [`linalg`], [`strsim`], [`tokenize`] — substrates.
 
+pub use wym_artifact as artifact;
 pub use wym_baselines as baselines;
 pub use wym_core as core;
 pub use wym_data as data;

@@ -2,7 +2,7 @@
 //!
 //! The build container has no access to crates.io, so the workspace vendors
 //! a minimal serde data model (see `vendor/serde`): `Serialize` lowers a
-//! value to a JSON-like [`serde::Value`] tree and `Deserialize` rebuilds it.
+//! value to a JSON-like `serde::Value` tree and `Deserialize` rebuilds it.
 //! This proc-macro derives both traits with a hand-rolled token parser —
 //! no `syn`/`quote` — covering exactly the shapes the workspace uses:
 //!
