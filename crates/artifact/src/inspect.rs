@@ -8,10 +8,26 @@
 //! with an empty diff hold bit-identical models.
 
 use crate::format::Artifact;
-use crate::model::read_manifest;
+use crate::model::{read_manifest, read_sketch, SECTION_MANIFEST};
 use crate::{ArtifactError, LoadMode, Section};
 use std::path::Path;
-use wym_obs::Manifest;
+use wym_obs::{Manifest, ModelSketch};
+
+/// Folds the per-section payload checksums — excluding the provenance
+/// `manifest` section — into one model-content fingerprint. Two artifacts
+/// with equal `content_fnv` hold bit-identical model payloads even when
+/// their provenance differs; this is the `model_fnv` stamped into audit
+/// decision records.
+pub fn content_fnv(sections: &[Section]) -> u64 {
+    let mut fold = 0xcbf29ce484222325u64;
+    for s in sections.iter().filter(|s| s.name != SECTION_MANIFEST) {
+        for b in s.fnv.to_le_bytes() {
+            fold ^= b as u64;
+            fold = fold.wrapping_mul(0x100000001b3);
+        }
+    }
+    fold
+}
 
 /// Summary of one artifact file.
 pub struct ArtifactInfo {
@@ -25,6 +41,8 @@ pub struct ArtifactInfo {
     pub manifest: Manifest,
     /// The section table, in file order.
     pub sections: Vec<Section>,
+    /// The train-time drift baseline, when the artifact carries one.
+    pub sketch: Option<ModelSketch>,
 }
 
 /// Opens, verifies, and summarizes `path` (read mode — inspect should work
@@ -32,12 +50,14 @@ pub struct ArtifactInfo {
 pub fn inspect(path: &Path) -> Result<ArtifactInfo, ArtifactError> {
     let artifact = Artifact::open(path, LoadMode::Read)?;
     let manifest = read_manifest(&artifact)?;
+    let sketch = read_sketch(&artifact)?;
     Ok(ArtifactInfo {
         path: path.display().to_string(),
         schema_version: artifact.schema_version(),
         file_bytes: artifact.file_bytes(),
         manifest,
         sections: artifact.sections().to_vec(),
+        sketch,
     })
 }
 
@@ -74,6 +94,19 @@ impl ArtifactInfo {
                 s.len,
                 s.fnv
             ));
+        }
+        out.push_str(&format!(
+            "  content fnv: {:016x}\n",
+            content_fnv(&self.sections)
+        ));
+        if let Some(sk) = &self.sketch {
+            out.push_str(&format!(
+                "  drift baseline: {} decisions, {} unit classes\n",
+                sk.len(),
+                sk.unit_mix().len()
+            ));
+        } else {
+            out.push_str("  drift baseline: none\n");
         }
         out
     }

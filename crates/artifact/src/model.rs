@@ -22,12 +22,14 @@ use wym_core::pipeline::WymModel;
 use wym_core::state::{NamedTensor, WymModelHead, WymModelState};
 use wym_embed::QuantizedTable;
 use wym_linalg::Matrix;
-use wym_obs::{Json, Manifest};
+use wym_obs::{Json, Manifest, ModelSketch};
 
 /// Section name of the provenance manifest.
 pub const SECTION_MANIFEST: &str = "manifest";
 /// Section name of the model head.
 pub const SECTION_HEAD: &str = "head";
+/// Section name of the train-time drift baseline sketch (optional).
+pub const SECTION_SKETCH: &str = "sketch";
 /// Prefix of model tensor sections.
 pub const TENSOR_PREFIX: &str = "tensor:";
 
@@ -37,6 +39,11 @@ pub struct LoadedModel {
     pub model: WymModel,
     /// The provenance header the artifact was saved with.
     pub manifest: Manifest,
+    /// The train-time drift baseline, when the artifact carries one.
+    pub sketch: Option<ModelSketch>,
+    /// Fold of the per-section payload checksums (manifest excluded) —
+    /// the model-content fingerprint stamped into audit records.
+    pub content_fnv: u64,
     /// Artifact size on disk.
     pub file_bytes: u64,
     /// True when the artifact was memory-mapped rather than read.
@@ -50,7 +57,18 @@ pub fn save_model(
     model: &WymModel,
     manifest: &Manifest,
 ) -> Result<u64, ArtifactError> {
-    save_state(path, &WymModelState::from_model(model), manifest)
+    save_model_with_sketch(path, model, manifest, None)
+}
+
+/// Saves a fitted model together with an optional train-time drift
+/// baseline sketch (see [`wym_obs::sketch`]). See [`save_model`].
+pub fn save_model_with_sketch(
+    path: &Path,
+    model: &WymModel,
+    manifest: &Manifest,
+    sketch: Option<&ModelSketch>,
+) -> Result<u64, ArtifactError> {
+    save_state_with_sketch(path, &WymModelState::from_model(model), manifest, sketch)
 }
 
 /// Saves an already-split model state. See [`save_model`].
@@ -59,6 +77,16 @@ pub fn save_state(
     state: &WymModelState,
     manifest: &Manifest,
 ) -> Result<u64, ArtifactError> {
+    save_state_with_sketch(path, state, manifest, None)
+}
+
+/// Saves an already-split model state with an optional drift baseline.
+pub fn save_state_with_sketch(
+    path: &Path,
+    state: &WymModelState,
+    manifest: &Manifest,
+    sketch: Option<&ModelSketch>,
+) -> Result<u64, ArtifactError> {
     let _span = wym_obs::span("artifact_save");
     let mut w = ArtifactWriter::new();
     let manifest_json = Json::obj(vec![("manifest", manifest.to_json())]).pretty();
@@ -66,6 +94,9 @@ pub fn save_state(
     let head = serde_json::to_vec(&state.head)
         .map_err(|e| ArtifactError::format(format!("serializing model head: {e}")))?;
     w.add_json(SECTION_HEAD, &head);
+    if let Some(sk) = sketch {
+        w.add_json(SECTION_SKETCH, sk.to_json().pretty().as_bytes());
+    }
     for t in &state.tensors {
         w.add_f32(
             &format!("{TENSOR_PREFIX}{}", t.name),
@@ -78,6 +109,22 @@ pub fn save_state(
     wym_obs::counter_add("artifact.saves", 1);
     wym_obs::gauge_set("artifact.saved_bytes", bytes as f64);
     Ok(bytes)
+}
+
+/// Reads the drift baseline sketch out of an opened artifact, `None` when
+/// the artifact predates (or was saved without) one.
+pub fn read_sketch(artifact: &Artifact) -> Result<Option<ModelSketch>, ArtifactError> {
+    if !artifact.sections().iter().any(|s| s.name == SECTION_SKETCH) {
+        return Ok(None);
+    }
+    let bytes = artifact.json_payload(SECTION_SKETCH)?;
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| ArtifactError::format("sketch section is not UTF-8".to_string()))?;
+    let json = wym_obs::json::parse(text)
+        .map_err(|e| ArtifactError::format(format!("sketch section does not parse: {e}")))?;
+    ModelSketch::from_json(&json)
+        .map(Some)
+        .map_err(|e| ArtifactError::format(format!("sketch section is malformed: {e}")))
 }
 
 /// Reads the provenance manifest out of an opened artifact.
@@ -116,6 +163,8 @@ pub fn load_model(path: &Path, mode: LoadMode) -> Result<LoadedModel, ArtifactEr
     let _span = wym_obs::span("artifact_load");
     let artifact = Artifact::open(path, mode)?;
     let manifest = read_manifest(&artifact)?;
+    let sketch = read_sketch(&artifact)?;
+    let content_fnv = crate::inspect::content_fnv(artifact.sections());
     let state = load_state(&artifact)?;
     let model = state.into_model().map_err(|e| {
         ArtifactError::format(format!("{}: {e}", path.display()))
@@ -124,6 +173,8 @@ pub fn load_model(path: &Path, mode: LoadMode) -> Result<LoadedModel, ArtifactEr
     Ok(LoadedModel {
         model,
         manifest,
+        sketch,
+        content_fnv,
         file_bytes: artifact.file_bytes(),
         mapped: artifact.is_mapped(),
     })

@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 use wym_artifact::{
-    add_quantized, inspect, load_model, read_quantized, save_model, save_state, Artifact,
-    ArtifactWriter, LoadMode,
+    add_quantized, content_fnv, inspect, load_model, read_quantized, save_model,
+    save_model_with_sketch, save_state, Artifact, ArtifactWriter, LoadMode,
 };
 use wym_core::state::WymModelState;
 use wym_core::{WymConfig, WymModel};
@@ -92,6 +92,45 @@ fn saved_model_reloads_bit_identical_under_both_load_modes() {
         assert_bit_identical(&loaded.model, &format!("{mode:?}"));
     }
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sketch_section_round_trips_and_is_optional() {
+    let (model, dataset, split) = fitted();
+    let train_pairs: Vec<_> =
+        split.train.iter().take(60).map(|&i| dataset.pairs[i].clone()).collect();
+    let baseline = model.sketch_on(&train_pairs);
+    assert!(!baseline.is_empty());
+
+    let with = scratch("sketched.wyma");
+    let without = scratch("sketchless.wyma");
+    save_model_with_sketch(&with, model, &manifest(), Some(&baseline)).expect("save");
+    save_model(&without, model, &manifest()).expect("save");
+
+    for mode in [LoadMode::Read, LoadMode::Mmap] {
+        let loaded = load_model(&with, mode).expect("load");
+        let got = loaded.sketch.as_ref().expect("sketch must survive the round trip");
+        assert_eq!(*got, baseline, "{mode:?}");
+        // Baseline vs itself is the no-drift fixed point.
+        assert!(!baseline.compare(got).tripped);
+        assert_bit_identical(&loaded.model, &format!("sketched {mode:?}"));
+    }
+
+    // An artifact saved without a sketch (or predating the section) loads
+    // with `None` — the section is additive, never required.
+    let plain = load_model(&without, LoadMode::Read).expect("load");
+    assert!(plain.sketch.is_none());
+
+    // The content fingerprint covers the sketch section but not the
+    // manifest: adding a sketch changes it; it matches what inspect folds.
+    let a = inspect(&with).expect("inspect");
+    let b = inspect(&without).expect("inspect");
+    assert_ne!(content_fnv(&a.sections), content_fnv(&b.sections));
+    assert!(a.render().contains("drift baseline:"));
+    assert!(b.render().contains("drift baseline: none"));
+
+    let _ = std::fs::remove_file(&with);
+    let _ = std::fs::remove_file(&without);
 }
 
 #[test]

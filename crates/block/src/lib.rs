@@ -96,11 +96,22 @@ pub struct BlockOutput {
 
 /// Blocks a deduplication table given one text per record.
 pub fn block_table(texts: &[String], config: &BlockConfig) -> BlockOutput {
+    block_table_with_ann(texts, config).0
+}
+
+/// Like [`block_table`], but also hands back the built [`AnnIndex`]
+/// (`None` when the ANN pass is disabled) so callers can persist its
+/// quantized table — e.g. into a WYMA artifact via
+/// `wym_artifact::add_quantized` — instead of rebuilding it.
+pub fn block_table_with_ann(
+    texts: &[String],
+    config: &BlockConfig,
+) -> (BlockOutput, Option<AnnIndex>) {
     let imp = config.kernel.unwrap_or_else(kernels::active);
     let index = TokenIndex::build(texts, config.max_df_frac, config.min_df_cutoff, config.threads);
     let lexical = index.top_candidates(config.lexical_k, config.threads);
-    let ann = if config.ann.tables == 0 {
-        Vec::new()
+    let (ann, ann_index) = if config.ann.tables == 0 {
+        (Vec::new(), None)
     } else {
         let ann_index = AnnIndex::build(
             index.vocab(),
@@ -109,7 +120,7 @@ pub fn block_table(texts: &[String], config: &BlockConfig) -> BlockOutput {
             imp,
             config.threads,
         );
-        ann_index.candidates(imp, config.threads)
+        (ann_index.candidates(imp, config.threads), Some(ann_index))
     };
 
     let _span = wym_obs::span("block_merge");
@@ -134,13 +145,22 @@ pub fn block_table(texts: &[String], config: &BlockConfig) -> BlockOutput {
     let checksum = pair_checksum(&pairs);
     wym_obs::counter_add("block.pairs", pairs.len() as u64);
     wym_obs::counter_add("block.checksum", checksum);
-    BlockOutput { pairs, checksum, lexical_pairs, ann_pairs }
+    (BlockOutput { pairs, checksum, lexical_pairs, ann_pairs }, ann_index)
 }
 
 /// Blocks a table of [`Entity`] records by their concatenated attributes.
 pub fn block_entities(records: &[Entity], config: &BlockConfig) -> BlockOutput {
+    block_entities_with_ann(records, config).0
+}
+
+/// [`block_entities`] variant that also returns the built [`AnnIndex`];
+/// see [`block_table_with_ann`].
+pub fn block_entities_with_ann(
+    records: &[Entity],
+    config: &BlockConfig,
+) -> (BlockOutput, Option<AnnIndex>) {
     let texts: Vec<String> = records.iter().map(Entity::full_text).collect();
-    block_table(&texts, config)
+    block_table_with_ann(&texts, config)
 }
 
 /// FNV-1a over the little-endian bytes of the pair list — one u64 that two

@@ -469,10 +469,60 @@ impl WymModel {
             .collect()
     }
 
-    /// Predicts from an already processed record.
+    /// The active audit log, unless this emission point is suppressed
+    /// (see [`WymModel::explain_processed`] — explain audits for both).
+    fn audit_log(&self) -> Option<std::sync::Arc<wym_obs::AuditLog>> {
+        if wym_obs::audit::suppressed() {
+            None
+        } else {
+            wym_obs::audit::active()
+        }
+    }
+
+    /// Emits one decision record into `log` for this processed record.
+    fn audit_decision(
+        &self,
+        log: &wym_obs::AuditLog,
+        kind: &str,
+        proc: &ProcessedRecord,
+        prediction: &Prediction,
+        top_impacts: Vec<(String, f32)>,
+        cost: Option<wym_obs::DecisionCost>,
+    ) {
+        let paired = proc.units.iter().filter(|u| u.is_paired()).count() as u32;
+        log.emit(
+            kind,
+            proc.record.id as u64,
+            prediction.label,
+            prediction.probability,
+            proc.units.len() as u32,
+            paired,
+            top_impacts,
+            cost,
+        );
+    }
+
+    /// Predicts from an already processed record. When an audit log is
+    /// installed (see [`wym_obs::audit`]), emits one `classify` decision
+    /// record — without impacts; the explain path records those.
     pub fn predict_processed(&self, proc: &ProcessedRecord) -> Prediction {
-        let probability = self.matcher.predict_proba(&proc.units, &proc.relevances);
-        Prediction { label: probability >= 0.5, probability }
+        let Some(log) = self.audit_log() else {
+            let probability = self.matcher.predict_proba(&proc.units, &proc.relevances);
+            return Prediction { label: probability >= 0.5, probability };
+        };
+        let (prediction, cost) = wym_obs::audit::measure(|| {
+            let probability = self.matcher.predict_proba(&proc.units, &proc.relevances);
+            Prediction { label: probability >= 0.5, probability }
+        });
+        self.audit_decision(
+            &log,
+            wym_obs::audit::KIND_CLASSIFY,
+            proc,
+            &prediction,
+            Vec::new(),
+            Some(cost),
+        );
+        prediction
     }
 
     /// End-to-end prediction of one record pair.
@@ -480,25 +530,78 @@ impl WymModel {
         self.predict_processed(&self.process(pair))
     }
 
-    /// Explains an already processed record.
+    /// Explains an already processed record. When an audit log is
+    /// installed, emits one `explain` decision record carrying the top
+    /// unit impacts; the internal classify call is suppressed so the
+    /// decision is logged exactly once.
     pub fn explain_processed(&self, proc: &ProcessedRecord) -> Explanation {
         let _span = wym_obs::span("explain");
-        let prediction = self.predict_processed(proc);
-        let impacts = self.matcher.impacts(&proc.units, &proc.relevances);
-        Explanation::build(
-            &proc.record,
-            &self.attr_names,
-            &proc.units,
-            &proc.relevances,
-            &impacts,
-            prediction.label,
-            prediction.probability,
-        )
+        let log = self.audit_log();
+        let (explanation, cost) = wym_obs::audit::measure(|| {
+            let _quiet = wym_obs::audit::suppress();
+            let prediction = self.predict_processed(proc);
+            let impacts = self.matcher.impacts(&proc.units, &proc.relevances);
+            Explanation::build(
+                &proc.record,
+                &self.attr_names,
+                &proc.units,
+                &proc.relevances,
+                &impacts,
+                prediction.label,
+                prediction.probability,
+            )
+        });
+        if let Some(log) = log {
+            let top = explanation
+                .top_units(wym_obs::audit::TOP_K_IMPACTS)
+                .iter()
+                .map(|u| (u.attribute.clone(), u.impact))
+                .collect();
+            let prediction = Prediction {
+                label: explanation.prediction,
+                probability: explanation.probability,
+            };
+            self.audit_decision(
+                &log,
+                wym_obs::audit::KIND_EXPLAIN,
+                proc,
+                &prediction,
+                top,
+                Some(cost),
+            );
+        }
+        explanation
     }
 
     /// End-to-end prediction + explanation of one record pair.
     pub fn explain(&self, pair: &RecordPair) -> Explanation {
         self.explain_processed(&self.process(pair))
+    }
+
+    /// Summarizes this model's behaviour on `pairs` into a drift sketch:
+    /// calibrated-score distribution, per-record pairing rate, and
+    /// unit-class (attribute) mix. Frozen into the artifact at train time
+    /// this becomes the baseline that online traffic is compared against
+    /// (see [`wym_obs::sketch`]). Uses the batched scoring path and never
+    /// emits audit records, so sketching is silent and deterministic.
+    pub fn sketch_on(&self, pairs: &[RecordPair]) -> wym_obs::ModelSketch {
+        let _span = wym_obs::span("sketch");
+        let proc = self.process_many_batched(pairs);
+        let rows: Vec<(&[DecisionUnit], &[f32])> =
+            proc.iter().map(|p| (p.units.as_slice(), p.relevances.as_slice())).collect();
+        let scores = self.matcher.predict_proba_batch(&rows);
+        let mut sketch = wym_obs::ModelSketch::new();
+        for (p, score) in proc.iter().zip(scores) {
+            let paired = p.units.iter().filter(|u| u.is_paired()).count();
+            let paired_frac = if p.units.is_empty() {
+                0.0
+            } else {
+                paired as f64 / p.units.len() as f64
+            };
+            let attrs = p.units.iter().map(|u| self.attr_names[u.attribute()].as_str());
+            sketch.observe(score, paired_frac, attrs);
+        }
+        sketch
     }
 
     /// A serializable snapshot of the fitted model.
@@ -692,5 +795,70 @@ mod tests {
         let dataset = beer_subset();
         let split = SplitIndices { train: vec![], val: vec![0], test: vec![1] };
         let _ = WymModel::fit(&dataset, &split, fast_config());
+    }
+
+    #[test]
+    fn audit_log_records_decisions_once_with_margins_and_impacts() {
+        use std::sync::Arc;
+        let dataset = beer_subset();
+        let split = paper_split(&dataset, 0);
+        let model = WymModel::fit(&dataset, &split, fast_config());
+        let pair = &dataset.pairs[split.test[0]];
+
+        let log = Arc::new(wym_obs::AuditLog::new(wym_obs::AuditOptions {
+            model_fnv: 0xfeed,
+            ..Default::default()
+        }));
+        let (pred, ex) = wym_obs::audit::with_audit(Arc::clone(&log), || {
+            let _seq = wym_obs::audit::scope_seq(7);
+            (model.predict(pair), model.explain(pair))
+        });
+
+        // One classify + one explain record — the classify nested inside
+        // explain is suppressed, so each user-facing call logs exactly once.
+        let records = log.sorted();
+        assert_eq!(records.len(), 2, "{records:?}");
+        let classify = &records[0];
+        let explain = &records[1];
+        assert_eq!(classify.kind, wym_obs::audit::KIND_CLASSIFY);
+        assert_eq!(explain.kind, wym_obs::audit::KIND_EXPLAIN);
+        for r in [classify, explain] {
+            assert_eq!(r.seq, 7);
+            assert_eq!(r.model_fnv, 0xfeed);
+            assert_eq!(r.verdict, pred.label);
+            assert_eq!(r.score, pred.probability);
+            assert_eq!(r.margin, pred.probability - 0.5);
+            assert!(r.paired_units <= r.units);
+            assert!(r.cost.is_none(), "cost must be opt-in");
+        }
+        assert!(classify.top_impacts.is_empty());
+        let expect_top = ex
+            .top_units(wym_obs::audit::TOP_K_IMPACTS)
+            .iter()
+            .map(|u| (u.attribute.clone(), u.impact))
+            .collect::<Vec<_>>();
+        assert_eq!(explain.top_impacts, expect_top);
+
+        // Outside the scope nothing is captured.
+        let before = log.len();
+        let _ = model.predict(pair);
+        assert_eq!(log.len(), before);
+    }
+
+    #[test]
+    fn sketch_on_is_deterministic_and_observes_every_pair() {
+        let dataset = beer_subset();
+        let split = paper_split(&dataset, 0);
+        let model = WymModel::fit(&dataset, &split, fast_config());
+        let test_pairs: Vec<RecordPair> =
+            split.test.iter().map(|&i| dataset.pairs[i].clone()).collect();
+        let a = model.sketch_on(&test_pairs);
+        let b = model.sketch_on(&test_pairs);
+        assert_eq!(a, b, "sketching must be bit-stable");
+        assert_eq!(a.len(), test_pairs.len() as u64);
+        assert!(!a.unit_mix().is_empty(), "attribute mix must be populated");
+        // A model compared against its own baseline never trips.
+        let report = a.compare(&b);
+        assert!(!report.tripped, "{}", report.render());
     }
 }

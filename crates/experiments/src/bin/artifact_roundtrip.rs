@@ -136,13 +136,7 @@ fn main() {
     // everything except the manifest (whose config hash differs per run).
     // Bit-identical models ⇒ identical folds, across kernels and threads.
     let info = artifact::inspect(path).expect("saved artifact must inspect");
-    let mut fold = 0xcbf29ce484222325u64;
-    for s in info.sections.iter().filter(|s| s.name != "manifest") {
-        for b in s.fnv.to_le_bytes() {
-            fold ^= b as u64;
-            fold = fold.wrapping_mul(0x100000001b3);
-        }
-    }
+    let fold = artifact::content_fnv(&info.sections);
     println!("artifact model fnv: {fold:016x}");
 
     print_table(
@@ -178,6 +172,7 @@ fn main() {
         Ok(()) => println!("\n→ results saved to {bench_path}"),
         Err(e) => eprintln!("warning: could not write {bench_path}: {e}"),
     }
+    wym_experiments::append_bench_history("artifact_roundtrip", std::slice::from_ref(&bench));
     opts.flush_obs("artifact_roundtrip");
 
     if failures > 0 {

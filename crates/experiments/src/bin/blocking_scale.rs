@@ -103,6 +103,48 @@ impl Opts {
     }
 }
 
+/// Writes the quantized ANN table (plus the run's provenance manifest) as
+/// a WYMA artifact.
+fn save_ann_table(path: &str, table: &wym_embed::QuantizedTable, manifest: &Manifest) {
+    let mut w = wym_artifact::ArtifactWriter::new();
+    let manifest_json = Json::obj(vec![("manifest", manifest.to_json())]).pretty();
+    w.add_json("manifest", manifest_json.as_bytes());
+    wym_artifact::add_quantized(&mut w, "ann", table);
+    if let Err(e) = w.write_to(std::path::Path::new(path)) {
+        eprintln!("[blocking_scale] FAILED: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Reopens `path` and asserts the reloaded table matches `original` to the
+/// bit — i8 codes byte-for-byte, f32 scales by `to_bits`. Exits nonzero on
+/// any divergence: a table that silently re-quantizes on reload would
+/// change candidate sets across restarts.
+fn assert_ann_reloads_bit_identical(path: &str, original: &wym_embed::QuantizedTable) {
+    let artifact =
+        wym_artifact::Artifact::open(std::path::Path::new(path), wym_artifact::LoadMode::Read)
+            .unwrap_or_else(|e| {
+                eprintln!("[blocking_scale] FAILED: cannot reopen {path}: {e}");
+                std::process::exit(1);
+            });
+    let reloaded = wym_artifact::read_quantized(&artifact, "ann").unwrap_or_else(|e| {
+        eprintln!("[blocking_scale] FAILED: cannot read ann table from {path}: {e}");
+        std::process::exit(1);
+    });
+    let (dim_a, codes_a, scales_a) = original.raw_parts();
+    let (dim_b, codes_b, scales_b) = reloaded.raw_parts();
+    let codes_match = dim_a == dim_b && codes_a == codes_b;
+    let scales_match = scales_a.len() == scales_b.len()
+        && scales_a.iter().zip(scales_b).all(|(a, b)| a.to_bits() == b.to_bits());
+    if !codes_match || !scales_match {
+        eprintln!(
+            "[blocking_scale] FAILED: reloaded ann table diverges from the built one \
+             (codes_match={codes_match} scales_match={scales_match})"
+        );
+        std::process::exit(1);
+    }
+}
+
 /// Recall over a seeded subsample of the gold pairs: the exact pairing is
 /// known from the generator, so this is ground-truth recall, not a proxy.
 fn subsample_recall(pairs: &[(u32, u32)], gold: &[(u32, u32)], k: usize, seed: u64) -> (f64, usize) {
@@ -180,8 +222,23 @@ fn main() {
         wym_par::resolve_threads(opts.threads),
     );
     let t0 = Instant::now();
-    let out = wym_block::block_entities(&table.records, &block_config);
+    let (out, ann_index) = wym_block::block_entities_with_ann(&table.records, &block_config);
     let block_s = t0.elapsed().as_secs_f64();
+
+    // Persist the quantized ANN table into a WYMA artifact and prove the
+    // reload is bit-identical — the blocking layer's tables ride the same
+    // container (and the same determinism contract) as model weights.
+    if let Some(index) = &ann_index {
+        let ann_path = if opts.smoke {
+            "results/ann_tables_smoke.wyma"
+        } else {
+            "results/ann_tables.wyma"
+        };
+        let _ = std::fs::create_dir_all("results");
+        save_ann_table(ann_path, index.quantized(), &opts.manifest());
+        assert_ann_reloads_bit_identical(ann_path, index.quantized());
+        println!("ann table saved to {ann_path} (reload verified bit-identical)");
+    }
 
     let (recall, sampled) = subsample_recall(&out.pairs, &table.gold, opts.subsample, opts.seed);
     wym_obs::gauge_set("block.recall_subsample", recall);
@@ -210,10 +267,11 @@ fn main() {
     } else {
         "results/BENCH_blocking.json"
     };
-    match std::fs::write(bench_path, Json::Arr(vec![row]).pretty()) {
+    match std::fs::write(bench_path, Json::Arr(vec![row.clone()]).pretty()) {
         Ok(()) => println!("\n→ results saved to {bench_path}"),
         Err(e) => eprintln!("warning: could not write {bench_path}: {e}"),
     }
+    wym_experiments::append_bench_history("blocking_scale", std::slice::from_ref(&row));
 
     if opts.trace {
         let _ = wym_obs::StderrSink.emit(&snap);

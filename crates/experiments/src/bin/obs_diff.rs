@@ -8,6 +8,8 @@
 //!   --wall-abs-ns N      absolute span-mean growth floor, ns (default 5e6)
 //!   --counter-rel F      allowed relative counter drift      (default 0: exact)
 //!   --mem-rel F          allowed relative allocation growth  (default 0.25)
+//!   --drift-rel F        allowed relative obs.drift.* PSI gauge drift
+//!                        (default 1e-6: PSI is deterministic)
 //!   --ignore PREFIX      skip metrics with this name prefix (repeatable;
 //!                        default: kernel.dispatch.)
 //!   --verbose            show passing checks too, not only findings
@@ -29,7 +31,7 @@ use wym_obs::{Manifest, Snapshot};
 fn usage() -> &'static str {
     "usage: obs_diff OLD.json NEW.json [--ignore-wall] [--ignore-mem] \
      [--wall-rel F] [--wall-abs-ns N] [--counter-rel F] [--mem-rel F] \
-     [--ignore PREFIX]... [--verbose]"
+     [--drift-rel F] [--ignore PREFIX]... [--verbose]"
 }
 
 struct Loaded {
@@ -114,6 +116,10 @@ fn parse_args(args: &[String]) -> Result<(String, String, DiffConfig, bool), Str
                 i += 1;
                 cfg.mem_rel = num(args, i, "--mem-rel")?;
             }
+            "--drift-rel" => {
+                i += 1;
+                cfg.drift_rel = num(args, i, "--drift-rel")?;
+            }
             "--ignore" => {
                 i += 1;
                 cfg.ignore
@@ -189,6 +195,9 @@ mod tests {
         assert_eq!(cfg.mem_rel, 0.5);
         assert!(cfg.ignore.iter().any(|p| p == "scorer."));
         assert!(cfg.ignore.iter().any(|p| p == "kernel.dispatch."));
+        let (_, _, cfg, _) =
+            parse_args(&s(&["a.json", "b.json", "--drift-rel", "0.25"])).unwrap();
+        assert_eq!(cfg.drift_rel, 0.25);
     }
 
     #[test]

@@ -236,9 +236,10 @@ fn main() {
     // spans/metrics sections share one serializer with OBS_*.json exports.
     let _ = std::fs::create_dir_all("results");
     let bench_path = "results/BENCH_timing.json";
-    match std::fs::write(bench_path, Json::Arr(bench_json).pretty()) {
+    match std::fs::write(bench_path, Json::Arr(bench_json.clone()).pretty()) {
         Ok(()) => println!("\n→ results saved to {bench_path}"),
         Err(e) => eprintln!("warning: could not write {bench_path}: {e}"),
     }
+    wym_experiments::append_bench_history("timing", &bench_json);
     opts.flush_obs("timing");
 }

@@ -299,6 +299,38 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Appends benchmark rows to the cross-run ledger
+/// `results/BENCH_history.jsonl` — one compact JSON object per line,
+/// `{"source": <binary>, "row": <the row, provenance manifest included>}`.
+/// Unlike the per-binary `BENCH_*.json` files (overwritten every run), the
+/// ledger is append-only, so regressions stay diagnosable against the full
+/// history of runs on a machine. Failures only warn: history is telemetry,
+/// not a gate.
+pub fn append_bench_history(source: &str, rows: &[wym_obs::Json]) {
+    use std::io::Write;
+    let dir = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_history.jsonl");
+    let mut out = String::new();
+    for row in rows {
+        let line = wym_obs::Json::obj(vec![
+            ("source", wym_obs::Json::str(source)),
+            ("row", row.clone()),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(out.as_bytes()));
+    match appended {
+        Ok(()) => println!("→ {} row(s) appended to {}", rows.len(), path.display()),
+        Err(e) => eprintln!("warning: could not append to {}: {e}", path.display()),
+    }
+}
+
 /// Formats an F1-like metric to three decimals.
 pub fn fmt3(v: f32) -> String {
     format!("{v:.3}")

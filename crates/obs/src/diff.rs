@@ -40,6 +40,11 @@ pub struct DiffConfig {
     pub gauge_rel: f64,
     /// Allowed relative drift for memory alloc counts/bytes.
     pub mem_rel: f64,
+    /// Allowed relative drift for `obs.drift.*` PSI gauges. PSI values are
+    /// deterministic (integer bucket counts over bit-identical scores), so
+    /// the default is tight; loosen it to compare baselines taken over
+    /// intentionally different traffic.
+    pub drift_rel: f64,
     /// Skip wall-time comparisons entirely (cross-machine baselines).
     pub ignore_wall: bool,
     /// Skip memory comparisons entirely.
@@ -56,6 +61,7 @@ impl Default for DiffConfig {
             counter_rel: 0.0,
             gauge_rel: 1e-9,
             mem_rel: 0.25,
+            drift_rel: 1e-6,
             ignore_wall: false,
             ignore_mem: false,
             // SIMD dispatch counters name the path the host CPU selected;
@@ -207,6 +213,7 @@ pub fn diff(old: &Snapshot, new: &Snapshot, cfg: &DiffConfig) -> DiffReport {
     if !cfg.ignore_mem {
         diff_memory(old, new, cfg, &mut rep);
     }
+    diff_windows(old, new, cfg, &mut rep);
     rep
 }
 
@@ -438,15 +445,22 @@ fn diff_gauges(old: &Snapshot, new: &Snapshot, cfg: &DiffConfig, rep: &mut DiffR
             });
             continue;
         };
+        // Drift-sentinel PSI gauges get their own threshold so the gate on
+        // them can be tuned without loosening every other gauge.
+        let (kind, limit) = if name.starts_with("obs.drift.") {
+            ("gauge.drift", cfg.drift_rel)
+        } else {
+            ("gauge", cfg.gauge_rel)
+        };
         let d = rel_delta(*ov, nv);
-        let status = if d > cfg.gauge_rel { Status::Regression } else { Status::Ok };
+        let status = if d > limit { Status::Regression } else { Status::Ok };
         rep.findings.push(Finding {
-            kind: "gauge".into(),
+            kind: kind.into(),
             name: name.clone(),
             old: format!("{ov:.6}"),
             new: format!("{nv:.6}"),
             note: if status == Status::Regression {
-                format!("{} over {} limit", pct(d), pct(cfg.gauge_rel))
+                format!("{} over {} limit", pct(d), pct(limit))
             } else {
                 String::new()
             },
@@ -557,6 +571,116 @@ fn diff_memory(old: &Snapshot, new: &Snapshot, cfg: &DiffConfig, rep: &mut DiffR
         },
         status,
     });
+}
+
+/// Windowed metrics compare frame by frame, aligned on epoch (not ring
+/// position — after wrap-around the same epoch can sit at a different
+/// index). Ring shape (capacity, advance count) is exact; per-frame
+/// counters follow the counter policy (deterministic exact, wall counters
+/// under the wall policy, ignore prefixes skipped); per-frame histograms
+/// compare per bucket. Baselines without windows diff silently against
+/// candidates without windows; presence on one side only is an Info.
+fn diff_windows(old: &Snapshot, new: &Snapshot, cfg: &DiffConfig, rep: &mut DiffReport) {
+    let (ow, nw) = match (&old.windows, &new.windows) {
+        (None, None) => return,
+        (Some(ow), Some(nw)) => (ow, nw),
+        (ow, _) => {
+            rep.findings.push(Finding {
+                kind: "windows".into(),
+                name: "(ring)".into(),
+                old: if ow.is_some() { "present" } else { "-" }.into(),
+                new: if ow.is_some() { "-" } else { "present" }.into(),
+                note: "windowed metrics enabled in one run only".into(),
+                status: Status::Info,
+            });
+            return;
+        }
+    };
+    let shape_ok = ow.capacity() == nw.capacity() && ow.advances() == nw.advances();
+    rep.findings.push(Finding {
+        kind: "windows".into(),
+        name: "(ring)".into(),
+        old: format!("cap {} adv {}", ow.capacity(), ow.advances()),
+        new: format!("cap {} adv {}", nw.capacity(), nw.advances()),
+        note: if shape_ok {
+            String::new()
+        } else {
+            "ring shape differs (rotation is deterministic)".into()
+        },
+        status: if shape_ok { Status::Ok } else { Status::Regression },
+    });
+    for of in ow.frames() {
+        let Some(nf) = nw.frames().find(|f| f.epoch == of.epoch) else {
+            rep.findings.push(Finding {
+                kind: "window.frame".into(),
+                name: format!("epoch {}", of.epoch),
+                old: format!("{} counters", of.counters.len()),
+                new: "-".into(),
+                note: "frame missing from candidate ring".into(),
+                status: Status::Regression,
+            });
+            continue;
+        };
+        for (name, ov) in &of.counters {
+            if cfg.ignored(name) || (is_wall_counter(name) && cfg.ignore_wall) {
+                continue;
+            }
+            let label = format!("[{}] {}", of.epoch, name);
+            let nv = nf.counters.get(name).copied();
+            let exact = !is_wall_counter(name);
+            let status = match nv {
+                Some(nv) if exact && nv != *ov => Status::Regression,
+                Some(nv) if !exact => {
+                    let limit =
+                        (*ov as f64 * (1.0 + cfg.span_wall_rel)) + cfg.span_wall_abs_ns as f64;
+                    if nv as f64 > limit { Status::Regression } else { Status::Ok }
+                }
+                Some(_) => Status::Ok,
+                None => Status::Regression,
+            };
+            rep.findings.push(Finding {
+                kind: "window.counter".into(),
+                name: label,
+                old: ov.to_string(),
+                new: nv.map_or("-".into(), |v| v.to_string()),
+                note: if status == Status::Regression {
+                    "per-window counter diverged".into()
+                } else {
+                    String::new()
+                },
+                status,
+            });
+        }
+        for (name, oh) in &of.hists {
+            if cfg.ignored(name) {
+                continue;
+            }
+            let label = format!("[{}] {}", of.epoch, name);
+            match nf.hists.get(name) {
+                Some(nh) => diff_one_histogram(&label, oh, nh, rep),
+                None => rep.findings.push(Finding {
+                    kind: "window.hist".into(),
+                    name: label,
+                    old: format!("n={}", oh.count()),
+                    new: "-".into(),
+                    note: "per-window histogram disappeared".into(),
+                    status: Status::Regression,
+                }),
+            }
+        }
+    }
+    for nf in nw.frames() {
+        if ow.frames().all(|f| f.epoch != nf.epoch) {
+            rep.findings.push(Finding {
+                kind: "window.frame".into(),
+                name: format!("epoch {}", nf.epoch),
+                old: "-".into(),
+                new: format!("{} counters", nf.counters.len()),
+                note: "new frame (not in baseline ring)".into(),
+                status: Status::Info,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -762,5 +886,107 @@ mod tests {
         let table = rep.render_table(false);
         assert!(table.contains("REGRESSION"), "{table}");
         assert!(table.contains("1 regressions"), "{table}");
+    }
+
+    fn windowed_snap(build: impl Fn(&Recorder)) -> Snapshot {
+        let r = Recorder::new_enabled();
+        r.enable_windows(4);
+        build(&r);
+        r.snapshot()
+    }
+
+    #[test]
+    fn identical_window_rings_pass() {
+        let mk = || {
+            windowed_snap(|r| {
+                r.counter_add("classify.records", 5);
+                r.advance_window();
+                r.counter_add("classify.records", 3);
+                r.hist_observe("margin", Some(&[0.1]), 0.05);
+            })
+        };
+        let rep = diff(&mk(), &mk(), &DiffConfig::default());
+        assert!(rep.passed(), "{}", rep.render_table(true));
+        assert!(rep.findings.iter().any(|f| f.kind == "window.counter"));
+    }
+
+    #[test]
+    fn diverged_window_frame_regresses() {
+        let old = windowed_snap(|r| {
+            r.counter_add("classify.records", 5);
+            r.advance_window();
+            r.counter_add("classify.records", 3);
+        });
+        let new = windowed_snap(|r| {
+            r.counter_add("classify.records", 5);
+            r.advance_window();
+            r.counter_add("classify.records", 4); // frame 1 diverges
+        });
+        let rep = diff(&old, &new, &DiffConfig::default());
+        let reg = rep.regressions();
+        assert!(
+            reg.iter().any(|f| f.kind == "window.counter" && f.name.contains("[1]")),
+            "{}",
+            rep.render_table(true)
+        );
+        // The lifetime totals also diverge, but the window finding must
+        // name the frame that moved.
+    }
+
+    #[test]
+    fn window_ring_shape_mismatch_regresses() {
+        let old = windowed_snap(|r| r.advance_window());
+        let new = windowed_snap(|_| ());
+        let rep = diff(&old, &new, &DiffConfig::default());
+        assert!(
+            rep.regressions().iter().any(|f| f.kind == "windows"),
+            "{}",
+            rep.render_table(true)
+        );
+        // Windows on one side only is informational, not gating.
+        let plain = snap(|_| ());
+        let rep = diff(&new, &plain, &DiffConfig::default());
+        assert!(rep.passed());
+        assert!(rep.findings.iter().any(|f| f.kind == "windows" && f.status == Status::Info));
+    }
+
+    #[test]
+    fn wrapped_rings_align_by_epoch() {
+        let mk = |extra: u64| {
+            windowed_snap(|r| {
+                for i in 0..6u64 {
+                    r.counter_add("tick", i + 1);
+                    r.advance_window();
+                }
+                r.counter_add("tick", extra);
+            })
+        };
+        let rep = diff(&mk(7), &mk(7), &DiffConfig::default());
+        assert!(rep.passed(), "{}", rep.render_table(true));
+        let rep = diff(&mk(7), &mk(9), &DiffConfig::default());
+        assert!(rep.regressions().iter().any(|f| f.name.contains("[6] tick")));
+    }
+
+    #[test]
+    fn drift_gauges_use_their_own_threshold() {
+        let mk = |psi: f64| {
+            snap(|r| {
+                r.gauge_set("obs.drift.score.psi", psi);
+                r.counter_add("obs.drift.checks", 1);
+            })
+        };
+        let tight = diff(&mk(0.10), &mk(0.15), &DiffConfig::default());
+        assert!(
+            tight.regressions().iter().any(|f| f.kind == "gauge.drift"),
+            "{}",
+            tight.render_table(true)
+        );
+        let loose = DiffConfig { drift_rel: 1.0, ..DiffConfig::default() };
+        assert!(diff(&mk(0.10), &mk(0.15), &loose).passed());
+        // The alert counter stays a deterministic counter: any movement
+        // gates regardless of drift_rel.
+        let old = snap(|r| r.counter_add("obs.drift.trips", 0));
+        let new = snap(|r| r.counter_add("obs.drift.trips", 1));
+        assert!(!diff(&old, &new, &loose).passed());
     }
 }

@@ -170,6 +170,49 @@ impl Histogram {
     pub fn max(&self) -> f64 {
         self.max
     }
+
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`) by linear
+    /// interpolation inside the bucket that holds the target rank — the
+    /// standard fixed-bucket estimator, so the answer is exact only when
+    /// the true quantile sits on a bucket edge. The underflow bucket
+    /// interpolates up from the observed `min` and the overflow bucket
+    /// toward the observed `max`; when those extrema are unavailable
+    /// (a histogram rebuilt via [`Histogram::from_parts`] with the empty
+    /// sentinels) the adjacent boundary stands in. Returns `None` when the
+    /// histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo_cum = cum as f64;
+            cum += c;
+            if cum as f64 >= target {
+                let first = self.bounds[0];
+                let last = *self.bounds.last().expect("bounds are never empty");
+                let lower = if i == 0 {
+                    if self.min.is_finite() { self.min.min(first) } else { first }
+                } else {
+                    self.bounds[i - 1]
+                };
+                let upper = if i == self.bounds.len() {
+                    if self.max.is_finite() { self.max.max(last) } else { last }
+                } else {
+                    self.bounds[i]
+                };
+                let frac = ((target - lo_cum) / c as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * frac);
+            }
+        }
+        // Unreachable while count equals the bucket-count sum; be lenient
+        // toward hand-built parts instead of panicking.
+        Some(self.max)
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +319,35 @@ mod tests {
         let mut a = Histogram::new(&[1.0]);
         let b = Histogram::new(&[2.0]);
         a.merge(&b);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for _ in 0..4 {
+            h.observe(1.5);
+        }
+        for _ in 0..4 {
+            h.observe(3.0);
+        }
+        // Rank 4 of 8 sits exactly on the [1,2)/[2,4) seam.
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        // Rank 7.2 is 80% into the [2,4) bucket → 2 + 0.8·2.
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((p90 - 3.6).abs() < 1e-12, "p90 {p90}");
+        // q=0 clamps to the lower edge of the first occupied bucket.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), None);
+        // The underflow bucket interpolates up from the observed min.
+        let mut u = Histogram::new(&[1.0]);
+        u.observe(0.5);
+        assert_eq!(u.quantile(0.0), Some(0.5));
+        // Overflow bucket interpolates toward the observed max.
+        let mut o = Histogram::new(&[1.0]);
+        o.observe(5.0);
+        o.observe(9.0);
+        let p = o.quantile(1.0).unwrap();
+        assert!((p - 9.0).abs() < 1e-12, "overflow upper edge is max, got {p}");
     }
 
     #[test]

@@ -27,7 +27,9 @@
 //! values, and histogram bucket counts are identical for any thread count —
 //! while nanosecond totals naturally vary run to run.
 
+pub mod audit;
 pub mod diff;
+pub mod export;
 pub mod flame;
 pub mod hist;
 pub mod json;
@@ -35,13 +37,19 @@ pub mod manifest;
 pub mod prof;
 pub mod recorder;
 pub mod sink;
+pub mod sketch;
+pub mod window;
 
+pub use audit::{AuditLog, AuditOptions, DecisionCost, DecisionRecord};
+pub use export::prometheus_text;
 pub use hist::Histogram;
 pub use json::Json;
 pub use manifest::Manifest;
 pub use prof::{MemStat, TrackingAlloc};
 pub use recorder::{MemorySection, Recorder, Snapshot, SpanStat};
 pub use sink::{JsonFileSink, NoopSink, Sink, StderrSink};
+pub use sketch::{DriftReport, ModelSketch, DRIFT_TRIP_PSI};
+pub use window::{WindowFrame, Windowed};
 
 use std::cell::RefCell;
 use std::sync::{Arc, OnceLock};
@@ -106,26 +114,29 @@ pub struct ObsContext {
     rec: Option<Arc<Recorder>>,
     path: Vec<String>,
     mem: Option<Arc<prof::MemCell>>,
+    audit: Option<Arc<AuditLog>>,
 }
 
-/// Captures the current thread's recorder override, span path, and memory
-/// charge target.
+/// Captures the current thread's recorder override, span path, memory
+/// charge target, and audit-log override.
 pub fn capture() -> ObsContext {
     ObsContext {
         rec: LOCAL.with(|l| l.borrow().clone()),
         path: PATH.with(|p| p.borrow().clone()),
         mem: prof::current_arc(),
+        audit: audit::capture_local(),
     }
 }
 
 /// Runs `f` under a captured context (recorder override + span path +
-/// memory charge target), restoring the thread's previous context
-/// afterwards, even on panic.
+/// memory charge target + audit-log override), restoring the thread's
+/// previous context afterwards, even on panic.
 pub fn in_context<R>(ctx: &ObsContext, f: impl FnOnce() -> R) -> R {
     let _restore_rec = install(ctx.rec.clone());
     let prev_path = PATH.with(|p| std::mem::replace(&mut *p.borrow_mut(), ctx.path.clone()));
     let _restore_path = PathRestore(prev_path);
     let _restore_mem = prof::CellScope::install(ctx.mem.clone());
+    let _restore_audit = audit::install_local(ctx.audit.clone());
     f()
 }
 
@@ -286,6 +297,25 @@ pub fn snapshot() -> Snapshot {
 pub fn reset() {
     LOCAL.with(|l| {
         l.borrow().as_ref().unwrap_or_else(|| global()).reset();
+    });
+}
+
+/// Turns on windowed metrics on the active recorder: a ring of `capacity`
+/// frames that every counter increment and histogram observation also
+/// lands in (see [`Windowed`]). Works while recording is disabled, like
+/// stage registration — the ring starts filling once recording is on.
+pub fn window_enable(capacity: usize) {
+    LOCAL.with(|l| {
+        l.borrow().as_ref().unwrap_or_else(|| global()).enable_windows(capacity);
+    });
+}
+
+/// Seals the active recorder's current window frame and opens the next.
+/// Callers rotate on logical progress (every K records, every batch) —
+/// never wall time — so frame contents stay deterministic.
+pub fn window_advance() {
+    LOCAL.with(|l| {
+        l.borrow().as_ref().unwrap_or_else(|| global()).advance_window();
     });
 }
 

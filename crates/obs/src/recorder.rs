@@ -11,6 +11,7 @@
 use crate::hist::{default_bounds, Histogram};
 use crate::json::Json;
 use crate::prof::MemStat;
+use crate::window::Windowed;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -59,6 +60,10 @@ struct State {
     gauges: BTreeMap<String, f64>,
     hists: BTreeMap<String, Histogram>,
     stages: BTreeSet<String>,
+    /// Windowed-metrics ring; `None` until [`Recorder::enable_windows`].
+    /// Lives under the same lock as the lifetime aggregates so a counter
+    /// increment and its window copy are atomic together.
+    windows: Option<Windowed>,
 }
 
 /// A thread-safe span/metric aggregator. Most code uses the process-global
@@ -130,9 +135,14 @@ impl Recorder {
         }
     }
 
-    /// Adds `n` to counter `name`.
+    /// Adds `n` to counter `name` (and to the current window frame when
+    /// windowed metrics are enabled).
     pub fn counter_add(&self, name: &str, n: u64) {
-        *self.lock().counters.entry(name.to_string()).or_insert(0) += n;
+        let mut st = self.lock();
+        *st.counters.entry(name.to_string()).or_insert(0) += n;
+        if let Some(w) = st.windows.as_mut() {
+            w.counter_add(name, n);
+        }
     }
 
     /// Sets gauge `name` to `v`.
@@ -144,13 +154,34 @@ impl Recorder {
     /// histogram is created by this call (`None` = default bounds).
     pub fn hist_observe(&self, name: &str, bounds: Option<&[f64]>, v: f64) {
         let mut st = self.lock();
-        st.hists
-            .entry(name.to_string())
-            .or_insert_with(|| match bounds {
-                Some(b) => Histogram::new(b),
-                None => Histogram::new(&default_bounds()),
-            })
-            .observe(v);
+        let windows_on = st.windows.is_some();
+        let h = st.hists.entry(name.to_string()).or_insert_with(|| match bounds {
+            Some(b) => Histogram::new(b),
+            None => Histogram::new(&default_bounds()),
+        });
+        h.observe(v);
+        // Reuse the lifetime histogram's boundaries in the window copy so
+        // the same name never ends up bucketed two ways (which would make
+        // window merges panic).
+        let lifetime_bounds = windows_on.then(|| h.bounds().to_vec());
+        if let (Some(w), Some(b)) = (st.windows.as_mut(), lifetime_bounds) {
+            w.hist_observe(name, Some(&b), v);
+        }
+    }
+
+    /// Turns on windowed metrics with a ring of `capacity` frames,
+    /// replacing any existing ring. Works while recording is disabled, like
+    /// stage registration.
+    pub fn enable_windows(&self, capacity: usize) {
+        self.lock().windows = Some(Windowed::new(capacity));
+    }
+
+    /// Seals the current window frame and opens the next (no-op until
+    /// [`Recorder::enable_windows`]).
+    pub fn advance_window(&self) {
+        if let Some(w) = self.lock().windows.as_mut() {
+            w.advance();
+        }
     }
 
     /// Registers a pipeline stage (see [`crate::register_stage`]).
@@ -181,17 +212,22 @@ impl Recorder {
             histograms: st.hists.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
             stages,
             memory: None,
+            windows: st.windows.clone(),
         }
     }
 
     /// Drops all recorded spans and metrics; keeps the stage registry and
-    /// the enabled flag.
+    /// the enabled flag. An enabled window ring restarts empty at the same
+    /// capacity.
     pub fn reset(&self) {
         let mut st = self.lock();
         st.spans.clear();
         st.counters.clear();
         st.gauges.clear();
         st.hists.clear();
+        if let Some(w) = st.windows.as_mut() {
+            *w = Windowed::new(w.capacity());
+        }
     }
 }
 
@@ -225,6 +261,8 @@ pub struct Snapshot {
     pub stages: Vec<(String, u64)>,
     /// Process-level memory numbers; `None` when profiling was off.
     pub memory: Option<MemorySection>,
+    /// Windowed-metrics ring; `None` unless windows were enabled.
+    pub windows: Option<Windowed>,
 }
 
 impl Snapshot {
@@ -327,6 +365,13 @@ impl Snapshot {
                 ]),
             ));
         }
+        if let Some(w) = &self.windows {
+            // Additive optional section, like `memory`: readers that
+            // predate windows ignore it, so the file schema version stays
+            // put (the same tolerance the artifact container grants
+            // unknown sections).
+            sections.push(("windows", w.to_json()));
+        }
         Json::obj(sections)
     }
 
@@ -375,6 +420,9 @@ impl Snapshot {
                 live_bytes: field("live_bytes").and_then(as_i64).unwrap_or(0),
                 peak_live_bytes: field("peak_live_bytes").and_then(as_i64).unwrap_or(0),
             });
+        }
+        if let Some(w) = get("windows") {
+            snap.windows = Some(Windowed::from_json(w)?);
         }
         Ok(snap)
     }
@@ -523,7 +571,7 @@ fn hist_from_json(v: &Json) -> Result<Histogram, String> {
     )
 }
 
-fn as_u64(v: &Json) -> Option<u64> {
+pub(crate) fn as_u64(v: &Json) -> Option<u64> {
     match v {
         Json::UInt(n) => Some(*n),
         Json::Int(n) if *n >= 0 => Some(*n as u64),
@@ -531,7 +579,7 @@ fn as_u64(v: &Json) -> Option<u64> {
     }
 }
 
-fn as_i64(v: &Json) -> Option<i64> {
+pub(crate) fn as_i64(v: &Json) -> Option<i64> {
     match v {
         Json::Int(n) => Some(*n),
         Json::UInt(n) if *n <= i64::MAX as u64 => Some(*n as i64),
@@ -539,7 +587,7 @@ fn as_i64(v: &Json) -> Option<i64> {
     }
 }
 
-fn as_f64(v: &Json) -> Option<f64> {
+pub(crate) fn as_f64(v: &Json) -> Option<f64> {
     match v {
         Json::Num(n) => Some(*n),
         Json::Int(n) => Some(*n as f64),

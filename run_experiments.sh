@@ -19,7 +19,14 @@
 # `RUSTDOCFLAGS="-D warnings" cargo doc --no-deps` reports anything, or
 # (h) the model-artifact round trip (train→save→load→classify, DESIGN.md
 # §12) is not bit-identical to the in-memory model under either kernel
-# variant, or the two kernels serialize different model bytes.
+# variant, or the two kernels serialize different model bytes, or (i) the
+# telemetry gate (DESIGN.md §13) fails: `wym classify --audit-log` must
+# write byte-identical decision JSONL across WYM_KERNEL=scalar|auto and
+# thread counts 1 and 4, the artifact's frozen drift baseline must stay
+# quiet ("drift: OK") on in-distribution data and trip ("drift: ALERT")
+# on a synthetically shifted stream, `wym obs report` must summarize the
+# log, and the traced classify snapshot (windowed metrics + drift gauges)
+# must match results/OBS_baseline_decisions.json.
 set -u
 cd "$(dirname "$0")"
 mkdir -p results
@@ -188,8 +195,112 @@ if [ "${1:-}" = "--smoke" ]; then
     echo "SMOKE FAILED: artifact round trip wrote no results/BENCH_artifact.json" >&2
     exit 1
   fi
+  # Telemetry gate (DESIGN.md §13). Train a tiny model through the CLI —
+  # which freezes a drift-baseline sketch of the training stream into the
+  # artifact — then serve the same stream back through `classify` under
+  # three (kernel, threads) variants. The decision audit log is the gate:
+  # its JSONL must be byte-identical across all three (sequence numbers are
+  # pinned to input order, so worker interleaving cannot leak in). The
+  # drift sentinel must stay quiet on the in-distribution stream and trip
+  # on a shifted one, and `wym obs report` must read the log back.
+  SMOKE_DATA=results/smoke_pairs.csv
+  SMOKE_SHIFTED=results/smoke_pairs_shifted.csv
+  SMOKE_MODEL=results/model_smoke_cli.wyma
+  OBS_DECISIONS=results/OBS_smoke_decisions.json
+  echo "=== smoke: telemetry — generate data + train (freezes drift baseline) ==="
+  if ! ./target/release/wym generate --dataset S-FZ --out "$SMOKE_DATA" --cap 200 --seed 42; then
+    echo "SMOKE FAILED: wym generate" >&2
+    exit 1
+  fi
+  if ! ./target/release/wym generate --dataset S-FZ --out "$SMOKE_SHIFTED" --cap 200 --seed 42 --shift; then
+    echo "SMOKE FAILED: wym generate --shift" >&2
+    exit 1
+  fi
+  rm -f "$SMOKE_MODEL"
+  ./target/release/wym train --data "$SMOKE_DATA" --save-model "$SMOKE_MODEL" --epochs 4 \
+    2>&1 | tee results/smoke_train.log
+  if [ "${PIPESTATUS[0]}" -ne 0 ]; then
+    echo "SMOKE FAILED: wym train --save-model" >&2
+    exit 1
+  fi
+  AUDIT_REF=""
+  AUDIT_REF_CK=""
+  for variant in scalar:1 auto:1 auto:4; do
+    K="${variant%%:*}"
+    T="${variant##*:}"
+    AUDIT="results/smoke_audit_${K}_t${T}.jsonl"
+    # The sink appends by design (it is a service log); the gate wants
+    # exactly this run's decisions, so start from an empty file.
+    rm -f "$AUDIT"
+    echo "=== smoke: classify --audit-log (WYM_KERNEL=$K, --threads $T) ==="
+    WYM_KERNEL=$K ./target/release/wym classify --load-model "$SMOKE_MODEL" \
+      --data "$SMOKE_DATA" --threads "$T" --audit-log "$AUDIT" \
+      > "results/smoke_classify_${K}_t${T}.out" 2> "results/smoke_classify_${K}_t${T}.log"
+    if [ $? -ne 0 ] || [ ! -f "$AUDIT" ]; then
+      echo "SMOKE FAILED: classify (kernel=$K threads=$T) wrote no audit log" >&2
+      cat "results/smoke_classify_${K}_t${T}.log" >&2
+      exit 1
+    fi
+    CK=$(cksum "$AUDIT" | awk '{print $1 ":" $2}')
+    if [ -z "$AUDIT_REF_CK" ]; then
+      AUDIT_REF="$AUDIT"
+      AUDIT_REF_CK="$CK"
+    elif [ "$CK" != "$AUDIT_REF_CK" ]; then
+      echo "SMOKE FAILED: audit log not byte-identical: $AUDIT ($CK) vs $AUDIT_REF ($AUDIT_REF_CK)" >&2
+      exit 1
+    fi
+    if ! grep -q "drift: OK" "results/smoke_classify_${K}_t${T}.log"; then
+      echo "SMOKE FAILED: drift sentinel not quiet on in-distribution stream (kernel=$K threads=$T):" >&2
+      grep "drift:" "results/smoke_classify_${K}_t${T}.log" >&2
+      exit 1
+    fi
+  done
+  echo "=== smoke: drift sentinel on a shifted stream ==="
+  ./target/release/wym classify --load-model "$SMOKE_MODEL" --data "$SMOKE_SHIFTED" \
+    --threads 1 > /dev/null 2> results/smoke_classify_shifted.log
+  if ! grep -q "drift: ALERT" results/smoke_classify_shifted.log; then
+    echo "SMOKE FAILED: shifted stream did not trip the drift sentinel:" >&2
+    grep "drift:" results/smoke_classify_shifted.log >&2
+    exit 1
+  fi
+  echo "=== smoke: wym obs report ==="
+  ./target/release/wym obs report --audit "$AUDIT_REF" | tee results/smoke_obs_report.log
+  if [ "${PIPESTATUS[0]}" -ne 0 ]; then
+    echo "SMOKE FAILED: wym obs report could not read $AUDIT_REF" >&2
+    exit 1
+  fi
+  if ! grep -q "decisions" results/smoke_obs_report.log; then
+    echo "SMOKE FAILED: wym obs report printed no decision summary" >&2
+    exit 1
+  fi
+  # Traced classify snapshot — windowed metrics and drift gauges included —
+  # against its committed baseline. --threads 1 for machine independence,
+  # --ignore-wall as everywhere; obs.drift.* PSI gauges compare under the
+  # sentinel's own tight relative tolerance (obs_diff --drift-rel, default
+  # 1e-6).
+  echo "=== smoke: obs_diff on the decision-telemetry snapshot ==="
+  rm -f "$OBS_DECISIONS"
+  ./target/release/wym classify --load-model "$SMOKE_MODEL" --data "$SMOKE_DATA" \
+    --threads 1 --trace --metrics-out "$OBS_DECISIONS" \
+    > /dev/null 2> results/smoke_classify_traced.log
+  if [ ! -f "$OBS_DECISIONS" ]; then
+    echo "SMOKE FAILED: traced classify wrote no $OBS_DECISIONS" >&2
+    exit 1
+  fi
+  if ! ./target/release/obs_diff "$OBS_DECISIONS" "$OBS_DECISIONS"; then
+    echo "SMOKE FAILED: obs_diff self-diff did not pass on $OBS_DECISIONS" >&2
+    exit 1
+  fi
+  if [ -f results/OBS_baseline_decisions.json ]; then
+    if ! ./target/release/obs_diff --ignore-wall results/OBS_baseline_decisions.json "$OBS_DECISIONS"; then
+      echo "SMOKE FAILED: $OBS_DECISIONS regressed against results/OBS_baseline_decisions.json" >&2
+      exit 1
+    fi
+  else
+    echo "SMOKE WARNING: no committed baseline results/OBS_baseline_decisions.json; skipping diff" >&2
+  fi
   DISPATCHED=$(grep -oE '"kernel\.dispatch\.[a-z0-9_]+"' "$OBS_AUTO" | head -1)
-  echo "SMOKE OK: all stages traced, $DISPATCHED == scalar checksum $CK_AUTO, blocking checksum $BCK_AUTO, artifact fnv $AFNV_AUTO, obs_diff clean ($OBS_AUTO, $OBS_SCALAR, $BLOCK_SCALAR)"
+  echo "SMOKE OK: all stages traced, $DISPATCHED == scalar checksum $CK_AUTO, blocking checksum $BCK_AUTO, artifact fnv $AFNV_AUTO, audit cksum $AUDIT_REF_CK, obs_diff clean ($OBS_AUTO, $OBS_SCALAR, $BLOCK_SCALAR, $OBS_DECISIONS)"
   exit 0
 fi
 

@@ -48,7 +48,8 @@ wym_obs::install_tracking_alloc!();
 
 /// Flags that never take a value, so a following positional argument (or
 /// file name) is not swallowed as their value.
-const BOOL_FLAGS: &[&str] = &["explain", "trace", "help", "flame", "profile-mem", "mmap"];
+const BOOL_FLAGS: &[&str] =
+    &["explain", "trace", "help", "flame", "profile-mem", "mmap", "audit-cost", "shift"];
 
 struct Args {
     positional: Vec<String>,
@@ -107,15 +108,18 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  wym generate --dataset <NAME> --out <FILE> [--seed N] [--cap N]\n  \
+    "usage:\n  wym generate --dataset <NAME> --out <FILE> [--seed N] [--cap N] [--shift]\n  \
      wym eval     --data <FILE> [--epochs N] [--seed N]\n  \
      wym explain  --data <FILE> --id <RECORD_ID> [--epochs N]\n  \
      wym match    --data <FILE> --left \"a|b|c\" --right \"x|y|z\"\n  \
      wym train    --data <FILE> --model <OUT.json> | --save-model <OUT.wym> [--epochs N]\n  \
      wym apply    --model <MODEL.json> --data <FILE> [--explain]\n  \
-     wym classify --load-model <MODEL.wym> --data <FILE> [--explain] [--mmap]\n  \
+     wym classify --load-model <MODEL.wym> --data <FILE> [--explain] [--mmap] [--threads N]\n           \
+     [--audit-log <FILE.jsonl>] [--audit-sample N] [--audit-cost]\n  \
      wym model    inspect <MODEL.wym>\n  \
      wym model    diff <A.wym> <B.wym>\n  \
+     wym obs      report --audit <FILE.jsonl>\n  \
+     wym obs      export --metrics <OBS.json>\n  \
      wym datasets\n\
      every command also accepts: --trace [--metrics-out <FILE>] --flame --profile-mem"
 }
@@ -203,6 +207,225 @@ fn fit(dataset: &EmDataset, args: &Args) -> (WymModel, Vec<RecordPair>) {
     (model, test)
 }
 
+/// `wym obs report` — summarize a decision audit log (JSONL, as written by
+/// `classify --audit-log`): decision and verdict counts, margin spread,
+/// the attributes that dominated explained decisions, and the model
+/// fingerprints seen — the service-side "what has this model been doing"
+/// view, built from the log alone.
+fn obs_report(args: &Args) -> Result<(), String> {
+    use wym_obs::Json;
+    let path = args.require("audit")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let field = |obj: &[(String, Json)], name: &str| -> Option<Json> {
+        obj.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+    };
+    let as_f64 = |v: &Json| -> Option<f64> {
+        match v {
+            Json::Num(n) => Some(*n),
+            Json::UInt(n) => Some(*n as f64),
+            Json::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    };
+    let mut total = 0u64;
+    let mut matches = 0u64;
+    let mut by_kind: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut fnvs: std::collections::BTreeSet<String> = Default::default();
+    let mut impact_attrs: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut margin_min = f64::INFINITY;
+    let mut margin_sum = 0.0f64;
+    let mut close_calls = 0u64; // |margin| < 0.05: decisions one nudge from flipping
+    let mut costed = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = wym_obs::json::parse(line)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let Json::Obj(obj) = v else {
+            return Err(format!("{path}:{}: decision record is not an object", lineno + 1));
+        };
+        total += 1;
+        if field(&obj, "verdict") == Some(Json::Bool(true)) {
+            matches += 1;
+        }
+        if let Some(Json::Str(kind)) = field(&obj, "kind") {
+            *by_kind.entry(kind).or_insert(0) += 1;
+        }
+        if let Some(Json::Str(fnv)) = field(&obj, "model_fnv") {
+            fnvs.insert(fnv);
+        }
+        if let Some(m) = field(&obj, "margin").as_ref().and_then(as_f64) {
+            margin_min = margin_min.min(m.abs());
+            margin_sum += m.abs();
+            if m.abs() < 0.05 {
+                close_calls += 1;
+            }
+        }
+        if let Some(Json::Arr(impacts)) = field(&obj, "top_impacts") {
+            if let Some(Json::Obj(top)) = impacts.first() {
+                if let Some(Json::Str(attr)) = field(top, "attribute") {
+                    *impact_attrs.entry(attr).or_insert(0) += 1;
+                }
+            }
+        }
+        costed += u64::from(field(&obj, "cost").is_some());
+    }
+    if total == 0 {
+        return Err(format!("{path} holds no decision records"));
+    }
+    println!("{path}: {total} decisions");
+    let kinds = by_kind
+        .iter()
+        .map(|(k, n)| format!("{k}={n}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("  kinds       : {kinds}");
+    println!(
+        "  verdicts    : {matches} match / {} non-match ({:.1}% match)",
+        total - matches,
+        100.0 * matches as f64 / total as f64
+    );
+    println!(
+        "  margin      : mean |m|={:.3} min |m|={:.3}  close calls (<0.05): {close_calls}",
+        margin_sum / total as f64,
+        margin_min
+    );
+    if !impact_attrs.is_empty() {
+        let mut ranked: Vec<_> = impact_attrs.iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        let top = ranked
+            .iter()
+            .take(5)
+            .map(|(a, n)| format!("{a}×{n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("  top drivers : {top}");
+    }
+    println!("  models      : {}", fnvs.into_iter().collect::<Vec<_>>().join(", "));
+    if costed > 0 {
+        println!("  cost fields : {costed} record(s) carry wall/alloc cost");
+    }
+    Ok(())
+}
+
+/// Records per parallel scoring chunk in `classify`: small enough that the
+/// windowed metrics rotate a few times per run, large enough to amortize
+/// thread hand-off. Chunking never changes output bits (see `wym-par`).
+const CLASSIFY_CHUNK: usize = 256;
+
+/// `wym classify` — serve a WYMA artifact over a CSV of pairs, optionally
+/// in parallel, with the full telemetry surface: sequence-pinned decision
+/// audit log, windowed metrics, and the drift sentinel against the
+/// artifact's frozen train-time sketch.
+fn classify(args: &Args) -> Result<(), String> {
+    let model_path = args.require("load-model")?;
+    let mode = if args.get("mmap").is_some() {
+        artifact::LoadMode::Mmap
+    } else {
+        artifact::LoadMode::Read
+    };
+    let loaded = artifact::load_model(Path::new(model_path), mode).map_err(|e| e.to_string())?;
+    eprintln!(
+        "loaded {model_path} ({} bytes, {}; trained with kernel={} seed={} git={})",
+        loaded.file_bytes,
+        if loaded.mapped { "mmap" } else { "read" },
+        loaded.manifest.kernel,
+        loaded.manifest.seed,
+        loaded.manifest.git_sha,
+    );
+    let baseline = loaded.sketch;
+    let model_fnv = loaded.content_fnv;
+    let model = loaded.model;
+    let dataset = load(args.require("data")?)?;
+    let explain = args.get("explain").is_some();
+    let threads = args.num("threads", 1usize);
+
+    // The audit sink is installed globally so worker threads (which run
+    // under the propagated obs context anyway) and the caller agree on it.
+    let audit = match args.get("audit-log").filter(|p| !p.is_empty()) {
+        Some(p) => {
+            let log = std::sync::Arc::new(wym_obs::AuditLog::new(wym_obs::AuditOptions {
+                sample_every: args.num("audit-sample", 1u64),
+                include_cost: args.get("audit-cost").is_some(),
+                model_fnv,
+            }));
+            wym_obs::audit::install_global(std::sync::Arc::clone(&log));
+            Some((p.to_string(), log))
+        }
+        None => None,
+    };
+    // Windowed metrics: one logical tick per scoring chunk, so window
+    // rotation depends on record count alone — never wall time.
+    wym_obs::window_enable(8);
+
+    let mut predicted_matches = 0usize;
+    let mut live = wym_obs::ModelSketch::new();
+    let mut offset = 0usize;
+    for chunk in dataset.pairs.chunks(CLASSIFY_CHUNK) {
+        let base = offset;
+        let rows = wym::par::map_indexed(chunk, threads, |i, pair| {
+            // Pin the audit sequence to the input position: records sort
+            // identically whatever the worker interleaving was.
+            let _seq = wym_obs::audit::scope_seq((base + i) as u64);
+            let proc = model.process(pair);
+            let (line, label, probability) = if explain {
+                let ex = model.explain_processed(&proc);
+                (ex.to_string(), ex.prediction, ex.probability)
+            } else {
+                let p = model.predict_processed(&proc);
+                let line = format!(
+                    "{}\t{}\t{:.4}",
+                    pair.id,
+                    if p.label { "match" } else { "non-match" },
+                    p.probability
+                );
+                (line, p.label, p.probability)
+            };
+            let paired = proc.units.iter().filter(|u| u.is_paired()).count();
+            let attrs: Vec<u32> = proc.units.iter().map(|u| u.attribute() as u32).collect();
+            (line, label, probability, paired, attrs)
+        });
+        for (line, label, probability, paired, attrs) in rows {
+            println!("{line}");
+            predicted_matches += usize::from(label);
+            if baseline.is_some() {
+                let frac = if attrs.is_empty() {
+                    0.0
+                } else {
+                    paired as f64 / attrs.len() as f64
+                };
+                live.observe(
+                    probability,
+                    frac,
+                    attrs.iter().map(|&a| model.attr_names()[a as usize].as_str()),
+                );
+            }
+        }
+        offset += chunk.len();
+        wym_obs::window_advance();
+    }
+
+    if let Some((path, log)) = &audit {
+        wym_obs::audit::clear_global();
+        let n = log
+            .write_jsonl(Path::new(path))
+            .map_err(|e| format!("cannot write audit log {path}: {e}"))?;
+        eprintln!("audit: {n} decision(s) appended to {path} (checksum {:016x})", log.checksum());
+    }
+    match &baseline {
+        Some(baseline) => {
+            let report = baseline.compare(&live);
+            report.publish();
+            eprintln!("drift: {}", report.render());
+        }
+        None => eprintln!("drift: no baseline sketch in {model_path} (retrain to freeze one)"),
+    }
+    eprintln!("{predicted_matches} predicted matches out of {} pairs", dataset.len());
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
     let command = args.positional.first().map(String::as_str).unwrap_or("");
     match command {
@@ -229,6 +452,22 @@ fn run(args: &Args) -> Result<(), String> {
             if let Some(cap) = args.get("cap") {
                 let cap: usize = cap.parse().map_err(|_| "--cap needs a number")?;
                 dataset = dataset.subsample(cap, seed);
+            }
+            if args.get("shift").is_some() {
+                // Deterministic distribution shift for drift-sentinel
+                // exercises: rotate the right-hand entities by half the
+                // dataset so pairs stop describing the same real-world
+                // entity. Labels become non-matches by construction.
+                let n = dataset.pairs.len();
+                if n > 1 {
+                    let rights: Vec<Entity> =
+                        dataset.pairs.iter().map(|p| p.right.clone()).collect();
+                    for (i, pair) in dataset.pairs.iter_mut().enumerate() {
+                        pair.right = rights[(i + n / 2) % n].clone();
+                        pair.label = false;
+                    }
+                }
+                eprintln!("shifted: right entities rotated by {}, labels cleared", n / 2);
             }
             csv::write_csv(&dataset, Path::new(out)).map_err(|e| e.to_string())?;
             println!(
@@ -305,9 +544,23 @@ fn run(args: &Args) -> Result<(), String> {
                 println!("model saved to {out}");
             }
             if let Some(out) = artifact_out {
-                let bytes = artifact::save_model(Path::new(out), &model, &manifest(args))
-                    .map_err(|e| e.to_string())?;
-                println!("model artifact saved to {out} ({bytes} bytes)");
+                // Freeze the train-time behaviour sketch into the artifact:
+                // the drift baseline `classify` compares live traffic to.
+                let split = paper_split(&dataset, args.num("seed", 42u64));
+                let train_pairs: Vec<RecordPair> =
+                    split.train.iter().map(|&i| dataset.pairs[i].clone()).collect();
+                let sketch = model.sketch_on(&train_pairs);
+                let bytes = artifact::save_model_with_sketch(
+                    Path::new(out),
+                    &model,
+                    &manifest(args),
+                    Some(&sketch),
+                )
+                .map_err(|e| e.to_string())?;
+                println!(
+                    "model artifact saved to {out} ({bytes} bytes, drift baseline over {} pairs)",
+                    sketch.len()
+                );
             }
             Ok(())
         }
@@ -341,47 +594,7 @@ fn run(args: &Args) -> Result<(), String> {
             );
             Ok(())
         }
-        "classify" => {
-            let model_path = args.require("load-model")?;
-            let mode = if args.get("mmap").is_some() {
-                artifact::LoadMode::Mmap
-            } else {
-                artifact::LoadMode::Read
-            };
-            let loaded = artifact::load_model(Path::new(model_path), mode)
-                .map_err(|e| e.to_string())?;
-            eprintln!(
-                "loaded {model_path} ({} bytes, {}; trained with kernel={} seed={} git={})",
-                loaded.file_bytes,
-                if loaded.mapped { "mmap" } else { "read" },
-                loaded.manifest.kernel,
-                loaded.manifest.seed,
-                loaded.manifest.git_sha,
-            );
-            let model = loaded.model;
-            let dataset = load(args.require("data")?)?;
-            let explain = args.get("explain").is_some();
-            let mut predicted_matches = 0usize;
-            for pair in &dataset.pairs {
-                let p = model.predict(pair);
-                if explain {
-                    println!("{}", model.explain(pair));
-                } else {
-                    println!(
-                        "{}\t{}\t{:.4}",
-                        pair.id,
-                        if p.label { "match" } else { "non-match" },
-                        p.probability
-                    );
-                }
-                predicted_matches += usize::from(p.label);
-            }
-            eprintln!(
-                "{predicted_matches} predicted matches out of {} pairs",
-                dataset.len()
-            );
-            Ok(())
-        }
+        "classify" => classify(args),
         "model" => {
             let sub = args.positional.get(1).map(String::as_str).unwrap_or("");
             match sub {
@@ -413,6 +626,24 @@ fn run(args: &Args) -> Result<(), String> {
                     }
                 }
                 other => Err(format!("unknown model subcommand {other:?}\n{}", usage())),
+            }
+        }
+        "obs" => {
+            let sub = args.positional.get(1).map(String::as_str).unwrap_or("");
+            match sub {
+                "report" => obs_report(args),
+                "export" => {
+                    let path = args.require("metrics")?;
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    let json =
+                        wym_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+                    let snap = wym_obs::Snapshot::from_json(&json)
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    print!("{}", wym_obs::prometheus_text(&snap));
+                    Ok(())
+                }
+                other => Err(format!("unknown obs subcommand {other:?}\n{}", usage())),
             }
         }
         "" | "help" | "--help" => {

@@ -35,5 +35,6 @@ pub use wym_explain as explain;
 pub use wym_linalg as linalg;
 pub use wym_ml as ml;
 pub use wym_nn as nn;
+pub use wym_par as par;
 pub use wym_strsim as strsim;
 pub use wym_tokenize as tokenize;
