@@ -43,43 +43,64 @@ fn bench(c: &mut Criterion) {
         c.bench_function("embed_token", |bch| bch.iter(|| emb.embed_token_static("dslra200w")));
     }
 
-    // Kernel-layer dispatch: each entry pairs the dispatched path (AVX2+FMA
-    // on capable hosts) with the pinned scalar reference — the acceptance
-    // target is ≥2x on dot/cosine at d=300. Both paths return bit-identical
-    // results; only the speed differs.
+    // Kernel-layer dispatch: every implementation the host supports —
+    // scalar always, plus AVX2+FMA / AVX-512 / NEON as the CPU exposes
+    // them — on the same inputs, labeled by dispatch name. All variants
+    // return bit-identical results; only the speed differs. The historical
+    // acceptance target (best ≥2x scalar on dot/cosine at d=300) reads off
+    // the `_scalar`-suffixed vs best-impl entries.
     {
         use wym_linalg::kernels::{
-            axpy_with, cosine_with, detect_best, dist_sq_with, dot_with, KernelImpl,
+            available, axpy_with, cosine_with, dist_sq_with, dot_i8_with, dot_with,
         };
         let mut g = c.benchmark_group("kernels");
-        let best = detect_best();
         for &d in &[64usize, 300] {
             let a: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
             let b: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
-            g.bench_function(&format!("dot_{d}"), |bch| bch.iter(|| dot_with(best, &a, &b)));
-            g.bench_function(&format!("dot_{d}_scalar"), |bch| {
-                bch.iter(|| dot_with(KernelImpl::Scalar, &a, &b))
-            });
-            g.bench_function(&format!("cosine_{d}"), |bch| {
-                bch.iter(|| cosine_with(best, &a, &b))
-            });
-            g.bench_function(&format!("cosine_{d}_scalar"), |bch| {
-                bch.iter(|| cosine_with(KernelImpl::Scalar, &a, &b))
-            });
-            g.bench_function(&format!("dist_sq_{d}"), |bch| {
-                bch.iter(|| dist_sq_with(best, &a, &b))
-            });
-            g.bench_function(&format!("dist_sq_{d}_scalar"), |bch| {
-                bch.iter(|| dist_sq_with(KernelImpl::Scalar, &a, &b))
-            });
-            let mut y = b.clone();
-            g.bench_function(&format!("axpy_{d}"), |bch| {
-                bch.iter(|| axpy_with(best, 0.37, &a, &mut y))
-            });
-            let mut y = b.clone();
-            g.bench_function(&format!("axpy_{d}_scalar"), |bch| {
-                bch.iter(|| axpy_with(KernelImpl::Scalar, 0.37, &a, &mut y))
-            });
+            let qa: Vec<i8> = (0..d).map(|i| ((i * 37) % 255) as i8).collect();
+            let qb: Vec<i8> = (0..d).map(|i| ((i * 91) % 255) as i8).collect();
+            for imp in available() {
+                let n = imp.name();
+                g.bench_function(&format!("dot_{d}_{n}"), |bch| {
+                    bch.iter(|| dot_with(imp, &a, &b))
+                });
+                g.bench_function(&format!("cosine_{d}_{n}"), |bch| {
+                    bch.iter(|| cosine_with(imp, &a, &b))
+                });
+                g.bench_function(&format!("dist_sq_{d}_{n}"), |bch| {
+                    bch.iter(|| dist_sq_with(imp, &a, &b))
+                });
+                let mut y = b.clone();
+                g.bench_function(&format!("axpy_{d}_{n}"), |bch| {
+                    bch.iter(|| axpy_with(imp, 0.37, &a, &mut y))
+                });
+                g.bench_function(&format!("dot_i8_{d}_{n}"), |bch| {
+                    bch.iter(|| dot_i8_with(imp, &qa, &qb))
+                });
+            }
+        }
+        // The quantized-pairing kernels: max-reduce + row quantization (the
+        // per-build cost of the i8 screen) and the batched row-block dot
+        // (its per-entry cost), one query against 64 contiguous rows.
+        use wym_linalg::kernels::{dot_i8_batch_with, max_abs_with, quantize_i8_with};
+        for &d in &[64usize, 300] {
+            let v: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
+            let qa: Vec<i8> = (0..d).map(|i| ((i * 37) % 255) as i8).collect();
+            let block: Vec<i8> = (0..64 * d).map(|i| ((i * 53) % 255) as i8).collect();
+            for imp in available() {
+                let n = imp.name();
+                g.bench_function(&format!("max_abs_{d}_{n}"), |bch| {
+                    bch.iter(|| max_abs_with(imp, &v))
+                });
+                let mut q = vec![0i8; d];
+                g.bench_function(&format!("quantize_i8_{d}_{n}"), |bch| {
+                    bch.iter(|| quantize_i8_with(imp, &v, 127.0, &mut q))
+                });
+                let mut dots = vec![0i32; 64];
+                g.bench_function(&format!("dot_i8_batch64_{d}_{n}"), |bch| {
+                    bch.iter(|| dot_i8_batch_with(imp, &qa, &block, &mut dots))
+                });
+            }
         }
         g.finish();
     }
@@ -95,6 +116,122 @@ fn bench(c: &mut Criterion) {
         c.bench_function("pairing_stable_marriage", |bch| {
             bch.iter(|| get_sm_pairs(&rec, &left, &right, 0.6, PairingSim::Embedding, false))
         });
+    }
+
+    // Fused tokenize→embed: the arena path with matrix recycling
+    // (steady-state serving — allocation-free after warmup) against the
+    // nested alloc-per-record reference it is bit-identical to. Both embed
+    // the same pre-tokenized 10-record workload.
+    {
+        let dataset = bench_dataset_hard(10);
+        let tok = Tokenizer::default();
+        let emb = Embedder::new_static(64, 0);
+        let token_lists: Vec<(Vec<Vec<String>>, Vec<Vec<String>>)> = dataset
+            .pairs
+            .iter()
+            .map(|p| {
+                (
+                    tok.tokenize_attributes(&p.left.values),
+                    tok.tokenize_attributes(&p.right.values),
+                )
+            })
+            .collect();
+        let mut g = c.benchmark_group("fused_embed");
+        g.bench_function("embed_swa10_reference_alloc", |bch| {
+            bch.iter(|| {
+                token_lists
+                    .iter()
+                    .map(|(lt, rt)| emb.embed_entity(lt).len() + emb.embed_entity(rt).len())
+                    .sum::<usize>()
+            })
+        });
+        g.bench_function("embed_swa10_fused_arena", |bch| {
+            bch.iter(|| {
+                token_lists
+                    .iter()
+                    .map(|(lt, rt)| {
+                        let l = emb.embed_entity_fused(lt);
+                        let r = emb.embed_entity_fused(rt);
+                        let n = l.n_rows() + r.n_rows();
+                        wym_embed::recycle(l);
+                        wym_embed::recycle(r);
+                        n
+                    })
+                    .sum::<usize>()
+            })
+        });
+        g.finish();
+    }
+
+    // Int8-screened pairing: the similarity-matrix fill with the i8
+    // screening pass (the production configuration under the default 0.6
+    // discovery floor) against the pure-f32 fill it is observationally
+    // identical to.
+    {
+        let dataset = bench_dataset_hard(10);
+        let tok = Tokenizer::default();
+        let emb = Embedder::new_static(64, 0);
+        let recs: Vec<TokenizedRecord> = dataset
+            .pairs
+            .iter()
+            .map(|p| TokenizedRecord::from_pair(p, &tok, &emb))
+            .collect();
+        let mut g = c.benchmark_group("simmatrix_i8");
+        g.bench_function("build_swa10_f32", |bch| {
+            bch.iter(|| {
+                recs.iter()
+                    .map(|r| {
+                        SimMatrix::build_tuned(r, PairingSim::Embedding, false, None, 1).entries()
+                    })
+                    .sum::<usize>()
+            })
+        });
+        g.bench_function("build_swa10_i8_screened", |bch| {
+            bch.iter(|| {
+                recs.iter()
+                    .map(|r| {
+                        SimMatrix::build_tuned(r, PairingSim::Embedding, false, Some(0.6), 1)
+                            .entries()
+                    })
+                    .sum::<usize>()
+            })
+        });
+        // The regime `worth_i8_screening` actually routes to the screen in
+        // production: one long-description record (256 tokens/side) at
+        // fastText dimensionality. The small-record entries above stay for
+        // the trajectory but production now fills those with pure f32.
+        let stress_side = |n: usize, dim: usize, seed: u64| {
+            let mut rng = Rng64::new(seed);
+            let rows: Vec<Vec<f32>> = (0..n)
+                .map(|_| {
+                    let mut v: Vec<f32> = (0..dim).map(|_| rng.normal() as f32).collect();
+                    wym_linalg::vector::normalize(&mut v);
+                    v
+                })
+                .collect();
+            wym_core::record::EntityView {
+                tokens: vec![(0..n).map(|i| format!("t{i}")).collect()],
+                embeds: wym_embed::EmbedMatrix::from_nested(&[rows], dim),
+            }
+        };
+        let stress = TokenizedRecord {
+            id: 0,
+            left: stress_side(256, 300, 1),
+            right: stress_side(256, 300, 2),
+            label: None,
+        };
+        g.bench_function("build_stress256_d300_f32", |bch| {
+            bch.iter(|| {
+                SimMatrix::build_tuned(&stress, PairingSim::Embedding, false, None, 1).entries()
+            })
+        });
+        g.bench_function("build_stress256_d300_i8_screened", |bch| {
+            bch.iter(|| {
+                SimMatrix::build_tuned(&stress, PairingSim::Embedding, false, Some(0.6), 1)
+                    .entries()
+            })
+        });
+        g.finish();
     }
 
     // This PR's perf targets: similarity caching in discovery, blocked GEMM.

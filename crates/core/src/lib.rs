@@ -32,7 +32,7 @@ pub mod scorer;
 pub mod state;
 pub mod units;
 
-pub use algorithm1::{discover_units, DiscoveryConfig};
+pub use algorithm1::{discover_units, discover_units_with_threads, DiscoveryConfig};
 pub use explanation::{ExplainedUnit, Explanation};
 pub use pipeline::{Prediction, ProcessedRecord, WymConfig, WymModel};
 pub use record::{Side, TokenRef, TokenizedRecord};

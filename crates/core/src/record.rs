@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use wym_data::RecordPair;
-use wym_embed::Embedder;
+use wym_embed::{Embedder, EmbedMatrix};
 use wym_tokenize::Tokenizer;
 
 /// Which entity description of the record a token belongs to.
@@ -45,8 +45,9 @@ impl TokenRef {
 pub struct EntityView {
     /// `tokens[attr][pos]` — surface forms.
     pub tokens: Vec<Vec<String>>,
-    /// `embeds[attr][pos]` — contextual unit vectors, same shape as `tokens`.
-    pub embeds: Vec<Vec<Vec<f32>>>,
+    /// Contextual unit vectors, one flat row per token, grouped by
+    /// attribute in the same shape as `tokens` (see [`EmbedMatrix`]).
+    pub embeds: EmbedMatrix,
 }
 
 impl EntityView {
@@ -57,7 +58,7 @@ impl EntityView {
 
     /// Contextual embedding of a token.
     pub fn embed(&self, t: TokenRef) -> &[f32] {
-        &self.embeds[t.attr as usize][t.pos as usize]
+        self.embeds.embed(t.attr as usize, t.pos as usize)
     }
 
     /// All token references of one attribute.
@@ -95,18 +96,42 @@ pub struct TokenizedRecord {
 }
 
 impl TokenizedRecord {
-    /// Tokenizes and embeds a record pair.
+    /// Tokenizes and embeds a record pair through the fused arena path
+    /// (bit-identical to the reference `embed_entity`; see
+    /// [`Embedder::embed_entity_fused`]).
     pub fn from_pair(pair: &RecordPair, tokenizer: &Tokenizer, embedder: &Embedder) -> Self {
         let lt = tokenizer.tokenize_attributes(&pair.left.values);
         let rt = tokenizer.tokenize_attributes(&pair.right.values);
-        let le = embedder.embed_entity(&lt);
-        let re = embedder.embed_entity(&rt);
+        Self::from_tokens(pair.id, Some(pair.label), lt, rt, embedder)
+    }
+
+    /// Embeds already-tokenized attribute lists — the second half of
+    /// [`TokenizedRecord::from_pair`], split out so callers (the timing
+    /// harness) can clock tokenization and embedding separately.
+    pub fn from_tokens(
+        id: u32,
+        label: Option<bool>,
+        left_tokens: Vec<Vec<String>>,
+        right_tokens: Vec<Vec<String>>,
+        embedder: &Embedder,
+    ) -> Self {
+        let le = embedder.embed_entity_fused(&left_tokens);
+        let re = embedder.embed_entity_fused(&right_tokens);
         Self {
-            id: pair.id,
-            left: EntityView { tokens: lt, embeds: le },
-            right: EntityView { tokens: rt, embeds: re },
-            label: Some(pair.label),
+            id,
+            left: EntityView { tokens: left_tokens, embeds: le },
+            right: EntityView { tokens: right_tokens, embeds: re },
+            label,
         }
+    }
+
+    /// Hands this record's embedding storage back to the thread's reuse
+    /// pool (see [`wym_embed::recycle`]). Callers that drop records right
+    /// after use — the serving loop, the perf harness — make the next
+    /// [`TokenizedRecord::from_pair`] on the thread allocation-free.
+    pub fn recycle(self) {
+        wym_embed::recycle(self.left.embeds);
+        wym_embed::recycle(self.right.embeds);
     }
 
     /// The entity view of a side.
@@ -149,8 +174,8 @@ mod tests {
         let rec = TokenizedRecord::from_pair(&pair(), &tok, &emb);
         assert_eq!(rec.left.tokens[0], vec!["digital", "camera"]);
         assert_eq!(rec.right.tokens[0], vec!["digital", "camera", "kit"]);
-        assert_eq!(rec.left.embeds[0].len(), 2);
-        assert_eq!(rec.left.embeds[0][0].len(), 32);
+        assert_eq!(rec.left.embeds.attr_len(0), 2);
+        assert_eq!(rec.left.embeds.dim(), 32);
         assert_eq!(rec.label, Some(true));
     }
 

@@ -117,6 +117,88 @@ impl ContextEncoder {
     }
 }
 
+impl ContextEncoder {
+    /// [`ContextEncoder::contextualize`] over flat row-major storage — the
+    /// fused embed path. `statics` and `out` are `rows * dim` arenas where
+    /// attribute `a` owns rows `attr_offsets[a] .. attr_offsets[a + 1]`;
+    /// `out` must arrive zeroed (the reference path starts each output
+    /// vector at `vec![0.0; dim]`). The centroid sums, the per-token blend,
+    /// and the normalization run in the identical order with the identical
+    /// `axpy` kernel calls as the nested reference, so the output rows are
+    /// bit-identical to its output vectors.
+    ///
+    /// `centroid` / `attr_centroid` / `nbr` are caller-owned `dim`-long
+    /// scratch buffers (zeroing them here is part of the recipe).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn contextualize_flat(
+        &self,
+        statics: &[f32],
+        attr_offsets: &[usize],
+        dim: usize,
+        out: &mut [f32],
+        centroid: &mut [f32],
+        attr_centroid: &mut [f32],
+        nbr: &mut [f32],
+    ) {
+        let rows = *attr_offsets.last().unwrap_or(&0);
+        if rows == 0 || dim == 0 {
+            return;
+        }
+        debug_assert_eq!(statics.len(), rows * dim);
+        debug_assert_eq!(out.len(), rows * dim);
+        let srow = |r: usize| &statics[r * dim..(r + 1) * dim];
+
+        // Record centroid, token rows in (attribute, position) order.
+        centroid.fill(0.0);
+        for r in 0..rows {
+            axpy(1.0, srow(r), centroid);
+        }
+        let inv = 1.0 / rows as f32;
+        centroid.iter_mut().for_each(|v| *v *= inv);
+
+        let total =
+            self.self_weight + self.neighbor_weight + self.attribute_weight + self.record_weight;
+        let total = if total <= 0.0 { 1.0 } else { total };
+
+        for a in 0..attr_offsets.len() - 1 {
+            let (r0, r1) = (attr_offsets[a], attr_offsets[a + 1]);
+            // Attribute centroid.
+            attr_centroid.fill(0.0);
+            for r in r0..r1 {
+                axpy(1.0, srow(r), attr_centroid);
+            }
+            if r1 > r0 {
+                let inv = 1.0 / (r1 - r0) as f32;
+                attr_centroid.iter_mut().for_each(|v| *v *= inv);
+            }
+            for r in r0..r1 {
+                let out_row = &mut out[r * dim..(r + 1) * dim];
+                axpy(self.self_weight / total, srow(r), out_row);
+                // Mean of the immediate neighbours (when present).
+                nbr.fill(0.0);
+                let mut n_nbr = 0.0f32;
+                if r > r0 {
+                    axpy(1.0, srow(r - 1), nbr);
+                    n_nbr += 1.0;
+                }
+                if r + 1 < r1 {
+                    axpy(1.0, srow(r + 1), nbr);
+                    n_nbr += 1.0;
+                }
+                if n_nbr > 0.0 {
+                    axpy(self.neighbor_weight / total / n_nbr, nbr, out_row);
+                } else {
+                    // Lone token: fold the neighbour mass into self.
+                    axpy(self.neighbor_weight / total, srow(r), out_row);
+                }
+                axpy(self.attribute_weight / total, attr_centroid, out_row);
+                axpy(self.record_weight / total, centroid, out_row);
+                normalize(out_row);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

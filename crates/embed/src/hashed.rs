@@ -52,33 +52,57 @@ impl HashedNgramEmbedder {
     /// vectors.
     pub fn embed_token(&self, token: &str) -> Vec<f32> {
         let mut acc = vec![0.0f32; self.dim];
+        self.embed_token_into(token, &mut acc, &mut Vec::new(), &mut String::new());
+        acc
+    }
+
+    /// [`HashedNgramEmbedder::embed_token`] writing into a caller-provided
+    /// slice, with reusable character and feature-string buffers — the
+    /// fused embed path's allocation-free variant. The hashed features,
+    /// their order, and every float update are identical to
+    /// [`HashedNgramEmbedder::embed_token`], so the output is bit-identical.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `acc` is not `dim` long.
+    pub fn embed_token_into(
+        &self,
+        token: &str,
+        acc: &mut [f32],
+        chars: &mut Vec<char>,
+        gram: &mut String,
+    ) {
+        debug_assert_eq!(acc.len(), self.dim);
+        acc.fill(0.0);
         if token.is_empty() {
-            return acc;
+            return;
         }
         // Whole word.
-        self.add_feature(&mut acc, token, self.word_weight);
+        self.add_feature(acc, token, self.word_weight);
         // Boundary-padded character n-grams.
-        let padded: Vec<char> = std::iter::once('<')
-            .chain(token.chars())
-            .chain(std::iter::once('>'))
-            .collect();
+        chars.clear();
+        chars.push('<');
+        chars.extend(token.chars());
+        chars.push('>');
         for n in [3usize, 4] {
-            if padded.len() < n {
+            if chars.len() < n {
                 continue;
             }
-            for start in 0..=padded.len() - n {
-                let gram: String = padded[start..start + n].iter().collect();
-                self.add_feature(&mut acc, &gram, 1.0);
+            for start in 0..=chars.len() - n {
+                gram.clear();
+                gram.extend(chars[start..start + n].iter());
+                self.add_feature(acc, gram, 1.0);
             }
         }
         // Word-piece segments, when a vocabulary is attached.
         if let Some(vocab) = &self.wordpiece {
             for piece in vocab.segment(token) {
-                self.add_feature(&mut acc, &format!("wp:{piece}"), 0.8);
+                gram.clear();
+                gram.push_str("wp:");
+                gram.push_str(&piece);
+                self.add_feature(acc, gram, 0.8);
             }
         }
-        normalize(&mut acc);
-        acc
+        normalize(acc);
     }
 }
 

@@ -28,11 +28,13 @@
 pub mod context;
 pub mod finetune;
 pub mod hashed;
+pub mod matrix;
 pub mod quant;
 
 pub use context::ContextEncoder;
 pub use finetune::{build_centroid_pairs, EntityTokens};
 pub use hashed::HashedNgramEmbedder;
+pub use matrix::{recycle, EmbedMatrix};
 pub use quant::QuantizedTable;
 
 use serde::{Deserialize, Serialize};
@@ -169,6 +171,97 @@ impl Embedder {
         contextual
     }
 
+    /// The fused twin of [`Embedder::embed_entity`]: same static hashing →
+    /// contextualization → optional projection sequence, but every
+    /// intermediate lives in this thread's [`matrix::EmbedScratch`] arenas
+    /// and the result lands in one flat [`EmbedMatrix`] — at most one data
+    /// allocation per entity, zero once [`recycle`] has fed the pool.
+    ///
+    /// Bit-identity: each stage delegates to an `*_into` variant
+    /// ([`HashedNgramEmbedder::embed_token_into`], the flat contextualizer,
+    /// [`wym_nn::SiameseProjection::project_into`]) that performs the
+    /// identical float operations in the identical order as its allocating
+    /// twin, so `embed_entity_fused(t).to_nested() == embed_entity(t)`
+    /// exactly — the property `fused_embed_bit_identical_to_reference`
+    /// pins.
+    pub fn embed_entity_fused(&self, attr_tokens: &[Vec<String>]) -> EmbedMatrix {
+        let _span = wym_obs::span("embed");
+        if wym_obs::enabled() {
+            let n: usize = attr_tokens.iter().map(|a| a.len()).sum();
+            wym_obs::counter_add("embed.tokens", n as u64);
+        }
+        let dim = self.dim();
+        let n_tok: usize = attr_tokens.iter().map(Vec::len).sum();
+        matrix::with_scratch(|s| {
+            let (mut offsets, mut data) = s.pool.pop().unwrap_or_default();
+            offsets.clear();
+            offsets.push(0);
+            data.clear();
+            data.resize(n_tok * dim, 0.0);
+
+            // Stage 1: static hashed vectors into the statics arena.
+            s.statics.clear();
+            s.statics.resize(n_tok * dim, 0.0);
+            let mut r = 0usize;
+            for tokens in attr_tokens {
+                for t in tokens {
+                    self.hashed.embed_token_into(
+                        t,
+                        &mut s.statics[r * dim..(r + 1) * dim],
+                        &mut s.chars,
+                        &mut s.gram,
+                    );
+                    r += 1;
+                }
+                offsets.push(r);
+            }
+
+            if n_tok > 0 {
+                s.centroid.clear();
+                s.centroid.resize(dim, 0.0);
+                s.attr_centroid.clear();
+                s.attr_centroid.resize(dim, 0.0);
+                s.nbr.clear();
+                s.nbr.resize(dim, 0.0);
+                match &self.projection {
+                    // Stage 2 (no projection): contextualize straight into
+                    // the output rows.
+                    None => self.context.contextualize_flat(
+                        &s.statics,
+                        &offsets,
+                        dim,
+                        &mut data,
+                        &mut s.centroid,
+                        &mut s.attr_centroid,
+                        &mut s.nbr,
+                    ),
+                    // Stages 2+3: contextualize into the ctx arena, project
+                    // each row into the output.
+                    Some(proj) => {
+                        s.ctx.clear();
+                        s.ctx.resize(n_tok * dim, 0.0);
+                        self.context.contextualize_flat(
+                            &s.statics,
+                            &offsets,
+                            dim,
+                            &mut s.ctx,
+                            &mut s.centroid,
+                            &mut s.attr_centroid,
+                            &mut s.nbr,
+                        );
+                        for r in 0..n_tok {
+                            proj.project_into(
+                                &s.ctx[r * dim..(r + 1) * dim],
+                                &mut data[r * dim..(r + 1) * dim],
+                            );
+                        }
+                    }
+                }
+            }
+            EmbedMatrix::from_raw(dim, offsets, data)
+        })
+    }
+
     /// Static (context-free) vector of a single token. Used by the scorer's
     /// per-unit aggregation (Eq. 3 keys units by surface form, not context).
     pub fn embed_token_static(&self, token: &str) -> Vec<f32> {
@@ -297,5 +390,44 @@ mod tests {
         let out = e.embed_entity(&entity(&[&[]]));
         assert_eq!(out.len(), 1);
         assert!(out[0].is_empty());
+    }
+
+    /// The fused arena path must reproduce the reference path bit for bit —
+    /// every kind (static / trained projection), empty attributes, empty
+    /// tokens, lone tokens, and repeated calls through the recycling pool.
+    #[test]
+    fn fused_embed_bit_identical_to_reference() {
+        let cases: Vec<Vec<Vec<String>>> = vec![
+            entity(&[&["digital", "camera"], &["sony"]]),
+            entity(&[&["camera"]]),
+            entity(&[&[], &["dslra200w", "kit", "zoom", "lens"], &[]]),
+            entity(&[&["", "camera", ""]]),
+            entity(&[&[]]),
+            entity(&[]),
+        ];
+        let left = entity(&[&["digital", "camera"]]);
+        let right = entity(&[&["digital", "camera", "kit"]]);
+        let records =
+            vec![(left.clone(), right, true), (left, entity(&[&["beer", "ale"]]), false)];
+        let embedders = vec![
+            Embedder::new_static(32, 1),
+            Embedder::fit(EmbedderKind::Siamese, 32, 5, &records),
+        ];
+        for e in &embedders {
+            for case in &cases {
+                // Twice per case: the second call draws from the pool.
+                for round in 0..2 {
+                    let reference = e.embed_entity(case);
+                    let fused = e.embed_entity_fused(case);
+                    assert_eq!(
+                        fused.to_nested(),
+                        reference,
+                        "kind {:?} round {round} case {case:?}",
+                        e.kind()
+                    );
+                    recycle(fused);
+                }
+            }
+        }
     }
 }

@@ -6,8 +6,10 @@
 //! ([`wym_linalg::kernels::dot_i8`]) consumes the rows directly.
 //!
 //! The scheme is symmetric per-row absmax: `scale = max|v| / 127`,
-//! `q_i = round(v_i / scale)` clamped to `[-127, 127]`, reconstructing as
-//! `v_i ≈ q_i · scale`. Two properties the blocking layer relies on:
+//! `q_i = round(v_i / scale)` (ties to even — the rounding mode the SIMD
+//! converts share, see [`wym_linalg::kernels::quantize_i8`]) clamped to
+//! `[-127, 127]`, reconstructing as `v_i ≈ q_i · scale`. Two properties
+//! the blocking layer relies on:
 //!
 //! 1. **Error bound.** Rounding is to nearest, so
 //!    `|v_i − q_i · scale| ≤ scale / 2 = max|v| / 254` per component. For
@@ -37,14 +39,18 @@ impl QuantizedTable {
     /// # Panics
     /// Panics when a row's length differs from `dim`.
     pub fn from_rows<R: AsRef<[f32]>>(rows: &[R], dim: usize) -> QuantizedTable {
-        let mut data = Vec::with_capacity(rows.len() * dim);
+        if dim == 0 {
+            for row in rows {
+                assert_eq!(row.as_ref().len(), 0, "row length must equal table dim");
+            }
+            return QuantizedTable { dim, data: Vec::new(), scales: vec![0.0; rows.len()] };
+        }
+        let mut data = vec![0i8; rows.len() * dim];
         let mut scales = Vec::with_capacity(rows.len());
-        for row in rows {
+        for (row, out) in rows.iter().zip(data.chunks_exact_mut(dim)) {
             let row = row.as_ref();
             assert_eq!(row.len(), dim, "row length must equal table dim");
-            let (q, scale) = quantize_row(row);
-            data.extend_from_slice(&q);
-            scales.push(scale);
+            scales.push(quantize_row_into(row, out));
         }
         QuantizedTable { dim, data, scales }
     }
@@ -134,14 +140,30 @@ impl QuantizedTable {
 /// Quantizes one row: symmetric absmax to int8. An all-zero (or empty) row
 /// gets scale 0 and all-zero codes, reconstructing exactly.
 pub fn quantize_row(row: &[f32]) -> (Vec<i8>, f32) {
-    let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-    if max_abs == 0.0 {
-        return (vec![0i8; row.len()], 0.0);
-    }
-    let scale = max_abs / 127.0;
-    let inv = 127.0 / max_abs;
-    let q = row.iter().map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8).collect();
+    let mut q = vec![0i8; row.len()];
+    let scale = quantize_row_into(row, &mut q);
     (q, scale)
+}
+
+/// [`quantize_row`] into a caller-provided buffer (no allocation), through
+/// the dispatched [`wym_linalg::kernels::quantize_i8`] / [`max_abs`]
+/// kernels — the absmax pass and the round-to-nearest-even conversion both
+/// run SIMD-wide where the host supports it, bit-identical to the scalar
+/// reference on every backend.
+///
+/// [`max_abs`]: wym_linalg::kernels::max_abs
+///
+/// # Panics
+/// Panics in debug builds when `out.len() != row.len()`.
+pub fn quantize_row_into(row: &[f32], out: &mut [i8]) -> f32 {
+    debug_assert_eq!(row.len(), out.len());
+    let max_abs = wym_linalg::kernels::max_abs(row);
+    if max_abs == 0.0 {
+        out.fill(0);
+        return 0.0;
+    }
+    wym_linalg::kernels::quantize_i8(row, 127.0 / max_abs, out);
+    max_abs / 127.0
 }
 
 #[cfg(test)]

@@ -1,0 +1,227 @@
+//! `bench_diff` — report-only regression sentinel over timing benchmarks.
+//!
+//! Compares the most recent `BENCH_timing.json` rows against the previous
+//! run recorded in `BENCH_history.jsonl` (same source, same dataset) and
+//! prints a per-stage table of relative wall-time changes. Unlike
+//! `obs_diff` this tool never fails the build on a regression: timings are
+//! machine- and load-dependent, so the table is evidence for a human, not
+//! a gate. The smoke suite invokes it non-fatally after the timing runs.
+//!
+//! ```text
+//! bench_diff [options]
+//!   --current PATH   timing report to check    (default results/BENCH_timing.json)
+//!   --history PATH   history log to scan       (default results/BENCH_history.jsonl)
+//!   --source NAME    history source to match   (default "timing")
+//!   --rel F          relative growth flagged as regression (default 0.3)
+//! ```
+//!
+//! Exit status: 0 always when the comparison ran (even with regressions),
+//! 2 on usage or file errors. Missing history is reported and exits 0 —
+//! the first run of a fresh checkout has nothing to compare against.
+
+use std::process::ExitCode;
+use wym_obs::json::{self, Json};
+
+/// Per-record pipeline stages compared between runs, in display order.
+/// Keys absent from either row (older history entries predate newer
+/// fields) are skipped silently.
+const STAGE_KEYS: &[&str] = &[
+    "fit_s",
+    "embed_fit_s",
+    "discover_fit_s",
+    "score_train_s",
+    "pool_fit_s",
+    "tokenize_s",
+    "embed_s",
+    "discover_s",
+    "score_s",
+    "score_batch_s",
+    "predict_s",
+    "impact_s",
+    "simmatrix_f32_s",
+    "simmatrix_i8_s",
+];
+
+fn usage() -> &'static str {
+    "usage: bench_diff [--current PATH] [--history PATH] [--source NAME] [--rel F]"
+}
+
+/// Looks up `key` in an object, returning `None` for non-objects.
+fn field<'a>(obj: &'a Json, key: &str) -> Option<&'a Json> {
+    match obj {
+        Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Numeric field as f64; `Int`/`UInt`/`Num` all qualify.
+fn num_field(obj: &Json, key: &str) -> Option<f64> {
+    match field(obj, key)? {
+        Json::Num(f) => Some(*f),
+        Json::Int(i) => Some(*i as f64),
+        Json::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str) -> Option<&'a str> {
+    match field(obj, key)? {
+        Json::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Loads the current timing report: a JSON array of per-dataset rows.
+fn load_current(path: &str) -> Result<Vec<Json>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    match json::parse(&text).map_err(|e| format!("{path}: {e}"))? {
+        Json::Arr(rows) => Ok(rows),
+        _ => Err(format!("{path}: expected a JSON array of timing rows")),
+    }
+}
+
+/// Loads history rows matching `source`, oldest first. Lines that fail to
+/// parse are skipped with a warning rather than aborting: the log is
+/// append-only across versions and a single bad line should not disable
+/// the sentinel.
+fn load_history(path: &str, source: &str) -> Result<Vec<Json>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut rows = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = match json::parse(line) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("warning: {path}:{}: skipping unparsable line: {e}", idx + 1);
+                continue;
+            }
+        };
+        if str_field(&entry, "source") != Some(source) {
+            continue;
+        }
+        if let Some(row) = field(&entry, "row") {
+            rows.push(row.clone());
+        }
+    }
+    Ok(rows)
+}
+
+struct Options {
+    current: String,
+    history: String,
+    source: String,
+    rel: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        current: "results/BENCH_timing.json".to_string(),
+        history: "results/BENCH_history.jsonl".to_string(),
+        source: "timing".to_string(),
+        rel: 0.3,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--current" => opts.current = value("--current")?,
+            "--history" => opts.history = value("--history")?,
+            "--source" => opts.source = value("--source")?,
+            "--rel" => {
+                let raw = value("--rel")?;
+                opts.rel = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("--rel: not a number: {raw}"))?;
+                if !opts.rel.is_finite() || opts.rel <= 0.0 {
+                    return Err("--rel must be a positive number".to_string());
+                }
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument: {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// Compares one current row against its previous history entry. Returns
+/// the number of flagged regressions.
+fn diff_row(dataset: &str, current: &Json, previous: &Json, rel: f64) -> usize {
+    println!("dataset {dataset}:");
+    println!("  {:<16} {:>12} {:>12} {:>9}", "stage", "previous_s", "current_s", "change");
+    let mut regressions = 0;
+    for key in STAGE_KEYS {
+        let (Some(prev), Some(cur)) = (num_field(previous, key), num_field(current, key))
+        else {
+            continue;
+        };
+        // Sub-microsecond stages are noise-dominated; compare but never flag.
+        let negligible = prev < 1e-6 && cur < 1e-6;
+        let change = if prev > 0.0 { (cur - prev) / prev } else { f64::INFINITY };
+        let flag = if !negligible && prev > 0.0 && change > rel {
+            regressions += 1;
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        let shown = if prev > 0.0 { format!("{:+.1}%", change * 100.0) } else { "n/a".to_string() };
+        println!("  {:<16} {:>12.6} {:>12.6} {:>9}{flag}", key, prev, cur, shown);
+    }
+    regressions
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let current = load_current(&opts.current)?;
+    let history = load_history(&opts.history, &opts.source)?;
+
+    let mut total_regressions = 0;
+    let mut compared = 0;
+    for row in &current {
+        let dataset = str_field(row, "dataset").unwrap_or("?");
+        // The timing binary appends its own run to the history log before
+        // we get here, so "previous" is the second-to-last matching entry.
+        let matches: Vec<&Json> = history
+            .iter()
+            .filter(|h| str_field(h, "dataset") == Some(dataset))
+            .collect();
+        if matches.len() < 2 {
+            println!("dataset {dataset}: no prior history entry; nothing to compare");
+            continue;
+        }
+        let previous = matches[matches.len() - 2];
+        total_regressions += diff_row(dataset, row, previous, opts.rel);
+        compared += 1;
+    }
+
+    if compared == 0 {
+        println!("bench_diff: no datasets with prior history (first run?)");
+    } else if total_regressions == 0 {
+        println!(
+            "bench_diff: OK — {compared} dataset(s), no stage slower than +{:.0}%",
+            opts.rel * 100.0
+        );
+    } else {
+        println!(
+            "bench_diff: {total_regressions} stage(s) slower than +{:.0}% \
+             (report-only; timings are machine-dependent)",
+            opts.rel * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_diff: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

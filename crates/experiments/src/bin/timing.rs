@@ -8,6 +8,7 @@
 
 use serde::Serialize;
 use std::time::Instant;
+use wym_core::pairing::SimMatrix;
 use wym_core::{discover_units, TokenizedRecord};
 use wym_experiments::{fit_wym, print_table, save_json, HarnessOpts};
 use wym_obs::{Json, Manifest, Snapshot};
@@ -20,6 +21,7 @@ struct Row {
     dataset: String,
     train_records_per_s: f64,
     explain_records_per_s: f64,
+    tokenize_pct: f64,
     embed_pct: f64,
     discover_pct: f64,
     score_pct: f64,
@@ -49,7 +51,10 @@ struct BenchRow {
     score_train_s: f64,
     /// Unit scoring + classifier-pool fitting inside `fit`.
     pool_fit_s: f64,
-    /// Per-record tokenize + embed over the test slice.
+    /// Per-record tokenization over the test slice (its own stage since the
+    /// fused-embed PR; previously folded into `embed_s`).
+    tokenize_s: f64,
+    /// Per-record embedding (fused arena path) over the test slice.
     embed_s: f64,
     /// Per-record unit discovery over the test slice.
     discover_s: f64,
@@ -62,6 +67,24 @@ struct BenchRow {
     predict_s: f64,
     /// Per-record impact computation over the test slice.
     impact_s: f64,
+    /// One long-record stress SimMatrix build (the explained records'
+    /// token vectors merged into a single record pair — the Customer-360
+    /// long-description regime the screen targets), pure-f32 fill, best of
+    /// the interleaved repetitions.
+    simmatrix_f32_s: f64,
+    /// The same stress build with the int8-screened fill: the ratio
+    /// against `simmatrix_f32_s` is this PR's pairing-speedup evidence.
+    /// In production the screen only engages in this regime
+    /// (`worth_i8_screening`); small records keep the pure-f32 fill.
+    simmatrix_i8_s: f64,
+    /// Bytes allocated embedding the sample through the nested reference
+    /// path (`embed_entity`), from the tracking allocator.
+    embed_alloc_ref_bytes: u64,
+    /// Bytes allocated embedding the same sample through the fused arena
+    /// path with matrix recycling — steady-state serving behaviour. The
+    /// ratio against `embed_alloc_ref_bytes` is the allocation-churn
+    /// evidence.
+    embed_alloc_fused_bytes: u64,
 }
 
 impl BenchRow {
@@ -92,12 +115,17 @@ impl BenchRow {
             ("discover_fit_s", Json::Num(self.discover_fit_s)),
             ("score_train_s", Json::Num(self.score_train_s)),
             ("pool_fit_s", Json::Num(self.pool_fit_s)),
+            ("tokenize_s", Json::Num(self.tokenize_s)),
             ("embed_s", Json::Num(self.embed_s)),
             ("discover_s", Json::Num(self.discover_s)),
             ("score_s", Json::Num(self.score_s)),
             ("score_batch_s", Json::Num(self.score_batch_s)),
             ("predict_s", Json::Num(self.predict_s)),
             ("impact_s", Json::Num(self.impact_s)),
+            ("simmatrix_f32_s", Json::Num(self.simmatrix_f32_s)),
+            ("simmatrix_i8_s", Json::Num(self.simmatrix_i8_s)),
+            ("embed_alloc_ref_bytes", Json::UInt(self.embed_alloc_ref_bytes)),
+            ("embed_alloc_fused_bytes", Json::UInt(self.embed_alloc_fused_bytes)),
             ("spans", spans),
             ("metrics", Json::Obj(metrics)),
         ])
@@ -142,6 +170,7 @@ fn main() {
         // binary under WYM_KERNEL=scalar and =auto and fails when the two
         // checksums differ, which pins the kernel layer's bit-identity
         // guarantee at the end-to-end level.
+        let mut t_tokenize = 0.0f64;
         let mut t_embed = 0.0f64;
         let mut t_discover = 0.0;
         let mut t_score = 0.0;
@@ -151,7 +180,17 @@ fn main() {
         let mut processed = Vec::with_capacity(sample.len());
         for pair in sample {
             let s = Instant::now();
-            let rec = TokenizedRecord::from_pair(pair, &tokenizer, run.model.embedder());
+            let lt = tokenizer.tokenize_attributes(&pair.left.values);
+            let rt = tokenizer.tokenize_attributes(&pair.right.values);
+            t_tokenize += s.elapsed().as_secs_f64();
+            let s = Instant::now();
+            let rec = TokenizedRecord::from_tokens(
+                pair.id,
+                Some(pair.label),
+                lt,
+                rt,
+                run.model.embedder(),
+            );
             t_embed += s.elapsed().as_secs_f64();
             let s = Instant::now();
             let units = discover_units(&rec, &run.model.config().discovery);
@@ -176,7 +215,100 @@ fn main() {
         let s = Instant::now();
         let _ = run.model.scorer().score_batch(&batch);
         let t_score_batch = s.elapsed().as_secs_f64();
-        let total = (t_embed + t_discover + t_score + t_predict + t_impact).max(1e-9);
+
+        // Pairing-speedup evidence: one long-record stress pair built by
+        // merging the explained records' token vectors (the Customer-360
+        // long-description regime `worth_i8_screening` targets), timed with
+        // the pure-f32 fill (`WYM_PAIRING=f32` behaviour) against the
+        // int8-screened fill. The two variants are interleaved and the
+        // minimum over the repetitions is reported so shared-host noise
+        // cancels out of the ratio.
+        let disc = &run.model.config().discovery;
+        let floor = disc.theta.min(disc.eta).min(disc.epsilon);
+        const SIM_STRESS_TOKENS: usize = 512;
+        let stress_side = |pick: fn(&TokenizedRecord) -> &wym_core::record::EntityView| {
+            let dim = processed
+                .first()
+                .map_or(0, |(rec, _)| pick(rec).embeds.dim());
+            let mut rows: Vec<Vec<f32>> = Vec::with_capacity(SIM_STRESS_TOKENS);
+            'fill: for (rec, _) in &processed {
+                for row in pick(rec).embeds.rows() {
+                    if rows.len() == SIM_STRESS_TOKENS {
+                        break 'fill;
+                    }
+                    rows.push(row.to_vec());
+                }
+            }
+            let tokens: Vec<String> = (0..rows.len()).map(|i| format!("t{i}")).collect();
+            wym_core::record::EntityView {
+                tokens: vec![tokens],
+                embeds: wym_embed::EmbedMatrix::from_nested(&[rows], dim),
+            }
+        };
+        let stress = TokenizedRecord {
+            id: u32::MAX,
+            left: stress_side(|rec| &rec.left),
+            right: stress_side(|rec| &rec.right),
+            label: None,
+        };
+        const SIM_REPS: usize = 11;
+        let (mut t_sim_f32, mut t_sim_i8) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..SIM_REPS {
+            let s = Instant::now();
+            let _ = SimMatrix::build_tuned(&stress, disc.sim, false, None, 1);
+            t_sim_f32 = t_sim_f32.min(s.elapsed().as_secs_f64());
+            let s = Instant::now();
+            let _ = SimMatrix::build_tuned(&stress, disc.sim, false, Some(floor), 1);
+            t_sim_i8 = t_sim_i8.min(s.elapsed().as_secs_f64());
+        }
+
+        // Allocation-churn evidence: embed the sample's token lists through
+        // the nested reference path and through the fused arena path (with
+        // matrix recycling, i.e. steady-state serving), with the tracking
+        // allocator attributing bytes to the two spans. Tokenization runs
+        // outside both spans so only embedding allocations are compared.
+        type AttrTokens = Vec<Vec<String>>;
+        let token_lists: Vec<(AttrTokens, AttrTokens)> = sample
+            .iter()
+            .map(|pair| {
+                (
+                    tokenizer.tokenize_attributes(&pair.left.values),
+                    tokenizer.tokenize_attributes(&pair.right.values),
+                )
+            })
+            .collect();
+        wym_obs::prof::set_enabled(true);
+        {
+            let _span = wym_obs::span("embed_ref");
+            for (lt, rt) in &token_lists {
+                let _ = run.model.embedder().embed_entity(lt);
+                let _ = run.model.embedder().embed_entity(rt);
+            }
+        }
+        {
+            let _span = wym_obs::span("embed_fused");
+            for (lt, rt) in &token_lists {
+                wym_embed::recycle(run.model.embedder().embed_entity_fused(lt));
+                wym_embed::recycle(run.model.embedder().embed_entity_fused(rt));
+            }
+        }
+        wym_obs::prof::set_enabled(false);
+        // Span memory is attributed to *self* costs, so the embedder's own
+        // inner "embed" span holds most of the bytes: sum the whole subtree.
+        let alloc_of = |path: &str| {
+            let prefix = format!("{path}/");
+            wym_obs::snapshot()
+                .spans
+                .iter()
+                .filter(|s| s.path == path || s.path.starts_with(&prefix))
+                .filter_map(|s| s.mem.as_ref().map(|m| m.alloc_bytes))
+                .sum::<u64>()
+        };
+        let embed_alloc_ref_bytes = alloc_of("embed_ref");
+        let embed_alloc_fused_bytes = alloc_of("embed_fused");
+
+        let total =
+            (t_tokenize + t_embed + t_discover + t_score + t_predict + t_impact).max(1e-9);
         let pct = |t: f64| 100.0 * t / total;
         let bench_row = BenchRow {
             dataset: dataset.name.clone(),
@@ -187,18 +319,24 @@ fn main() {
             discover_fit_s: run.fit_timings.discover_s,
             score_train_s: run.fit_timings.score_train_s,
             pool_fit_s: run.fit_timings.pool_fit_s,
+            tokenize_s: t_tokenize,
             embed_s: t_embed,
             discover_s: t_discover,
             score_s: t_score,
             score_batch_s: t_score_batch,
             predict_s: t_predict,
             impact_s: t_impact,
+            simmatrix_f32_s: t_sim_f32,
+            simmatrix_i8_s: t_sim_i8,
+            embed_alloc_ref_bytes,
+            embed_alloc_fused_bytes,
         };
         bench_json.push(bench_row.to_json(&opts.manifest("timing"), &wym_obs::snapshot()));
         let row = Row {
             dataset: dataset.name.clone(),
             train_records_per_s: train_tp,
             explain_records_per_s: explain_tp,
+            tokenize_pct: pct(t_tokenize),
             embed_pct: pct(t_embed),
             discover_pct: pct(t_discover),
             score_pct: pct(t_score),
@@ -209,6 +347,7 @@ fn main() {
             row.dataset.clone(),
             format!("{:.1}", row.train_records_per_s),
             format!("{:.1}", row.explain_records_per_s),
+            format!("{:.0}%", row.tokenize_pct),
             format!("{:.0}%", row.embed_pct),
             format!("{:.0}%", row.discover_pct),
             format!("{:.0}%", row.score_pct),
@@ -223,6 +362,7 @@ fn main() {
             "Dataset",
             "train rec/s",
             "explain rec/s",
+            "tokenize",
             "embed",
             "discover",
             "score",

@@ -36,6 +36,10 @@ pub struct HarnessOpts {
     pub threads: usize,
     /// Restrict to these dataset short names (default: all twelve).
     pub datasets: Option<Vec<String>>,
+    /// Override the embedding dimensionality (`None` = the config default;
+    /// pass 300 for the paper's fastText-scale vectors). `--quick` wins
+    /// when both are given.
+    pub dim: Option<usize>,
     /// Record spans and metrics; print the stderr summary at exit.
     pub trace: bool,
     /// Where to write the JSON metrics snapshot (`None` = only when
@@ -58,6 +62,7 @@ impl Default for HarnessOpts {
             seed: 7,
             threads: 0,
             datasets: None,
+            dim: None,
             trace: false,
             metrics_out: None,
             flame: false,
@@ -68,7 +73,7 @@ impl Default for HarnessOpts {
 
 impl HarnessOpts {
     /// Parses `--full`, `--quick`, `--cap N`, `--seed N`, `--threads N`,
-    /// `--datasets A,B,…`, `--trace`, `--metrics-out FILE` from
+    /// `--dim N`, `--datasets A,B,…`, `--trace`, `--metrics-out FILE` from
     /// `std::env::args`. Enables obs recording when tracing is requested.
     pub fn from_args() -> Self {
         let mut opts = Self::default();
@@ -116,6 +121,14 @@ impl HarnessOpts {
                     opts.datasets =
                         Some(list.split(',').map(|s| s.trim().to_string()).collect());
                 }
+                "--dim" => {
+                    i += 1;
+                    opts.dim = Some(
+                        args.get(i)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--dim needs a number")),
+                    );
+                }
                 other => panic!("unknown argument: {other}"),
             }
             i += 1;
@@ -136,8 +149,13 @@ impl HarnessOpts {
     /// every exported metrics file.
     pub fn manifest(&self, name: &str) -> wym_obs::Manifest {
         let config = format!(
-            "full={} quick={} cap={} seed={} threads={}",
-            self.full, self.quick, self.cap, self.seed, self.threads
+            "full={} quick={} cap={} seed={} threads={} dim={}",
+            self.full,
+            self.quick,
+            self.cap,
+            self.seed,
+            self.threads,
+            self.dim.map_or_else(|| "default".to_string(), |d| d.to_string())
         );
         let datasets = match &self.datasets {
             Some(names) => names.join(","),
@@ -220,6 +238,11 @@ impl HarnessOpts {
         } else {
             cfg.scorer.train =
                 TrainConfig { epochs: 20, batch_size: 256, lr: 1.5e-3, ..TrainConfig::default() };
+        }
+        if let Some(d) = self.dim {
+            if !self.quick {
+                cfg.embed_dim = d;
+            }
         }
         cfg
     }

@@ -13,18 +13,38 @@
 //!    `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` (`reduce8`).
 //!
 //! The element-wise kernels ([`axpy`], [`gemm_update4`]) perform the same
-//! fused update per output element in both implementations, so they are
+//! fused update per output element in every implementation, so they are
 //! trivially bit-identical. Because the recipe — not the instruction set —
-//! defines the result, the portable scalar path and the AVX2+FMA path
-//! return **bit-identical f32 for every input length** (including the
-//! 1..=15 remainders that straddle one or two vector registers). That is
-//! the determinism contract the similarity cache and the smoke gate rely
-//! on: `WYM_KERNEL=scalar` and `WYM_KERNEL=auto` runs of the full pipeline
-//! must emit identical scores.
+//! defines the result, the portable scalar path and every SIMD path
+//! (AVX2+FMA, AVX-512, NEON) return **bit-identical f32 for every input
+//! length** (including the 1..=15 remainders that straddle one or two
+//! vector registers). That is the determinism contract the similarity
+//! cache and the smoke gate rely on: `WYM_KERNEL=scalar` and
+//! `WYM_KERNEL=auto` runs of the full pipeline must emit identical scores.
 //!
-//! Dispatch is resolved once per process ([`active`]) from CPUID plus the
-//! `WYM_KERNEL` environment variable (`scalar` forces the portable path,
-//! `auto`/unset picks the best supported one). The pipeline records the
+//! How each ISA keeps the recipe:
+//!
+//! * **AVX2+FMA** maps the eight lanes onto one `ymm` register
+//!   (`vfmadd231ps`), tails run scalar `mul_add` into the stored lanes.
+//! * **AVX-512** must *not* widen the f32 reductions to 16 lanes — that
+//!   would change which elements share an accumulator chain and therefore
+//!   the rounding — so [`dot`], [`cosine`] and [`dist_sq`] reuse the AVX2
+//!   bodies verbatim (every AVX-512 CPU has AVX2). Only the element-wise
+//!   kernels ([`axpy`], [`gemm_update4`]), where each output element is one
+//!   independent fused chain, and the exact-integer int8 kernels widen to
+//!   full `zmm` registers — that is where the pairing pass actually spends
+//!   its bandwidth.
+//! * **NEON** (aarch64) splits the same eight lanes across two
+//!   `float32x4_t` accumulators — lanes 0..4 and 4..8 — with `vfmaq_f32`
+//!   providing the single-rounding fused update, then stores both halves
+//!   into the lane array and runs the identical (private) `reduce8` tree.
+//!
+//! Dispatch is resolved once per process ([`active`]) from CPU feature
+//! detection plus the `WYM_KERNEL` environment variable
+//! (`scalar|avx2|avx512|neon|auto`; unset = `auto` picks the best
+//! supported one, and a named ISA the host lacks falls back to `scalar`
+//! with a warning — selection must never change results, so it is a
+//! performance concern, not a correctness one). The pipeline records the
 //! resolved choice as the `kernel.dispatch.<name>` obs counter.
 
 use std::sync::OnceLock;
@@ -39,7 +59,19 @@ pub enum KernelImpl {
     Scalar,
     /// AVX2 + FMA path via `std::arch` intrinsics (x86_64 only).
     Avx2Fma,
+    /// AVX-512 (F+BW) path: AVX2 bodies for the f32 reductions (the 8-lane
+    /// recipe is fixed), `zmm`-wide element-wise f32 and int8 kernels
+    /// (x86_64 only).
+    Avx512,
+    /// NEON path: two `float32x4_t` accumulators forming the same eight
+    /// lanes (aarch64 only).
+    Neon,
 }
+
+/// Every implementation the dispatch layer knows about, in preference
+/// order (best first). Hosts support a subset — see [`supported`].
+pub const ALL_IMPLS: [KernelImpl; 4] =
+    [KernelImpl::Avx512, KernelImpl::Avx2Fma, KernelImpl::Neon, KernelImpl::Scalar];
 
 impl KernelImpl {
     /// Stable short name, used for the `kernel.dispatch.*` obs counter and
@@ -48,33 +80,79 @@ impl KernelImpl {
         match self {
             KernelImpl::Scalar => "scalar",
             KernelImpl::Avx2Fma => "avx2_fma",
+            KernelImpl::Avx512 => "avx512",
+            KernelImpl::Neon => "neon",
         }
     }
+}
+
+/// Whether this host can execute `imp`. `Scalar` is supported everywhere;
+/// the SIMD paths require both the right target architecture and runtime
+/// CPU feature detection.
+pub fn supported(imp: KernelImpl) -> bool {
+    match imp {
+        KernelImpl::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx2Fma => {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx512 => {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+        }
+        #[cfg(target_arch = "aarch64")]
+        KernelImpl::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+        #[allow(unreachable_patterns)]
+        _ => false,
+    }
+}
+
+/// The implementations this host supports, best first. Drives the
+/// bit-identity test matrix, the `components_bench` kernel sweep, and the
+/// smoke gate's kernel-matrix loop (via `wym kernels`-style probes).
+pub fn available() -> Vec<KernelImpl> {
+    ALL_IMPLS.into_iter().filter(|&imp| supported(imp)).collect()
 }
 
 /// The best implementation this CPU supports, ignoring `WYM_KERNEL`.
 pub fn detect_best() -> KernelImpl {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx2")
-            && std::arch::is_x86_feature_detected!("fma")
-        {
-            return KernelImpl::Avx2Fma;
-        }
-    }
-    KernelImpl::Scalar
+    ALL_IMPLS.into_iter().find(|&imp| supported(imp)).unwrap_or(KernelImpl::Scalar)
 }
 
 /// The implementation every dispatched kernel call routes to, resolved once
-/// per process: `WYM_KERNEL=scalar` forces the portable path, anything else
-/// (including unset and `auto`) defers to [`detect_best`]. An unknown value
-/// warns once on stderr rather than failing — kernel selection must never
-/// change results, so a typo is a performance concern, not a correctness
-/// one.
+/// per process from `WYM_KERNEL`:
+///
+/// * `scalar` — force the portable path;
+/// * `avx2` (alias `avx2_fma`), `avx512`, `neon` — request that ISA, with
+///   a once-per-process warning and a **clean scalar fallback** when the
+///   host does not support it;
+/// * unset / empty / `auto` — [`detect_best`];
+/// * anything else — warn once and use auto dispatch.
+///
+/// Warnings rather than failures are deliberate: kernel selection must
+/// never change results, so a typo or an absent ISA is a performance
+/// concern, not a correctness one.
 pub fn active() -> KernelImpl {
     static ACTIVE: OnceLock<KernelImpl> = OnceLock::new();
+    let request = |imp: KernelImpl| {
+        if supported(imp) {
+            imp
+        } else {
+            eprintln!(
+                "warning: WYM_KERNEL={} is not supported on this host; \
+                 falling back to scalar",
+                imp.name()
+            );
+            KernelImpl::Scalar
+        }
+    };
     *ACTIVE.get_or_init(|| match std::env::var("WYM_KERNEL").ok().as_deref() {
         Some("scalar") => KernelImpl::Scalar,
+        Some("avx2" | "avx2_fma") => request(KernelImpl::Avx2Fma),
+        Some("avx512") => request(KernelImpl::Avx512),
+        Some("neon") => request(KernelImpl::Neon),
         None | Some("") | Some("auto") => detect_best(),
         Some(other) => {
             eprintln!("warning: unknown WYM_KERNEL value {other:?}; using auto dispatch");
@@ -83,7 +161,8 @@ pub fn active() -> KernelImpl {
     })
 }
 
-/// Short name of the active implementation (`scalar` / `avx2_fma`).
+/// Short name of the active implementation
+/// (`scalar` / `avx2_fma` / `avx512` / `neon`).
 pub fn active_name() -> &'static str {
     active().name()
 }
@@ -158,6 +237,20 @@ pub fn dist_sq_i8(a: &[i8], b: &[i8]) -> i32 {
     dist_sq_i8_with(active(), a, b)
 }
 
+/// One int8 query row against a contiguous row-major block: `out[j] =
+/// dot_i8(a, rows[j*d..][..d])` with `d = a.len()`. This is the int8
+/// SimMatrix fill's inner loop — batching moves the dispatch out of the
+/// per-entry path and lets the SIMD bodies reuse the widened query row
+/// across consecutive table rows. Exact integer arithmetic throughout, so
+/// every implementation returns identical values (see [`dot_i8`]).
+///
+/// # Panics
+/// Panics in debug builds when `rows.len() != a.len() * out.len()`.
+#[inline]
+pub fn dot_i8_batch(a: &[i8], rows: &[i8], out: &mut [i32]) {
+    dot_i8_batch_with(active(), a, rows, out);
+}
+
 /// Fused int8 cosine: the exact integer dot scaled back to f32 by the two
 /// per-vector quantization scales (`value ≈ q · scale`). Because the dot is
 /// an exact integer and the two multiplies happen in one fixed order, the
@@ -166,6 +259,36 @@ pub fn dist_sq_i8(a: &[i8], b: &[i8]) -> i32 {
 #[inline]
 pub fn cosine_i8(a: &[i8], b: &[i8], scale_a: f32, scale_b: f32) -> f32 {
     (dot_i8(a, b) as f32) * (scale_a * scale_b)
+}
+
+/// Largest absolute value in `v` (0.0 when empty) under the active
+/// implementation — the absmax pass of symmetric int8 quantization.
+///
+/// `max` over finite f32 is exactly associative and commutative, so any
+/// lane split gives the bit-identical result; like the int8 kernels,
+/// cross-implementation identity is structural. `v` must hold finite
+/// values (quantization inputs always are); NaN propagation order is
+/// unspecified.
+#[inline]
+pub fn max_abs(v: &[f32]) -> f32 {
+    max_abs_with(active(), v)
+}
+
+/// Symmetric int8 quantization of one row under the active implementation:
+/// `out[i] = (src[i] * inv)` rounded to nearest-even, clamped to
+/// `[-127, 127]`, narrowed to i8.
+///
+/// Each element is independent (no accumulation), so block width is
+/// unobservable and every implementation is bit-identical — the scalar
+/// path's `round_ties_even` is exactly the SIMD converts' round-to-nearest-
+/// even mode. `src` must hold finite values; non-finite elements produce
+/// implementation-defined codes.
+///
+/// # Panics
+/// Panics in debug builds on length mismatch.
+#[inline]
+pub fn quantize_i8(src: &[f32], inv: f32, out: &mut [i8]) {
+    quantize_i8_with(active(), src, inv, out);
 }
 
 // --- explicit-implementation entry points (tests, benches) ----------------
@@ -178,8 +301,12 @@ pub fn dot_i8_with(imp: KernelImpl, a: &[i8], b: &[i8]) -> i32 {
         KernelImpl::Scalar => scalar::dot_i8(a, b),
         #[cfg(target_arch = "x86_64")]
         KernelImpl::Avx2Fma => unsafe { avx2::dot_i8(a, b) },
-        #[cfg(not(target_arch = "x86_64"))]
-        KernelImpl::Avx2Fma => scalar::dot_i8(a, b),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx512 => unsafe { avx512::dot_i8(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        KernelImpl::Neon => unsafe { neon::dot_i8(a, b) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::dot_i8(a, b),
     }
 }
 
@@ -187,6 +314,56 @@ pub fn dot_i8_with(imp: KernelImpl, a: &[i8], b: &[i8]) -> i32 {
 #[inline]
 pub fn cosine_i8_with(imp: KernelImpl, a: &[i8], b: &[i8], scale_a: f32, scale_b: f32) -> f32 {
     (dot_i8_with(imp, a, b) as f32) * (scale_a * scale_b)
+}
+
+/// [`max_abs`] under an explicitly chosen implementation.
+#[inline]
+pub fn max_abs_with(imp: KernelImpl, v: &[f32]) -> f32 {
+    match imp {
+        KernelImpl::Scalar => scalar::max_abs(v),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx2Fma => unsafe { avx2::max_abs(v) },
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx512 => unsafe { avx512::max_abs(v) },
+        #[cfg(target_arch = "aarch64")]
+        KernelImpl::Neon => unsafe { neon::max_abs(v) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::max_abs(v),
+    }
+}
+
+/// [`quantize_i8`] under an explicitly chosen implementation.
+#[inline]
+pub fn quantize_i8_with(imp: KernelImpl, src: &[f32], inv: f32, out: &mut [i8]) {
+    debug_assert_eq!(src.len(), out.len());
+    match imp {
+        KernelImpl::Scalar => scalar::quantize_i8(src, inv, out),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx2Fma => unsafe { avx2::quantize_i8(src, inv, out) },
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx512 => unsafe { avx512::quantize_i8(src, inv, out) },
+        #[cfg(target_arch = "aarch64")]
+        KernelImpl::Neon => unsafe { neon::quantize_i8(src, inv, out) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::quantize_i8(src, inv, out),
+    }
+}
+
+/// [`dot_i8_batch`] under an explicitly chosen implementation.
+#[inline]
+pub fn dot_i8_batch_with(imp: KernelImpl, a: &[i8], rows: &[i8], out: &mut [i32]) {
+    debug_assert_eq!(rows.len(), a.len() * out.len());
+    match imp {
+        KernelImpl::Scalar => scalar::dot_i8_batch(a, rows, out),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx2Fma => unsafe { avx2::dot_i8_batch(a, rows, out) },
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx512 => unsafe { avx512::dot_i8_batch(a, rows, out) },
+        #[cfg(target_arch = "aarch64")]
+        KernelImpl::Neon => unsafe { neon::dot_i8_batch(a, rows, out) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::dot_i8_batch(a, rows, out),
+    }
 }
 
 /// [`dist_sq_i8`] under an explicitly chosen implementation.
@@ -197,8 +374,12 @@ pub fn dist_sq_i8_with(imp: KernelImpl, a: &[i8], b: &[i8]) -> i32 {
         KernelImpl::Scalar => scalar::dist_sq_i8(a, b),
         #[cfg(target_arch = "x86_64")]
         KernelImpl::Avx2Fma => unsafe { avx2::dist_sq_i8(a, b) },
-        #[cfg(not(target_arch = "x86_64"))]
-        KernelImpl::Avx2Fma => scalar::dist_sq_i8(a, b),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx512 => unsafe { avx512::dist_sq_i8(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        KernelImpl::Neon => unsafe { neon::dist_sq_i8(a, b) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::dist_sq_i8(a, b),
     }
 }
 
@@ -208,10 +389,14 @@ pub fn dot_with(imp: KernelImpl, a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     match imp {
         KernelImpl::Scalar => scalar::dot(a, b),
+        // AVX-512 reuses the AVX2 reduction body: widening to 16 lanes
+        // would change the accumulator chains and break bit-identity.
         #[cfg(target_arch = "x86_64")]
-        KernelImpl::Avx2Fma => unsafe { avx2::dot(a, b) },
-        #[cfg(not(target_arch = "x86_64"))]
-        KernelImpl::Avx2Fma => scalar::dot(a, b),
+        KernelImpl::Avx2Fma | KernelImpl::Avx512 => unsafe { avx2::dot(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        KernelImpl::Neon => unsafe { neon::dot(a, b) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::dot(a, b),
     }
 }
 
@@ -223,8 +408,12 @@ pub fn axpy_with(imp: KernelImpl, alpha: f32, x: &[f32], y: &mut [f32]) {
         KernelImpl::Scalar => scalar::axpy(alpha, x, y),
         #[cfg(target_arch = "x86_64")]
         KernelImpl::Avx2Fma => unsafe { avx2::axpy(alpha, x, y) },
-        #[cfg(not(target_arch = "x86_64"))]
-        KernelImpl::Avx2Fma => scalar::axpy(alpha, x, y),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx512 => unsafe { avx512::axpy(alpha, x, y) },
+        #[cfg(target_arch = "aarch64")]
+        KernelImpl::Neon => unsafe { neon::axpy(alpha, x, y) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::axpy(alpha, x, y),
     }
 }
 
@@ -234,10 +423,13 @@ pub fn dist_sq_with(imp: KernelImpl, a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     match imp {
         KernelImpl::Scalar => scalar::dist_sq(a, b),
+        // See `dot_with`: AVX-512 keeps the 8-lane AVX2 reduction body.
         #[cfg(target_arch = "x86_64")]
-        KernelImpl::Avx2Fma => unsafe { avx2::dist_sq(a, b) },
-        #[cfg(not(target_arch = "x86_64"))]
-        KernelImpl::Avx2Fma => scalar::dist_sq(a, b),
+        KernelImpl::Avx2Fma | KernelImpl::Avx512 => unsafe { avx2::dist_sq(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        KernelImpl::Neon => unsafe { neon::dist_sq(a, b) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::dist_sq(a, b),
     }
 }
 
@@ -247,10 +439,13 @@ pub fn cosine_with(imp: KernelImpl, a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let [ab, aa, bb] = match imp {
         KernelImpl::Scalar => scalar::dot3(a, b),
+        // See `dot_with`: AVX-512 keeps the 8-lane AVX2 reduction body.
         #[cfg(target_arch = "x86_64")]
-        KernelImpl::Avx2Fma => unsafe { avx2::dot3(a, b) },
-        #[cfg(not(target_arch = "x86_64"))]
-        KernelImpl::Avx2Fma => scalar::dot3(a, b),
+        KernelImpl::Avx2Fma | KernelImpl::Avx512 => unsafe { avx2::dot3(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        KernelImpl::Neon => unsafe { neon::dot3(a, b) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::dot3(a, b),
     };
     let (na, nb) = (aa.sqrt(), bb.sqrt());
     if na <= f32::EPSILON || nb <= f32::EPSILON {
@@ -277,8 +472,12 @@ pub fn gemm_update4_with(
         KernelImpl::Scalar => scalar::gemm_update4(coef, b0, b1, b2, b3, o),
         #[cfg(target_arch = "x86_64")]
         KernelImpl::Avx2Fma => unsafe { avx2::gemm_update4(coef, b0, b1, b2, b3, o) },
-        #[cfg(not(target_arch = "x86_64"))]
-        KernelImpl::Avx2Fma => scalar::gemm_update4(coef, b0, b1, b2, b3, o),
+        #[cfg(target_arch = "x86_64")]
+        KernelImpl::Avx512 => unsafe { avx512::gemm_update4(coef, b0, b1, b2, b3, o) },
+        #[cfg(target_arch = "aarch64")]
+        KernelImpl::Neon => unsafe { neon::gemm_update4(coef, b0, b1, b2, b3, o) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::gemm_update4(coef, b0, b1, b2, b3, o),
     }
 }
 
@@ -361,6 +560,18 @@ pub mod scalar {
         acc
     }
 
+    /// One query row against a contiguous row block (exact; see
+    /// [`super::dot_i8_batch`]).
+    pub fn dot_i8_batch(a: &[i8], rows: &[i8], out: &mut [i32]) {
+        if a.is_empty() {
+            out.fill(0);
+            return;
+        }
+        for (o, row) in out.iter_mut().zip(rows.chunks_exact(a.len())) {
+            *o = dot_i8(a, row);
+        }
+    }
+
     /// Integer int8 squared distance (exact; see [`super::dist_sq_i8`]).
     pub fn dist_sq_i8(a: &[i8], b: &[i8]) -> i32 {
         let mut acc = 0i32;
@@ -369,6 +580,20 @@ pub mod scalar {
             acc += d * d;
         }
         acc
+    }
+
+    /// Largest absolute value (exactly associative; see [`super::max_abs`]).
+    pub fn max_abs(v: &[f32]) -> f32 {
+        v.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Element-wise symmetric int8 quantization (see
+    /// [`super::quantize_i8`]): `round_ties_even` is the same
+    /// round-to-nearest-even the SIMD converts use.
+    pub fn quantize_i8(src: &[f32], inv: f32, out: &mut [i8]) {
+        for (o, &v) in out.iter_mut().zip(src) {
+            *o = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+        }
     }
 
     /// Element-wise four-step fused update (see [`super::gemm_update4`]).
@@ -404,9 +629,12 @@ pub mod scalar {
 pub mod avx2 {
     use super::{reduce8, LANES};
     use std::arch::x86_64::{
-        _mm256_add_epi32, _mm256_cvtepi8_epi16, _mm256_fmadd_ps, _mm256_loadu_ps,
-        _mm256_madd_epi16, _mm256_set1_ps, _mm256_setzero_ps, _mm256_setzero_si256,
-        _mm256_storeu_ps, _mm256_storeu_si256, _mm256_sub_epi16, _mm256_sub_ps, _mm_loadu_si128,
+        _mm256_add_epi32, _mm256_andnot_ps, _mm256_castsi256_si128, _mm256_cvtepi8_epi16,
+        _mm256_cvtps_epi32, _mm256_extracti128_si256, _mm256_fmadd_ps, _mm256_loadu_ps,
+        _mm256_madd_epi16, _mm256_max_epi32, _mm256_max_ps, _mm256_min_epi32, _mm256_mul_ps,
+        _mm256_set1_epi32, _mm256_set1_ps, _mm256_setzero_ps, _mm256_setzero_si256,
+        _mm256_storeu_ps, _mm256_storeu_si256, _mm256_sub_epi16, _mm256_sub_ps,
+        _mm_loadu_si128, _mm_packs_epi16, _mm_packs_epi32, _mm_storel_epi64,
     };
 
     /// 8-lane dot product.
@@ -546,6 +774,25 @@ pub mod avx2 {
         total
     }
 
+    /// One query row against a contiguous row block: the per-row loop runs
+    /// inside one `target_feature` scope, so [`dot_i8`] inlines and the
+    /// dispatch cost is paid once per batch instead of once per entry.
+    /// Exact integer (see [`super::dot_i8_batch`]).
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2+FMA support (via
+    /// [`super::detect_best`]) before calling.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_i8_batch(a: &[i8], rows: &[i8], out: &mut [i32]) {
+        if a.is_empty() {
+            out.fill(0);
+            return;
+        }
+        for (o, row) in out.iter_mut().zip(rows.chunks_exact(a.len())) {
+            *o = dot_i8(a, row);
+        }
+    }
+
     /// Integer int8 squared distance: differences in i16 (range ±254, no
     /// overflow), squared and pair-summed by `vpmaddwd`. Exact integer.
     ///
@@ -572,6 +819,65 @@ pub mod avx2 {
             total += d * d;
         }
         total
+    }
+
+    /// Largest absolute value: 8-lane `vmaxps` over sign-stripped lanes,
+    /// folded with scalar `max` at the end. Exactly associative, so
+    /// bit-identical to the scalar fold for finite inputs.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2+FMA support (via
+    /// [`super::detect_best`]) before calling.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn max_abs(v: &[f32]) -> f32 {
+        let blocks = v.len() / LANES * LANES;
+        let sign = _mm256_set1_ps(-0.0);
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < blocks {
+            let x = _mm256_andnot_ps(sign, _mm256_loadu_ps(v.as_ptr().add(i)));
+            acc = _mm256_max_ps(acc, x);
+            i += LANES;
+        }
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut m = lanes.iter().fold(0.0f32, |m, &x| m.max(x));
+        for &x in &v[blocks..] {
+            m = m.max(x.abs());
+        }
+        m
+    }
+
+    /// Element-wise symmetric int8 quantization, 8 elements per block:
+    /// `vmulps` → `vcvtps2dq` (round-to-nearest-even, same as the scalar
+    /// `round_ties_even`) → i32 clamp to ±127 → saturating packs to i8.
+    /// Element-independent, so bit-identical to the scalar path for finite
+    /// inputs at any block width.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX2+FMA support (via
+    /// [`super::detect_best`]) before calling.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn quantize_i8(src: &[f32], inv: f32, out: &mut [i8]) {
+        let blocks = src.len() / LANES * LANES;
+        let vinv = _mm256_set1_ps(inv);
+        let vmin = _mm256_set1_epi32(-127);
+        let vmax = _mm256_set1_epi32(127);
+        let mut i = 0;
+        while i < blocks {
+            let t = _mm256_mul_ps(_mm256_loadu_ps(src.as_ptr().add(i)), vinv);
+            let r = _mm256_cvtps_epi32(t);
+            let c = _mm256_min_epi32(_mm256_max_epi32(r, vmin), vmax);
+            let w = _mm_packs_epi32(
+                _mm256_castsi256_si128(c),
+                _mm256_extracti128_si256::<1>(c),
+            );
+            _mm_storel_epi64(out.as_mut_ptr().add(i).cast(), _mm_packs_epi16(w, w));
+            i += LANES;
+        }
+        for l in blocks..src.len() {
+            out[l] = (src[l] * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+        }
     }
 
     /// Element-wise four-step fused update.
@@ -612,6 +918,616 @@ pub mod avx2 {
     }
 }
 
+// --- AVX-512 implementation -----------------------------------------------
+
+/// AVX-512 (F + BW) implementation of the kernels that can widen to `zmm`
+/// registers **without** touching the 8-lane reduction recipe:
+///
+/// * the element-wise f32 kernels (`axpy`, `gemm_update4`) — each output
+///   element is its own independent fused-multiply-add chain, so block
+///   width is unobservable and 16-wide blocks are bit-identical;
+/// * the int8 kernels — exact integer arithmetic is associative, so any
+///   accumulation order (here 32 int8 lanes widened to one `zmm` of i16,
+///   `vpmaddwd` into 16 i32 lanes) gives the identical result.
+///
+/// The f32 *reductions* (`dot`, `dot3`, `dist_sq`) are deliberately absent:
+/// widening them to 16 accumulator lanes would change which elements share
+/// a chain and therefore the rounding. The dispatch layer routes them to
+/// the [`avx2`] bodies instead (every AVX-512 host also has AVX2+FMA).
+#[cfg(target_arch = "x86_64")]
+pub mod avx512 {
+    use std::arch::x86_64::{
+        __m512i, _mm256_loadu_si256, _mm512_abs_ps, _mm512_add_epi32, _mm512_castsi512_si256,
+        _mm512_cvtepi32_epi8, _mm512_cvtepi8_epi16, _mm512_cvtps_epi32,
+        _mm512_extracti64x4_epi64, _mm512_fmadd_ps, _mm512_loadu_ps, _mm512_loadu_si512,
+        _mm512_madd_epi16, _mm512_maskz_loadu_epi8, _mm512_max_epi32, _mm512_max_ps,
+        _mm512_min_epi32, _mm512_mul_ps, _mm512_reduce_add_epi32, _mm512_set1_epi32,
+        _mm512_set1_ps, _mm512_setzero_ps, _mm512_setzero_si512, _mm512_storeu_ps,
+        _mm512_storeu_si512, _mm512_sub_epi16, _mm_storeu_si128,
+    };
+
+    /// f32 elements per `zmm` register.
+    const W: usize = 16;
+
+    /// int8 elements widened into one `zmm` of i16 per block.
+    const I8_BLOCK: usize = 32;
+
+    /// Element-wise fused `y[i] = fma(alpha, x[i], y[i])`, 16 elements per
+    /// block. Identical per-element operation as the scalar and AVX2 paths.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX-512 F support (via
+    /// [`super::supported`]) before calling.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let blocks = x.len() / W * W;
+        let va = _mm512_set1_ps(alpha);
+        let mut i = 0;
+        while i < blocks {
+            let vx = _mm512_loadu_ps(x.as_ptr().add(i));
+            let vy = _mm512_loadu_ps(y.as_ptr().add(i));
+            _mm512_storeu_ps(y.as_mut_ptr().add(i), _mm512_fmadd_ps(va, vx, vy));
+            i += W;
+        }
+        for l in blocks..x.len() {
+            y[l] = alpha.mul_add(x[l], y[l]);
+        }
+    }
+
+    /// Element-wise four-step fused update, 16 elements per block. The four
+    /// fused updates chain in the same fixed order per element as the
+    /// scalar path, so the result is bit-identical.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX-512 F support (via
+    /// [`super::supported`]) before calling.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gemm_update4(
+        coef: [f32; 4],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+        o: &mut [f32],
+    ) {
+        let [a0, a1, a2, a3] = coef;
+        let n = o.len();
+        let blocks = n / W * W;
+        let (v0, v1, v2, v3) =
+            (_mm512_set1_ps(a0), _mm512_set1_ps(a1), _mm512_set1_ps(a2), _mm512_set1_ps(a3));
+        let mut i = 0;
+        while i < blocks {
+            let mut vo = _mm512_loadu_ps(o.as_ptr().add(i));
+            vo = _mm512_fmadd_ps(v0, _mm512_loadu_ps(b0.as_ptr().add(i)), vo);
+            vo = _mm512_fmadd_ps(v1, _mm512_loadu_ps(b1.as_ptr().add(i)), vo);
+            vo = _mm512_fmadd_ps(v2, _mm512_loadu_ps(b2.as_ptr().add(i)), vo);
+            vo = _mm512_fmadd_ps(v3, _mm512_loadu_ps(b3.as_ptr().add(i)), vo);
+            _mm512_storeu_ps(o.as_mut_ptr().add(i), vo);
+            i += W;
+        }
+        for l in blocks..n {
+            let mut acc = a0.mul_add(b0[l], o[l]);
+            acc = a1.mul_add(b1[l], acc);
+            acc = a2.mul_add(b2[l], acc);
+            o[l] = a3.mul_add(b3[l], acc);
+        }
+    }
+
+    /// Largest absolute value: 16-lane `vmaxps` over `vabsps`-stripped
+    /// lanes. Exactly associative, bit-identical to the scalar fold for
+    /// finite inputs.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX-512 F support (via
+    /// [`super::supported`]) before calling.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn max_abs(v: &[f32]) -> f32 {
+        let blocks = v.len() / W * W;
+        let mut acc = _mm512_setzero_ps();
+        let mut i = 0;
+        while i < blocks {
+            acc = _mm512_max_ps(acc, _mm512_abs_ps(_mm512_loadu_ps(v.as_ptr().add(i))));
+            i += W;
+        }
+        let mut lanes = [0.0f32; W];
+        _mm512_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut m = lanes.iter().fold(0.0f32, |m, &x| m.max(x));
+        for &x in &v[blocks..] {
+            m = m.max(x.abs());
+        }
+        m
+    }
+
+    /// Element-wise symmetric int8 quantization, 16 elements per block:
+    /// `vmulps` → `vcvtps2dq` (round-to-nearest-even, same as the scalar
+    /// `round_ties_even`) → i32 clamp to ±127 → `vpmovdb` narrowing
+    /// (truncation is exact after the clamp). Element-independent, so
+    /// bit-identical to the scalar path for finite inputs.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX-512 F support (via
+    /// [`super::supported`]) before calling.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn quantize_i8(src: &[f32], inv: f32, out: &mut [i8]) {
+        let blocks = src.len() / W * W;
+        let vinv = _mm512_set1_ps(inv);
+        let vmin = _mm512_set1_epi32(-127);
+        let vmax = _mm512_set1_epi32(127);
+        let mut i = 0;
+        while i < blocks {
+            let t = _mm512_mul_ps(_mm512_loadu_ps(src.as_ptr().add(i)), vinv);
+            let r = _mm512_cvtps_epi32(t);
+            let c = _mm512_min_epi32(_mm512_max_epi32(r, vmin), vmax);
+            _mm_storeu_si128(out.as_mut_ptr().add(i).cast(), _mm512_cvtepi32_epi8(c));
+            i += W;
+        }
+        for l in blocks..src.len() {
+            out[l] = (src[l] * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+        }
+    }
+
+    /// Integer int8 dot product: 32 int8 lanes sign-extend to one `zmm` of
+    /// i16 (`vpmovsxbw`), multiply-accumulate pairwise into 16 i32 lanes
+    /// (`vpmaddwd`), lanes sum at the end. Exact integer arithmetic, so the
+    /// result equals the scalar loop for any input — this is the kernel the
+    /// int8 SimMatrix pairing pass rides.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX-512 F+BW support (via
+    /// [`super::supported`]) before calling.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        // Two independent accumulators over a 64-byte stride keep the
+        // widen→madd→add chain pipelined; integer addition is associative,
+        // so the split cannot change the result.
+        let pairs = a.len() / (2 * I8_BLOCK) * (2 * I8_BLOCK);
+        let mut acc0 = _mm512_setzero_si512();
+        let mut acc1 = _mm512_setzero_si512();
+        let mut i = 0;
+        while i < pairs {
+            let va0 = _mm512_cvtepi8_epi16(_mm256_loadu_si256(a.as_ptr().add(i).cast()));
+            let vb0 = _mm512_cvtepi8_epi16(_mm256_loadu_si256(b.as_ptr().add(i).cast()));
+            let va1 =
+                _mm512_cvtepi8_epi16(_mm256_loadu_si256(a.as_ptr().add(i + I8_BLOCK).cast()));
+            let vb1 =
+                _mm512_cvtepi8_epi16(_mm256_loadu_si256(b.as_ptr().add(i + I8_BLOCK).cast()));
+            acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(va0, vb0));
+            acc1 = _mm512_add_epi32(acc1, _mm512_madd_epi16(va1, vb1));
+            i += 2 * I8_BLOCK;
+        }
+        let blocks = a.len() / I8_BLOCK * I8_BLOCK;
+        if i < blocks {
+            let va = _mm512_cvtepi8_epi16(_mm256_loadu_si256(a.as_ptr().add(i).cast()));
+            let vb = _mm512_cvtepi8_epi16(_mm256_loadu_si256(b.as_ptr().add(i).cast()));
+            acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(va, vb));
+        }
+        let mut lanes = [0i32; 16];
+        _mm512_storeu_si512(lanes.as_mut_ptr().cast(), _mm512_add_epi32(acc0, acc1));
+        let mut total: i32 = lanes.iter().sum();
+        for l in blocks..a.len() {
+            total += a[l] as i32 * b[l] as i32;
+        }
+        total
+    }
+
+    /// Sign-extends the two 32-byte halves of one 64-byte `zmm` of i8 into
+    /// two `zmm`s of i16 (`vpmovsxbw`).
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn widen_i8x64(v: __m512i) -> (__m512i, __m512i) {
+        (
+            _mm512_cvtepi8_epi16(_mm512_castsi512_si256(v)),
+            _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64::<1>(v)),
+        )
+    }
+
+    /// One query row against a contiguous row block, two table rows per
+    /// pass over full 64-byte chunks with a masked final chunk:
+    ///
+    /// * the widened query chunk is loaded once and madd-ed against both
+    ///   rows, halving the query-side converts versus independent
+    ///   [`dot_i8`] calls;
+    /// * the tail (`d % 64` elements) runs through `vmovdqu8` with a zero
+    ///   mask-fill instead of a scalar remainder loop — masked-out lanes
+    ///   contribute an exact integer 0;
+    /// * each accumulator collapses with `_mm512_reduce_add_epi32` rather
+    ///   than a 16-lane scalar sum.
+    ///
+    /// All arithmetic is exact integer and addition is associative, so none
+    /// of this changes any result (see [`super::dot_i8_batch`]).
+    ///
+    /// # Safety
+    /// The caller must have verified AVX-512 F+BW support (via
+    /// [`super::supported`]) before calling.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn dot_i8_batch(a: &[i8], rows: &[i8], out: &mut [i32]) {
+        if a.is_empty() {
+            out.fill(0);
+            return;
+        }
+        let d = a.len();
+        const CHUNK: usize = 64;
+        let full = d / CHUNK * CHUNK;
+        let tail = d - full;
+        let tmask: u64 = if tail == 0 { 0 } else { u64::MAX >> (CHUNK - tail) };
+        let mut j = 0;
+        while j + 2 <= out.len() {
+            let r0 = rows.as_ptr().add(j * d);
+            let r1 = rows.as_ptr().add((j + 1) * d);
+            let mut acc0 = _mm512_setzero_si512();
+            let mut acc1 = _mm512_setzero_si512();
+            let mut i = 0;
+            while i < full {
+                let (qa_lo, qa_hi) =
+                    widen_i8x64(_mm512_loadu_si512(a.as_ptr().add(i).cast()));
+                let (v0_lo, v0_hi) = widen_i8x64(_mm512_loadu_si512(r0.add(i).cast()));
+                let (v1_lo, v1_hi) = widen_i8x64(_mm512_loadu_si512(r1.add(i).cast()));
+                acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(qa_lo, v0_lo));
+                acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(qa_hi, v0_hi));
+                acc1 = _mm512_add_epi32(acc1, _mm512_madd_epi16(qa_lo, v1_lo));
+                acc1 = _mm512_add_epi32(acc1, _mm512_madd_epi16(qa_hi, v1_hi));
+                i += CHUNK;
+            }
+            if tail != 0 {
+                let (qa_lo, qa_hi) =
+                    widen_i8x64(_mm512_maskz_loadu_epi8(tmask, a.as_ptr().add(full)));
+                let (v0_lo, v0_hi) = widen_i8x64(_mm512_maskz_loadu_epi8(tmask, r0.add(full)));
+                let (v1_lo, v1_hi) = widen_i8x64(_mm512_maskz_loadu_epi8(tmask, r1.add(full)));
+                acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(qa_lo, v0_lo));
+                acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(qa_hi, v0_hi));
+                acc1 = _mm512_add_epi32(acc1, _mm512_madd_epi16(qa_lo, v1_lo));
+                acc1 = _mm512_add_epi32(acc1, _mm512_madd_epi16(qa_hi, v1_hi));
+            }
+            out[j] = _mm512_reduce_add_epi32(acc0);
+            out[j + 1] = _mm512_reduce_add_epi32(acc1);
+            j += 2;
+        }
+        if j < out.len() {
+            out[j] = dot_i8(a, &rows[j * d..(j + 1) * d]);
+        }
+    }
+
+    /// Integer int8 squared distance: differences in i16 (range ±254, no
+    /// overflow), squared and pair-summed by `vpmaddwd`. Exact integer.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX-512 F+BW support (via
+    /// [`super::supported`]) before calling.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn dist_sq_i8(a: &[i8], b: &[i8]) -> i32 {
+        let blocks = a.len() / I8_BLOCK * I8_BLOCK;
+        let mut acc = _mm512_setzero_si512();
+        let mut i = 0;
+        while i < blocks {
+            let va = _mm512_cvtepi8_epi16(_mm256_loadu_si256(a.as_ptr().add(i).cast()));
+            let vb = _mm512_cvtepi8_epi16(_mm256_loadu_si256(b.as_ptr().add(i).cast()));
+            let d = _mm512_sub_epi16(va, vb);
+            acc = _mm512_add_epi32(acc, _mm512_madd_epi16(d, d));
+            i += I8_BLOCK;
+        }
+        let mut lanes = [0i32; 16];
+        _mm512_storeu_si512(lanes.as_mut_ptr().cast(), acc);
+        let mut total: i32 = lanes.iter().sum();
+        for l in blocks..a.len() {
+            let d = a[l] as i32 - b[l] as i32;
+            total += d * d;
+        }
+        total
+    }
+}
+
+// --- NEON implementation ----------------------------------------------------
+
+/// NEON implementation for aarch64. The eight accumulator lanes of the
+/// recipe split across two `float32x4_t` registers — `acc_lo` holds lanes
+/// 0..4, `acc_hi` lanes 4..8 — and `vfmaq_f32` performs the same
+/// single-rounding fused update per lane as `f32::mul_add`. Both halves
+/// store into one `[f32; 8]` and collapse through the shared [`reduce8`]
+/// tree, so the result is bit-identical to the scalar path. Tails run
+/// scalar `mul_add` into lanes `0..len % 8`, exactly like the other ISAs.
+#[cfg(target_arch = "aarch64")]
+pub mod neon {
+    use super::{reduce8, LANES};
+    use std::arch::aarch64::{
+        vabsq_f32, vaddq_s32, vaddvq_s32, vcombine_s16, vcvtnq_s32_f32, vdupq_n_f32, vdupq_n_s32,
+        vfmaq_f32, vget_high_s16, vget_low_s16, vld1_s8, vld1q_f32, vmaxq_f32, vmaxq_s32,
+        vmaxvq_f32, vminq_s32, vmull_s16, vmull_s8, vmulq_f32, vpadalq_s16, vqmovn_s16,
+        vqmovn_s32, vst1_s8, vst1q_f32, vsubl_s8, vsubq_f32,
+    };
+
+    /// int8 elements per NEON block (one `int8x8_t` widened product).
+    const I8_BLOCK: usize = 8;
+
+    /// 8-lane dot product (two `float32x4_t` accumulators).
+    ///
+    /// # Safety
+    /// The caller must have verified NEON support (via [`super::supported`])
+    /// before calling.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let blocks = a.len() / LANES * LANES;
+        let mut acc_lo = vdupq_n_f32(0.0);
+        let mut acc_hi = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i < blocks {
+            acc_lo = vfmaq_f32(acc_lo, vld1q_f32(a.as_ptr().add(i)), vld1q_f32(b.as_ptr().add(i)));
+            acc_hi = vfmaq_f32(
+                acc_hi,
+                vld1q_f32(a.as_ptr().add(i + 4)),
+                vld1q_f32(b.as_ptr().add(i + 4)),
+            );
+            i += LANES;
+        }
+        let mut lanes = [0.0f32; LANES];
+        vst1q_f32(lanes.as_mut_ptr(), acc_lo);
+        vst1q_f32(lanes.as_mut_ptr().add(4), acc_hi);
+        for l in 0..a.len() - blocks {
+            lanes[l] = a[blocks + l].mul_add(b[blocks + l], lanes[l]);
+        }
+        reduce8(lanes)
+    }
+
+    /// Fused `a·b`, `a·a`, `b·b` in one pass; each follows the dot recipe.
+    ///
+    /// # Safety
+    /// The caller must have verified NEON support (via [`super::supported`])
+    /// before calling.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot3(a: &[f32], b: &[f32]) -> [f32; 3] {
+        let blocks = a.len() / LANES * LANES;
+        let mut ab_lo = vdupq_n_f32(0.0);
+        let mut ab_hi = vdupq_n_f32(0.0);
+        let mut aa_lo = vdupq_n_f32(0.0);
+        let mut aa_hi = vdupq_n_f32(0.0);
+        let mut bb_lo = vdupq_n_f32(0.0);
+        let mut bb_hi = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i < blocks {
+            let va_lo = vld1q_f32(a.as_ptr().add(i));
+            let va_hi = vld1q_f32(a.as_ptr().add(i + 4));
+            let vb_lo = vld1q_f32(b.as_ptr().add(i));
+            let vb_hi = vld1q_f32(b.as_ptr().add(i + 4));
+            ab_lo = vfmaq_f32(ab_lo, va_lo, vb_lo);
+            ab_hi = vfmaq_f32(ab_hi, va_hi, vb_hi);
+            aa_lo = vfmaq_f32(aa_lo, va_lo, va_lo);
+            aa_hi = vfmaq_f32(aa_hi, va_hi, va_hi);
+            bb_lo = vfmaq_f32(bb_lo, vb_lo, vb_lo);
+            bb_hi = vfmaq_f32(bb_hi, vb_hi, vb_hi);
+            i += LANES;
+        }
+        let mut lab = [0.0f32; LANES];
+        let mut laa = [0.0f32; LANES];
+        let mut lbb = [0.0f32; LANES];
+        vst1q_f32(lab.as_mut_ptr(), ab_lo);
+        vst1q_f32(lab.as_mut_ptr().add(4), ab_hi);
+        vst1q_f32(laa.as_mut_ptr(), aa_lo);
+        vst1q_f32(laa.as_mut_ptr().add(4), aa_hi);
+        vst1q_f32(lbb.as_mut_ptr(), bb_lo);
+        vst1q_f32(lbb.as_mut_ptr().add(4), bb_hi);
+        for l in 0..a.len() - blocks {
+            let (x, y) = (a[blocks + l], b[blocks + l]);
+            lab[l] = x.mul_add(y, lab[l]);
+            laa[l] = x.mul_add(x, laa[l]);
+            lbb[l] = y.mul_add(y, lbb[l]);
+        }
+        [reduce8(lab), reduce8(laa), reduce8(lbb)]
+    }
+
+    /// 8-lane squared distance: `d = a - b` rounds once (`vsubq_f32`), then
+    /// the fused `d * d + acc` per lane.
+    ///
+    /// # Safety
+    /// The caller must have verified NEON support (via [`super::supported`])
+    /// before calling.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+        let blocks = a.len() / LANES * LANES;
+        let mut acc_lo = vdupq_n_f32(0.0);
+        let mut acc_hi = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i < blocks {
+            let d_lo = vsubq_f32(vld1q_f32(a.as_ptr().add(i)), vld1q_f32(b.as_ptr().add(i)));
+            let d_hi =
+                vsubq_f32(vld1q_f32(a.as_ptr().add(i + 4)), vld1q_f32(b.as_ptr().add(i + 4)));
+            acc_lo = vfmaq_f32(acc_lo, d_lo, d_lo);
+            acc_hi = vfmaq_f32(acc_hi, d_hi, d_hi);
+            i += LANES;
+        }
+        let mut lanes = [0.0f32; LANES];
+        vst1q_f32(lanes.as_mut_ptr(), acc_lo);
+        vst1q_f32(lanes.as_mut_ptr().add(4), acc_hi);
+        for l in 0..a.len() - blocks {
+            let d = a[blocks + l] - b[blocks + l];
+            lanes[l] = d.mul_add(d, lanes[l]);
+        }
+        reduce8(lanes)
+    }
+
+    /// Element-wise fused `y[i] = fma(alpha, x[i], y[i])`, four per block.
+    ///
+    /// # Safety
+    /// The caller must have verified NEON support (via [`super::supported`])
+    /// before calling.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        const W: usize = 4;
+        let blocks = x.len() / W * W;
+        let va = vdupq_n_f32(alpha);
+        let mut i = 0;
+        while i < blocks {
+            let vy = vfmaq_f32(vld1q_f32(y.as_ptr().add(i)), va, vld1q_f32(x.as_ptr().add(i)));
+            vst1q_f32(y.as_mut_ptr().add(i), vy);
+            i += W;
+        }
+        for l in blocks..x.len() {
+            y[l] = alpha.mul_add(x[l], y[l]);
+        }
+    }
+
+    /// Element-wise four-step fused update; the four fused updates chain in
+    /// the same fixed order per element as the scalar path.
+    ///
+    /// # Safety
+    /// The caller must have verified NEON support (via [`super::supported`])
+    /// before calling.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn gemm_update4(
+        coef: [f32; 4],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+        o: &mut [f32],
+    ) {
+        const W: usize = 4;
+        let [a0, a1, a2, a3] = coef;
+        let n = o.len();
+        let blocks = n / W * W;
+        let (v0, v1, v2, v3) =
+            (vdupq_n_f32(a0), vdupq_n_f32(a1), vdupq_n_f32(a2), vdupq_n_f32(a3));
+        let mut i = 0;
+        while i < blocks {
+            let mut vo = vld1q_f32(o.as_ptr().add(i));
+            vo = vfmaq_f32(vo, v0, vld1q_f32(b0.as_ptr().add(i)));
+            vo = vfmaq_f32(vo, v1, vld1q_f32(b1.as_ptr().add(i)));
+            vo = vfmaq_f32(vo, v2, vld1q_f32(b2.as_ptr().add(i)));
+            vo = vfmaq_f32(vo, v3, vld1q_f32(b3.as_ptr().add(i)));
+            vst1q_f32(o.as_mut_ptr().add(i), vo);
+            i += W;
+        }
+        for l in blocks..n {
+            let mut acc = a0.mul_add(b0[l], o[l]);
+            acc = a1.mul_add(b1[l], acc);
+            acc = a2.mul_add(b2[l], acc);
+            o[l] = a3.mul_add(b3[l], acc);
+        }
+    }
+
+    /// Largest absolute value: two 4-lane `vmaxq_f32` accumulators over
+    /// `vabsq_f32`-stripped lanes, collapsed by `vmaxvq_f32`. Exactly
+    /// associative, bit-identical to the scalar fold for finite inputs.
+    ///
+    /// # Safety
+    /// The caller must have verified NEON support (via [`super::supported`])
+    /// before calling.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn max_abs(v: &[f32]) -> f32 {
+        let blocks = v.len() / LANES * LANES;
+        let mut acc_lo = vdupq_n_f32(0.0);
+        let mut acc_hi = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i < blocks {
+            acc_lo = vmaxq_f32(acc_lo, vabsq_f32(vld1q_f32(v.as_ptr().add(i))));
+            acc_hi = vmaxq_f32(acc_hi, vabsq_f32(vld1q_f32(v.as_ptr().add(i + 4))));
+            i += LANES;
+        }
+        let mut m = vmaxvq_f32(vmaxq_f32(acc_lo, acc_hi));
+        for &x in &v[blocks..] {
+            m = m.max(x.abs());
+        }
+        m
+    }
+
+    /// Element-wise symmetric int8 quantization, 8 elements per block:
+    /// `vmulq_f32` → `vcvtnq_s32_f32` (round-to-nearest-even, same as the
+    /// scalar `round_ties_even`) → i32 clamp to ±127 → saturating narrows
+    /// to i8. Element-independent, so bit-identical to the scalar path for
+    /// finite inputs.
+    ///
+    /// # Safety
+    /// The caller must have verified NEON support (via [`super::supported`])
+    /// before calling.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn quantize_i8(src: &[f32], inv: f32, out: &mut [i8]) {
+        let blocks = src.len() / LANES * LANES;
+        let vinv = vdupq_n_f32(inv);
+        let vmin = vdupq_n_s32(-127);
+        let vmax = vdupq_n_s32(127);
+        let mut i = 0;
+        while i < blocks {
+            let r0 = vcvtnq_s32_f32(vmulq_f32(vld1q_f32(src.as_ptr().add(i)), vinv));
+            let r1 = vcvtnq_s32_f32(vmulq_f32(vld1q_f32(src.as_ptr().add(i + 4)), vinv));
+            let c0 = vminq_s32(vmaxq_s32(r0, vmin), vmax);
+            let c1 = vminq_s32(vmaxq_s32(r1, vmin), vmax);
+            let w = vcombine_s16(vqmovn_s32(c0), vqmovn_s32(c1));
+            vst1_s8(out.as_mut_ptr().add(i), vqmovn_s16(w));
+            i += LANES;
+        }
+        for l in blocks..src.len() {
+            out[l] = (src[l] * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+        }
+    }
+
+    /// Integer int8 dot product: full i16 products via `vmull_s8`, pairwise
+    /// add-accumulated into four i32 lanes (`vpadalq_s16`). Exact integer.
+    ///
+    /// # Safety
+    /// The caller must have verified NEON support (via [`super::supported`])
+    /// before calling.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        let blocks = a.len() / I8_BLOCK * I8_BLOCK;
+        let mut acc = vdupq_n_s32(0);
+        let mut i = 0;
+        while i < blocks {
+            let va = vld1_s8(a.as_ptr().add(i));
+            let vb = vld1_s8(b.as_ptr().add(i));
+            acc = vpadalq_s16(acc, vmull_s8(va, vb));
+            i += I8_BLOCK;
+        }
+        let mut total = vaddvq_s32(acc);
+        for l in blocks..a.len() {
+            total += a[l] as i32 * b[l] as i32;
+        }
+        total
+    }
+
+    /// Integer int8 squared distance: widened differences (`vsubl_s8`,
+    /// range ±254), squared into i32 via `vmull_s16` on each half. Exact.
+    ///
+    /// # Safety
+    /// The caller must have verified NEON support (via [`super::supported`])
+    /// before calling.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dist_sq_i8(a: &[i8], b: &[i8]) -> i32 {
+        let blocks = a.len() / I8_BLOCK * I8_BLOCK;
+        let mut acc = vdupq_n_s32(0);
+        let mut i = 0;
+        while i < blocks {
+            let d = vsubl_s8(vld1_s8(a.as_ptr().add(i)), vld1_s8(b.as_ptr().add(i)));
+            let (lo, hi) = (vget_low_s16(d), vget_high_s16(d));
+            acc = vaddq_s32(acc, vmull_s16(lo, lo));
+            acc = vaddq_s32(acc, vmull_s16(hi, hi));
+            i += I8_BLOCK;
+        }
+        let mut total = vaddvq_s32(acc);
+        for l in blocks..a.len() {
+            let d = a[l] as i32 - b[l] as i32;
+            total += d * d;
+        }
+        total
+    }
+
+    /// One query row against a contiguous row block: the per-row loop runs
+    /// inside one `target_feature` scope, so [`dot_i8`] inlines and the
+    /// dispatch cost is paid once per batch instead of once per entry.
+    /// Exact integer (see [`super::dot_i8_batch`]).
+    ///
+    /// # Safety
+    /// The caller must have verified NEON support (via [`super::supported`])
+    /// before calling.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot_i8_batch(a: &[i8], rows: &[i8], out: &mut [i32]) {
+        if a.is_empty() {
+            out.fill(0);
+            return;
+        }
+        for (o, row) in out.iter_mut().zip(rows.chunks_exact(a.len())) {
+            *o = dot_i8(a, row);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,61 +1540,69 @@ mod tests {
         (a, b)
     }
 
-    /// Every kernel, every length 0..=40 (covering all 8-lane remainders),
-    /// both magnitudes: the best-detected path must equal the scalar path
-    /// bit for bit.
+    /// Every kernel, every *available* implementation (AVX-512 and NEON
+    /// included where the host supports them), every length 0..=40
+    /// (covering all 8-lane remainders), all three magnitudes: each SIMD
+    /// path must equal the scalar path bit for bit.
     #[test]
-    fn best_impl_bit_identical_to_scalar() {
-        let best = detect_best();
-        for len in 0..=40usize {
-            for (seed, scale) in [(7, 1.0f32), (8, 1e-6), (9, 1e6)] {
-                let (a, b) = vecs(len, seed ^ len as u64, scale);
-                assert_eq!(
-                    dot_with(best, &a, &b).to_bits(),
-                    dot_with(KernelImpl::Scalar, &a, &b).to_bits(),
-                    "dot len {len}"
-                );
-                assert_eq!(
-                    dist_sq_with(best, &a, &b).to_bits(),
-                    dist_sq_with(KernelImpl::Scalar, &a, &b).to_bits(),
-                    "dist_sq len {len}"
-                );
-                assert_eq!(
-                    cosine_with(best, &a, &b).to_bits(),
-                    cosine_with(KernelImpl::Scalar, &a, &b).to_bits(),
-                    "cosine len {len}"
-                );
-                let (x, y0) = vecs(len, seed.wrapping_add(100) ^ len as u64, scale);
-                let mut y1 = y0.clone();
-                let mut y2 = y0;
-                axpy_with(best, 0.37, &x, &mut y1);
-                axpy_with(KernelImpl::Scalar, 0.37, &x, &mut y2);
-                assert_eq!(
-                    y1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                    y2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                    "axpy len {len}"
-                );
+    fn every_available_impl_bit_identical_to_scalar() {
+        for imp in available() {
+            for len in 0..=40usize {
+                for (seed, scale) in [(7, 1.0f32), (8, 1e-6), (9, 1e6)] {
+                    let (a, b) = vecs(len, seed ^ len as u64, scale);
+                    assert_eq!(
+                        dot_with(imp, &a, &b).to_bits(),
+                        dot_with(KernelImpl::Scalar, &a, &b).to_bits(),
+                        "dot {} len {len}",
+                        imp.name()
+                    );
+                    assert_eq!(
+                        dist_sq_with(imp, &a, &b).to_bits(),
+                        dist_sq_with(KernelImpl::Scalar, &a, &b).to_bits(),
+                        "dist_sq {} len {len}",
+                        imp.name()
+                    );
+                    assert_eq!(
+                        cosine_with(imp, &a, &b).to_bits(),
+                        cosine_with(KernelImpl::Scalar, &a, &b).to_bits(),
+                        "cosine {} len {len}",
+                        imp.name()
+                    );
+                    let (x, y0) = vecs(len, seed.wrapping_add(100) ^ len as u64, scale);
+                    let mut y1 = y0.clone();
+                    let mut y2 = y0;
+                    axpy_with(imp, 0.37, &x, &mut y1);
+                    axpy_with(KernelImpl::Scalar, 0.37, &x, &mut y2);
+                    assert_eq!(
+                        y1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        y2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "axpy {} len {len}",
+                        imp.name()
+                    );
+                }
             }
         }
     }
 
     #[test]
     fn gemm_update4_bit_identical_across_impls() {
-        let best = detect_best();
-        for len in 0..=40usize {
-            let (b0, b1) = vecs(len, 3 ^ len as u64, 1.0);
-            let (b2, b3) = vecs(len, 4 ^ len as u64, 1.0);
-            let (o0, _) = vecs(len, 5 ^ len as u64, 1.0);
-            let coef = [0.5, -1.25, 3.0e-3, 7.5];
-            let mut oa = o0.clone();
-            let mut ob = o0;
-            gemm_update4_with(best, coef, &b0, &b1, &b2, &b3, &mut oa);
-            gemm_update4_with(KernelImpl::Scalar, coef, &b0, &b1, &b2, &b3, &mut ob);
-            assert_eq!(
-                oa.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                ob.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                "len {len}"
-            );
+        for imp in available() {
+            for len in 0..=40usize {
+                let (b0, b1) = vecs(len, 3 ^ len as u64, 1.0);
+                let (b2, b3) = vecs(len, 4 ^ len as u64, 1.0);
+                let (o0, _) = vecs(len, 5 ^ len as u64, 1.0);
+                let coef = [0.5, -1.25, 3.0e-3, 7.5];
+                let mut oa = o0.clone();
+                let mut ob = o0;
+                gemm_update4_with(imp, coef, &b0, &b1, &b2, &b3, &mut oa);
+                gemm_update4_with(KernelImpl::Scalar, coef, &b0, &b1, &b2, &b3, &mut ob);
+                assert_eq!(
+                    oa.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    ob.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{} len {len}",
+                    imp.name()
+                );
+            }
         }
     }
 
@@ -703,35 +1627,50 @@ mod tests {
         (a, b)
     }
 
-    /// The int8 kernels are exact integer arithmetic: the best-detected path
-    /// must equal the scalar path (and an i64 reference) on every length,
-    /// including the extreme ±127 corners.
+    /// The int8 kernels are exact integer arithmetic: every available path
+    /// must equal the scalar path (and an i64 reference) on every length —
+    /// 0..=70 covers remainders of the 16-wide AVX2 block, the 32-wide
+    /// AVX-512 block, and the 8-wide NEON block — including the extreme
+    /// ±127 corners.
     #[test]
     fn i8_kernels_exact_across_impls() {
-        let best = detect_best();
-        for len in 0..=70usize {
-            let (a, b) = i8_vecs(len, 31 ^ len as u64);
-            let dot_ref: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
-            let dist_ref: i64 = a
-                .iter()
-                .zip(&b)
-                .map(|(&x, &y)| {
-                    let d = x as i64 - y as i64;
-                    d * d
-                })
-                .sum();
-            assert_eq!(dot_i8_with(best, &a, &b) as i64, dot_ref, "dot_i8 len {len}");
-            assert_eq!(
-                dot_i8_with(best, &a, &b),
-                dot_i8_with(KernelImpl::Scalar, &a, &b),
-                "dot_i8 dispatch len {len}"
-            );
-            assert_eq!(dist_sq_i8_with(best, &a, &b) as i64, dist_ref, "dist_sq_i8 len {len}");
-            assert_eq!(
-                dist_sq_i8_with(best, &a, &b),
-                dist_sq_i8_with(KernelImpl::Scalar, &a, &b),
-                "dist_sq_i8 dispatch len {len}"
-            );
+        for imp in available() {
+            for len in 0..=70usize {
+                let (a, b) = i8_vecs(len, 31 ^ len as u64);
+                let dot_ref: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+                let dist_ref: i64 = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| {
+                        let d = x as i64 - y as i64;
+                        d * d
+                    })
+                    .sum();
+                assert_eq!(
+                    dot_i8_with(imp, &a, &b) as i64,
+                    dot_ref,
+                    "dot_i8 {} len {len}",
+                    imp.name()
+                );
+                assert_eq!(
+                    dot_i8_with(imp, &a, &b),
+                    dot_i8_with(KernelImpl::Scalar, &a, &b),
+                    "dot_i8 dispatch {} len {len}",
+                    imp.name()
+                );
+                assert_eq!(
+                    dist_sq_i8_with(imp, &a, &b) as i64,
+                    dist_ref,
+                    "dist_sq_i8 {} len {len}",
+                    imp.name()
+                );
+                assert_eq!(
+                    dist_sq_i8_with(imp, &a, &b),
+                    dist_sq_i8_with(KernelImpl::Scalar, &a, &b),
+                    "dist_sq_i8 dispatch {} len {len}",
+                    imp.name()
+                );
+            }
         }
         let extremes: Vec<i8> = vec![127, -127, 127, -127, 127, -127, 127, -127];
         let negated: Vec<i8> = extremes.iter().map(|&v| -v).collect();
@@ -776,7 +1715,23 @@ mod tests {
     fn impl_names_are_stable() {
         assert_eq!(KernelImpl::Scalar.name(), "scalar");
         assert_eq!(KernelImpl::Avx2Fma.name(), "avx2_fma");
-        // active() must resolve to one of the two known names.
-        assert!(["scalar", "avx2_fma"].contains(&active_name()));
+        assert_eq!(KernelImpl::Avx512.name(), "avx512");
+        assert_eq!(KernelImpl::Neon.name(), "neon");
+        // active() must resolve to one of the known names.
+        assert!(["scalar", "avx2_fma", "avx512", "neon"].contains(&active_name()));
+    }
+
+    /// The dispatch support probes are consistent: scalar is always
+    /// supported, the availability list contains exactly the supported
+    /// implementations (best first), and `detect_best` is its head.
+    #[test]
+    fn dispatch_probes_are_consistent() {
+        assert!(supported(KernelImpl::Scalar));
+        let avail = available();
+        assert!(avail.contains(&KernelImpl::Scalar));
+        for imp in ALL_IMPLS {
+            assert_eq!(avail.contains(&imp), supported(imp), "{}", imp.name());
+        }
+        assert_eq!(detect_best(), avail[0]);
     }
 }

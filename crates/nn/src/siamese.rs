@@ -74,15 +74,28 @@ impl SiameseProjection {
 
     /// Projects a vector (result is L2-normalized).
     pub fn project(&self, v: &[f32]) -> Vec<f32> {
-        assert_eq!(v.len(), self.p.rows(), "dimension mismatch");
         let mut out = vec![0.0f32; self.p.cols()];
+        self.project_into(v, &mut out);
+        out
+    }
+
+    /// [`SiameseProjection::project`] writing into a caller-provided slice
+    /// (the fused embed path's arena). The sparse `axpy` sweep and the
+    /// final normalization are the identical float-op sequence, so the
+    /// output is bit-identical to [`SiameseProjection::project`].
+    ///
+    /// # Panics
+    /// Panics on input/output dimension mismatch.
+    pub fn project_into(&self, v: &[f32], out: &mut [f32]) {
+        assert_eq!(v.len(), self.p.rows(), "dimension mismatch");
+        assert_eq!(out.len(), self.p.cols(), "output dimension mismatch");
+        out.fill(0.0);
         for (k, &a) in v.iter().enumerate() {
             if a != 0.0 {
-                vector::axpy(a, self.p.row(k), &mut out);
+                vector::axpy(a, self.p.row(k), out);
             }
         }
-        vector::normalize(&mut out);
-        out
+        vector::normalize(out);
     }
 
     /// Trains the projection on `(left, right, is_match)` pairs with the

@@ -26,7 +26,13 @@
 # quiet ("drift: OK") on in-distribution data and trip ("drift: ALERT")
 # on a synthetically shifted stream, `wym obs report` must summarize the
 # log, and the traced classify snapshot (windowed metrics + drift gauges)
-# must match results/OBS_baseline_decisions.json.
+# must match results/OBS_baseline_decisions.json, or (j) any explicitly
+# requestable kernel backend this host supports (per `wym kernels`:
+# avx512, neon) produces a different score checksum than the scalar
+# reference — unsupported backends are reported as "SKIP (unsupported)",
+# never failed — or (k) the criterion benches no longer compile
+# (`cargo bench --no-run`). The `bench_diff` timing sentinel also runs,
+# report-only: timings are machine-dependent, so it never fails the smoke.
 set -u
 cd "$(dirname "$0")"
 mkdir -p results
@@ -44,6 +50,11 @@ if [ "${1:-}" = "--smoke" ]; then
   echo "=== smoke: rustdoc (workspace, -D warnings) ==="
   if ! RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q; then
     echo "SMOKE FAILED: rustdoc warnings (RUSTDOCFLAGS=-D warnings cargo doc --no-deps)" >&2
+    exit 1
+  fi
+  echo "=== smoke: benches compile (cargo bench --no-run) ==="
+  if ! cargo bench --no-run -q; then
+    echo "SMOKE FAILED: criterion benches do not compile (cargo bench --no-run)" >&2
     exit 1
   fi
   # --threads 1 pins the worker count so the exported snapshots (and the
@@ -92,6 +103,40 @@ if [ "${1:-}" = "--smoke" ]; then
     echo "SMOKE FAILED: kernel dispatch changed scores: auto=$CK_AUTO scalar=$CK_SCALAR" >&2
     exit 1
   fi
+  # Kernel matrix: every explicitly requestable ISA backend this host
+  # supports (per `wym kernels`) must reproduce the scalar score checksum
+  # bit-for-bit. Backends the host cannot run (e.g. neon on x86) are
+  # skipped, not failed — the dispatch layer's scalar fallback covers them.
+  SUPPORTED_KERNELS=$(./target/release/wym kernels 2>/dev/null)
+  for K in avx512 neon; do
+    if ! echo "$SUPPORTED_KERNELS" | grep -qx "$K"; then
+      echo "=== smoke: kernel matrix WYM_KERNEL=$K — SKIP (unsupported) ==="
+      continue
+    fi
+    OBS_K="results/OBS_smoke_${K}.json"
+    rm -f "$OBS_K"
+    echo "=== smoke: kernel matrix (WYM_KERNEL=$K) ==="
+    WYM_KERNEL=$K ./target/release/timing --quick --cap 40 --datasets S-FZ \
+      --threads 1 --trace --metrics-out "$OBS_K" "$@" 2>&1 | tee "results/smoke_${K}.log"
+    if [ ! -f "$OBS_K" ]; then
+      echo "SMOKE FAILED: no metrics snapshot at $OBS_K" >&2
+      exit 1
+    fi
+    if ! grep -q "\"kernel\.dispatch\.${K}\"" "$OBS_K"; then
+      echo "SMOKE FAILED: WYM_KERNEL=$K run did not dispatch to $K" >&2
+      exit 1
+    fi
+    CK_K=$(grep -o '"scorer\.score_checksum": *[-0-9.eE+]*' "$OBS_K" | head -1 | sed 's/.*: *//')
+    if [ "$CK_K" != "$CK_SCALAR" ]; then
+      echo "SMOKE FAILED: WYM_KERNEL=$K changed scores: $K=$CK_K scalar=$CK_SCALAR" >&2
+      exit 1
+    fi
+  done
+  # Timing sentinel, report-only: compare this run's per-stage wall times
+  # against the previous BENCH_history.jsonl entry. Never fatal — timings
+  # depend on the machine and its load; the table is evidence, not a gate.
+  echo "=== smoke: bench_diff timing sentinel (report-only) ==="
+  ./target/release/bench_diff || echo "SMOKE WARNING: bench_diff could not compare (non-fatal)" >&2
   # Regression sentinel. A snapshot diffed against itself must always pass
   # (sentinel sanity), then both kernel variants diff against their
   # committed baselines. Wall times are machine-dependent, so --ignore-wall;

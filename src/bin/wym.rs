@@ -12,6 +12,7 @@
 //! wym model inspect model.wym
 //! wym model diff old.wym new.wym
 //! wym datasets
+//! wym kernels
 //! ```
 //!
 //! `train --save-model` writes a binary WYMA artifact (see `wym-artifact`
@@ -116,6 +117,7 @@ fn usage() -> &'static str {
      wym apply    --model <MODEL.json> --data <FILE> [--explain]\n  \
      wym classify --load-model <MODEL.wym> --data <FILE> [--explain] [--mmap] [--threads N]\n           \
      [--audit-log <FILE.jsonl>] [--audit-sample N] [--audit-cost]\n  \
+     wym kernels\n  \
      wym model    inspect <MODEL.wym>\n  \
      wym model    diff <A.wym> <B.wym>\n  \
      wym obs      report --audit <FILE.jsonl>\n  \
@@ -595,6 +597,16 @@ fn run(args: &Args) -> Result<(), String> {
             Ok(())
         }
         "classify" => classify(args),
+        "kernels" => {
+            // One implementation name per line, most-preferred first — the
+            // smoke suite's kernel-matrix loop greps this to decide which
+            // WYM_KERNEL values this host can actually exercise.
+            for imp in wym::linalg::kernels::available() {
+                println!("{}", imp.name());
+            }
+            eprintln!("active: {}", wym::linalg::kernels::active_name());
+            Ok(())
+        }
         "model" => {
             let sub = args.positional.get(1).map(String::as_str).unwrap_or("");
             match sub {

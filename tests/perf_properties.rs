@@ -173,12 +173,13 @@ fn scale() -> impl Strategy<Value = f32> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// The determinism contract of the kernel layer: for every kernel, the
-    /// best CPU-detected implementation (AVX2+FMA where available) returns
-    /// **bit-identical** f32 to the portable scalar path, across lengths
-    /// 0..=64 (every 8-lane remainder) and magnitudes from 1e-6 to 1e6.
-    /// `detect_best()` ignores `WYM_KERNEL`, so this compares two genuinely
-    /// different code paths whenever the host has AVX2+FMA.
+    /// The determinism contract of the kernel layer: **every** supported
+    /// implementation on this host (AVX-512, AVX2+FMA, NEON — whatever the
+    /// CPU exposes) returns **bit-identical** f32 to the portable scalar
+    /// path, for every kernel, across lengths 0..=64 (every 8- and 16-lane
+    /// remainder) and magnitudes from 1e-6 to 1e6. `available()` ignores
+    /// `WYM_KERNEL`, so this pins each genuinely distinct code path the
+    /// host can run.
     #[test]
     fn kernels_bit_identical_across_dispatch(
         pairs in prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0), 0..65),
@@ -187,37 +188,128 @@ proptest! {
         alpha in -2.0f32..2.0,
     ) {
         use wym::linalg::kernels::{
-            axpy_with, cosine_with, detect_best, dist_sq_with, dot_with, KernelImpl,
+            available, axpy_with, cosine_with, dist_sq_with, dot_with, KernelImpl,
         };
         let a: Vec<f32> = pairs.iter().map(|(x, _)| x * sa).collect();
         let b: Vec<f32> = pairs.iter().map(|(_, y)| y * sb).collect();
-        let best = detect_best();
         let scalar = KernelImpl::Scalar;
-        prop_assert_eq!(
-            dot_with(best, &a, &b).to_bits(),
-            dot_with(scalar, &a, &b).to_bits(),
-            "dot diverged at len {}", a.len()
-        );
-        prop_assert_eq!(
-            dist_sq_with(best, &a, &b).to_bits(),
-            dist_sq_with(scalar, &a, &b).to_bits(),
-            "dist_sq diverged at len {}", a.len()
-        );
-        prop_assert_eq!(
-            cosine_with(best, &a, &b).to_bits(),
-            cosine_with(scalar, &a, &b).to_bits(),
-            "cosine diverged at len {}", a.len()
-        );
-        let mut y_best = b.clone();
-        let mut y_scalar = b.clone();
-        axpy_with(best, alpha, &a, &mut y_best);
-        axpy_with(scalar, alpha, &a, &mut y_scalar);
-        for (i, (x, y)) in y_best.iter().zip(&y_scalar).enumerate() {
-            prop_assert_eq!(x.to_bits(), y.to_bits(), "axpy diverged at element {}", i);
+        for imp in available() {
+            prop_assert_eq!(
+                dot_with(imp, &a, &b).to_bits(),
+                dot_with(scalar, &a, &b).to_bits(),
+                "dot diverged for {:?} at len {}", imp, a.len()
+            );
+            prop_assert_eq!(
+                dist_sq_with(imp, &a, &b).to_bits(),
+                dist_sq_with(scalar, &a, &b).to_bits(),
+                "dist_sq diverged for {:?} at len {}", imp, a.len()
+            );
+            prop_assert_eq!(
+                cosine_with(imp, &a, &b).to_bits(),
+                cosine_with(scalar, &a, &b).to_bits(),
+                "cosine diverged for {:?} at len {}", imp, a.len()
+            );
+            let mut y_imp = b.clone();
+            let mut y_scalar = b.clone();
+            axpy_with(imp, alpha, &a, &mut y_imp);
+            axpy_with(scalar, alpha, &a, &mut y_scalar);
+            for (i, (x, y)) in y_imp.iter().zip(&y_scalar).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "axpy diverged for {:?} at element {}", imp, i
+                );
+            }
         }
     }
 
-    /// The GEMM inner update under both implementations, same contract.
+    /// The int8 kernels are exact integer arithmetic, so every supported
+    /// implementation must agree with scalar to the last bit (`==` on i32)
+    /// on arbitrary i8 contents and every vector-width remainder.
+    #[test]
+    fn i8_kernels_exact_across_dispatch(
+        pairs in prop::collection::vec((any::<i8>(), any::<i8>()), 0..65),
+    ) {
+        use wym::linalg::kernels::{available, dist_sq_i8_with, dot_i8_with, KernelImpl};
+        let a: Vec<i8> = pairs.iter().map(|(x, _)| *x).collect();
+        let b: Vec<i8> = pairs.iter().map(|(_, y)| *y).collect();
+        for imp in available() {
+            prop_assert_eq!(
+                dot_i8_with(imp, &a, &b),
+                dot_i8_with(KernelImpl::Scalar, &a, &b),
+                "dot_i8 diverged for {:?} at len {}", imp, a.len()
+            );
+            prop_assert_eq!(
+                dist_sq_i8_with(imp, &a, &b),
+                dist_sq_i8_with(KernelImpl::Scalar, &a, &b),
+                "dist_sq_i8 diverged for {:?} at len {}", imp, a.len()
+            );
+        }
+    }
+
+    /// The quantization kernels under every supported implementation:
+    /// `max_abs` is an exact max-reduce (order-free), and `quantize_i8`
+    /// rounds each element independently with ties-to-even (the SIMD
+    /// convert rounding mode), so both must match scalar to the last bit
+    /// on finite inputs at every vector-width remainder.
+    #[test]
+    fn quantize_kernels_exact_across_dispatch(
+        vals in prop::collection::vec(-1.0f32..1.0, 0..65),
+        s in scale(),
+        inv in 0.1f32..300.0,
+    ) {
+        use wym::linalg::kernels::{available, max_abs_with, quantize_i8_with, KernelImpl};
+        let v: Vec<f32> = vals.iter().map(|x| x * s).collect();
+        for imp in available() {
+            prop_assert_eq!(
+                max_abs_with(imp, &v).to_bits(),
+                max_abs_with(KernelImpl::Scalar, &v).to_bits(),
+                "max_abs diverged for {:?} at len {}", imp, v.len()
+            );
+            let mut q_imp = vec![0i8; v.len()];
+            let mut q_scalar = vec![0i8; v.len()];
+            quantize_i8_with(imp, &v, inv, &mut q_imp);
+            quantize_i8_with(KernelImpl::Scalar, &v, inv, &mut q_scalar);
+            prop_assert_eq!(
+                &q_imp, &q_scalar,
+                "quantize_i8 diverged for {:?} at len {} inv {}", imp, v.len(), inv
+            );
+        }
+    }
+
+    /// The batched int8 row-block dot under every supported implementation
+    /// equals per-row scalar `dot_i8` exactly — integer arithmetic is
+    /// associative, so blocking, masked tails, and the odd-row fallback may
+    /// not change a single result. Row counts straddle the 2-row blocking
+    /// and dims straddle the 64-byte chunking.
+    #[test]
+    fn dot_i8_batch_exact_across_dispatch(
+        a in prop::collection::vec(any::<i8>(), 1..70),
+        rows_data in prop::collection::vec(any::<i8>(), 0..700),
+    ) {
+        use wym::linalg::kernels::{available, dot_i8_batch_with, dot_i8_with, KernelImpl};
+        let d = a.len();
+        let n = rows_data.len() / d;
+        let rows = &rows_data[..n * d];
+        let expected: Vec<i32> = rows
+            .chunks_exact(d)
+            .map(|row| dot_i8_with(KernelImpl::Scalar, &a, row))
+            .collect();
+        for imp in available() {
+            let mut out = vec![0i32; n];
+            dot_i8_batch_with(imp, &a, rows, &mut out);
+            prop_assert_eq!(
+                &out, &expected,
+                "dot_i8_batch diverged for {:?} at d {} n {}", imp, d, n
+            );
+            // Empty-query degenerate case: every dot is an empty sum.
+            let mut zout = vec![1i32; n];
+            dot_i8_batch_with(imp, &[], &[], &mut zout);
+            prop_assert!(zout.iter().all(|&z| z == 0), "empty-a fill for {:?}", imp);
+        }
+    }
+
+    /// The GEMM inner update under every supported implementation, same
+    /// contract.
     #[test]
     fn gemm_update4_bit_identical_across_dispatch(
         rows in prop::collection::vec(
@@ -227,7 +319,7 @@ proptest! {
         coef in (-2.0f32..2.0, -2.0f32..2.0, -2.0f32..2.0, -2.0f32..2.0),
         s in scale(),
     ) {
-        use wym::linalg::kernels::{detect_best, gemm_update4_with, KernelImpl};
+        use wym::linalg::kernels::{available, gemm_update4_with, KernelImpl};
         let col = |f: fn(&(f32, f32, f32, f32, f32)) -> f32| -> Vec<f32> {
             rows.iter().map(|r| f(r) * s).collect()
         };
@@ -235,13 +327,60 @@ proptest! {
         let (b2, b3) = (col(|r| r.2), col(|r| r.3));
         let o0 = col(|r| r.4);
         let coef = [coef.0, coef.1, coef.2, coef.3];
-        let mut o_best = o0.clone();
-        let mut o_scalar = o0;
-        gemm_update4_with(detect_best(), coef, &b0, &b1, &b2, &b3, &mut o_best);
-        gemm_update4_with(KernelImpl::Scalar, coef, &b0, &b1, &b2, &b3, &mut o_scalar);
-        for (i, (x, y)) in o_best.iter().zip(&o_scalar).enumerate() {
-            prop_assert_eq!(x.to_bits(), y.to_bits(), "gemm_update4 diverged at element {}", i);
+        for imp in available() {
+            let mut o_imp = o0.clone();
+            let mut o_scalar = o0.clone();
+            gemm_update4_with(imp, coef, &b0, &b1, &b2, &b3, &mut o_imp);
+            gemm_update4_with(KernelImpl::Scalar, coef, &b0, &b1, &b2, &b3, &mut o_scalar);
+            for (i, (x, y)) in o_imp.iter().zip(&o_scalar).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "gemm_update4 diverged for {:?} at element {}", imp, i
+                );
+            }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The int8-screened similarity matrix ([`SimMatrix::build_tuned`] with
+    /// a floor) accepts **exactly** the same stable-marriage pair set as the
+    /// pure-f32 build at every threshold at or above the floor — same
+    /// pairs, bit-identical similarities — on random records whose token
+    /// similarities straddle the floor. Also pins the fused tokenize→embed
+    /// path transitively: both matrices come from `from_pair`, which embeds
+    /// through the arena.
+    #[test]
+    fn i8_screened_pairing_accepts_same_pair_set(
+        pair in record_pair(),
+        floor in 0.2f32..0.8,
+        bump in 0.0f32..0.19,
+    ) {
+        let rec = tokenized(&pair);
+        let left = rec.left.all_refs();
+        let right = rec.right.all_refs();
+        let plain = SimMatrix::build(&rec, PairingSim::Embedding);
+        let tuned =
+            SimMatrix::build_tuned(&rec, PairingSim::Embedding, true, Some(floor), 1);
+        let threshold = floor + bump;
+        for code_heuristic in [false, true] {
+            let expected =
+                get_sm_pairs_cached(&plain, &left, &right, threshold, code_heuristic);
+            let got = get_sm_pairs_cached(&tuned, &left, &right, threshold, code_heuristic);
+            prop_assert_eq!(
+                &expected, &got,
+                "pair sets diverged at floor {} threshold {}", floor, threshold
+            );
+        }
+        // Stability verdicts agree too (is_stable reads every entry but
+        // filters below the threshold, so screened entries are invisible).
+        let pairs_ref = get_sm_pairs_cached(&plain, &left, &right, threshold, false);
+        prop_assert_eq!(
+            is_stable_cached(&plain, &left, &right, &pairs_ref, threshold),
+            is_stable_cached(&tuned, &left, &right, &pairs_ref, threshold)
+        );
     }
 }
 
