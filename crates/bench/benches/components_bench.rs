@@ -348,6 +348,20 @@ fn bench(c: &mut Criterion) {
                 })
             });
         });
+        // Flight-recorder guard (DESIGN.md §15). `_off` is the acceptance
+        // pin: with no flight installed, a span+counter round trip must
+        // stay within noise of the plain disabled-recorder path — the ring
+        // check is one TLS read plus one relaxed atomic load. `_on` bounds
+        // what the always-on rings add per event when armed.
+        let span_churn = || {
+            let _s = wym_obs::span("bench_flight_span");
+            wym_obs::counter_add("bench.flight.counter", 1);
+        };
+        g.bench_function("span_counter_flight_off", |bch| bch.iter(span_churn));
+        g.bench_function("span_counter_flight_on", |bch| {
+            let flight = std::sync::Arc::new(wym_obs::Flight::new_enabled(4096));
+            wym_obs::ring::with_flight(flight, || bch.iter(span_churn));
+        });
         g.finish();
     }
 

@@ -200,6 +200,9 @@ fn bench_row(
 fn main() {
     let opts = Opts::from_args();
     wym_obs::set_enabled(true);
+    // Flight recorder: post-mortem rings + stall watchdog for the long
+    // index-build phases (dumps to results/FLIGHT_blocking_scale_*).
+    wym_obs::flight_install(wym_obs::FlightOptions::default());
     wym_obs::register_stages(BLOCK_STAGES);
     if opts.profile_mem {
         wym_obs::prof::set_enabled(true);

@@ -51,6 +51,17 @@ pub struct HarnessOpts {
     /// Attribute allocator traffic to spans (needs the binary to install
     /// [`wym_obs::TrackingAlloc`], which all experiment binaries do).
     pub profile_mem: bool,
+    /// Export the full-run flight-recorder contents as a Chrome
+    /// trace-event JSON file at this path (loadable in `chrome://tracing`
+    /// or Perfetto). Independent of `--trace`: the flight records even in
+    /// untraced runs.
+    pub chrome_trace: Option<String>,
+    /// Hidden fault injection: panic when entering the named span. Smoke
+    /// CI uses this to exercise the panic-hook dump path deterministically.
+    pub inject_panic: Option<String>,
+    /// Hidden fault injection: sleep `ms` when entering the named span
+    /// (`--inject-stall SPAN,MS`) so the stall watchdog trips on demand.
+    pub inject_stall: Option<(String, u64)>,
 }
 
 impl Default for HarnessOpts {
@@ -67,6 +78,9 @@ impl Default for HarnessOpts {
             metrics_out: None,
             flame: false,
             profile_mem: false,
+            chrome_trace: None,
+            inject_panic: None,
+            inject_stall: None,
         }
     }
 }
@@ -129,6 +143,25 @@ impl HarnessOpts {
                             .unwrap_or_else(|| panic!("--dim needs a number")),
                     );
                 }
+                "--chrome-trace" => {
+                    i += 1;
+                    opts.chrome_trace =
+                        Some(args.get(i).expect("--chrome-trace needs a path").clone());
+                }
+                "--inject-panic" => {
+                    i += 1;
+                    opts.inject_panic =
+                        Some(args.get(i).expect("--inject-panic needs a span name").clone());
+                }
+                "--inject-stall" => {
+                    i += 1;
+                    let spec = args.get(i).expect("--inject-stall needs SPAN,MS");
+                    let (span, ms) = spec
+                        .split_once(',')
+                        .and_then(|(s, m)| m.trim().parse().ok().map(|ms| (s.to_string(), ms)))
+                        .unwrap_or_else(|| panic!("--inject-stall needs SPAN,MS: {spec}"));
+                    opts.inject_stall = Some((span, ms));
+                }
                 other => panic!("unknown argument: {other}"),
             }
             i += 1;
@@ -139,6 +172,17 @@ impl HarnessOpts {
         }
         if opts.profile_mem || opts.flame {
             wym_obs::prof::set_enabled(true);
+        }
+        // The flight recorder is always on (WYM_FLIGHT=off opts out): the
+        // black box exists precisely for the runs nobody thought to trace.
+        wym_obs::flight_install(wym_obs::FlightOptions::default());
+        if let Some(span) = &opts.inject_panic {
+            wym_obs::ring::set_injection(wym_obs::ring::Injection::Panic(span.clone()));
+            eprintln!("flight: fault injection armed: panic at span \"{span}\"");
+        }
+        if let Some((span, ms)) = &opts.inject_stall {
+            wym_obs::ring::set_injection(wym_obs::ring::Injection::Stall(span.clone(), *ms));
+            eprintln!("flight: fault injection armed: {ms} ms stall at span \"{span}\"");
         }
         opts
     }
@@ -176,6 +220,14 @@ impl HarnessOpts {
     /// of an experiment binary; a no-op when no obs flag was given.
     pub fn flush_obs(&self, name: &str) {
         use wym_obs::Sink;
+        // The chrome-trace export reads the flight recorder, not the
+        // metrics recorder, so it works even for fully untraced runs.
+        if let Some(path) = &self.chrome_trace {
+            match wym_obs::flight_write_chrome(path) {
+                Ok(n) => eprintln!("→ chrome trace ({n} events) saved to {path}"),
+                Err(e) => eprintln!("warning: cannot write chrome trace: {e}"),
+            }
+        }
         if !self.trace && self.metrics_out.is_none() && !self.flame {
             return;
         }
@@ -307,6 +359,13 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// Writes a JSON result file under `results/` (created on demand) and
 /// reports the path.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    // Fault-injected runs (--inject-panic / --inject-stall) exist to drill
+    // the flight recorder; their timings are poisoned by construction, so
+    // they must never overwrite committed results artifacts.
+    if wym_obs::ring::injection_armed() {
+        eprintln!("→ fault injection armed; results/{name}.json not written");
+        return;
+    }
     let dir = PathBuf::from("results");
     let _ = std::fs::create_dir_all(&dir);
     let path = dir.join(format!("{name}.json"));
@@ -322,15 +381,33 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Rotation bounds for `results/BENCH_history.jsonl`: when the ledger
+/// exceeds [`HISTORY_MAX_LINES`] lines or [`HISTORY_MAX_BYTES`] bytes
+/// after an append, it is rewritten keeping the newest
+/// [`HISTORY_KEEP_LINES`] lines.
+pub const HISTORY_MAX_LINES: usize = 512;
+/// See [`HISTORY_MAX_LINES`].
+pub const HISTORY_KEEP_LINES: usize = 256;
+/// See [`HISTORY_MAX_LINES`].
+pub const HISTORY_MAX_BYTES: u64 = 8 * 1024 * 1024;
+
 /// Appends benchmark rows to the cross-run ledger
 /// `results/BENCH_history.jsonl` — one compact JSON object per line,
 /// `{"source": <binary>, "row": <the row, provenance manifest included>}`.
 /// Unlike the per-binary `BENCH_*.json` files (overwritten every run), the
-/// ledger is append-only, so regressions stay diagnosable against the full
-/// history of runs on a machine. Failures only warn: history is telemetry,
-/// not a gate.
+/// ledger is append-only *between* rotations: once it exceeds
+/// [`HISTORY_MAX_LINES`] lines (or [`HISTORY_MAX_BYTES`]), the oldest
+/// lines are dropped down to [`HISTORY_KEEP_LINES`], so regressions stay
+/// diagnosable against a deep-but-bounded history. Failures only warn:
+/// history is telemetry, not a gate. Runs with a flight fault injection
+/// armed are skipped entirely — an injected stall would poison the timing
+/// ledger `bench_diff` reads its thresholds from.
 pub fn append_bench_history(source: &str, rows: &[wym_obs::Json]) {
     use std::io::Write;
+    if wym_obs::ring::injection_armed() {
+        eprintln!("→ fault injection armed; BENCH history append skipped");
+        return;
+    }
     let dir = PathBuf::from("results");
     let _ = std::fs::create_dir_all(&dir);
     let path = dir.join("BENCH_history.jsonl");
@@ -351,6 +428,37 @@ pub fn append_bench_history(source: &str, rows: &[wym_obs::Json]) {
     match appended {
         Ok(()) => println!("→ {} row(s) appended to {}", rows.len(), path.display()),
         Err(e) => eprintln!("warning: could not append to {}: {e}", path.display()),
+    }
+    if let Some(kept) = rotate_history(&path, HISTORY_MAX_LINES, HISTORY_MAX_BYTES, HISTORY_KEEP_LINES)
+    {
+        println!("→ ledger rotated: kept newest {kept} lines in {}", path.display());
+    }
+}
+
+/// Size-bounded keep-last-N rotation: rewrites `path` with its newest
+/// `keep` lines when it exceeds `max_lines` lines or `max_bytes` bytes.
+/// Returns the kept line count when a rotation happened.
+fn rotate_history(
+    path: &std::path::Path,
+    max_lines: usize,
+    max_bytes: u64,
+    keep: usize,
+) -> Option<usize> {
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let text = std::fs::read_to_string(path).ok()?;
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() <= max_lines && bytes <= max_bytes {
+        return None;
+    }
+    let tail = &lines[lines.len().saturating_sub(keep)..];
+    let mut out = tail.join("\n");
+    out.push('\n');
+    match std::fs::write(path, out) {
+        Ok(()) => Some(tail.len()),
+        Err(e) => {
+            eprintln!("warning: could not rotate {}: {e}", path.display());
+            None
+        }
     }
 }
 
@@ -407,5 +515,31 @@ mod tests {
         let cfg = opts.wym_config();
         assert_eq!(cfg.embed_dim, 32);
         assert_eq!(cfg.matcher.kinds.len(), 3);
+    }
+
+    #[test]
+    fn history_rotation_keeps_newest_lines() {
+        let dir = std::env::temp_dir().join(format!("wym_hist_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_history.jsonl");
+        let lines: Vec<String> = (0..20).map(|i| format!("{{\"run\":{i}}}")).collect();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        // Under both bounds: untouched.
+        assert_eq!(rotate_history(&path, 32, u64::MAX, 8), None);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 20);
+
+        // Over the line bound: newest 8 survive, oldest dropped.
+        assert_eq!(rotate_history(&path, 16, u64::MAX, 8), Some(8));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().collect();
+        assert_eq!(kept.len(), 8);
+        assert_eq!(kept[0], "{\"run\":12}");
+        assert_eq!(kept[7], "{\"run\":19}");
+
+        // Byte bound triggers independently of the line bound.
+        assert_eq!(rotate_history(&path, 1024, 10, 2), Some(2));
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -235,6 +235,10 @@ impl AuditLog {
         if !seq.is_multiple_of(every) {
             return;
         }
+        // Mirror the decision into the flight recorder's event ring (a
+        // wall-clocked summary; the deterministic record below is the one
+        // the bit-identity gate checks).
+        crate::ring::decision_event(kind, verdict, score);
         let record = DecisionRecord {
             seq,
             trace: trace_id(self.opts.model_fnv, seq, record_id),

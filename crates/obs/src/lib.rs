@@ -28,6 +28,7 @@
 //! while nanosecond totals naturally vary run to run.
 
 pub mod audit;
+pub mod chrome;
 pub mod diff;
 pub mod export;
 pub mod flame;
@@ -36,6 +37,7 @@ pub mod json;
 pub mod manifest;
 pub mod prof;
 pub mod recorder;
+pub mod ring;
 pub mod sink;
 pub mod sketch;
 pub mod window;
@@ -47,13 +49,15 @@ pub use json::Json;
 pub use manifest::Manifest;
 pub use prof::{MemStat, TrackingAlloc};
 pub use recorder::{MemorySection, Recorder, Snapshot, SpanStat};
+pub use ring::{Flight, FlightDump};
 pub use sink::{JsonFileSink, NoopSink, Sink, StderrSink};
 pub use sketch::{DriftReport, ModelSketch, DRIFT_TRIP_PSI};
 pub use window::{WindowFrame, Windowed};
 
 use std::cell::RefCell;
-use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Once, OnceLock};
+use std::time::{Duration, Instant};
 
 /// The process-wide default recorder (disabled until [`set_enabled`]).
 pub fn global() -> &'static Arc<Recorder> {
@@ -115,28 +119,31 @@ pub struct ObsContext {
     path: Vec<String>,
     mem: Option<Arc<prof::MemCell>>,
     audit: Option<Arc<AuditLog>>,
+    flight: Option<Arc<Flight>>,
 }
 
 /// Captures the current thread's recorder override, span path, memory
-/// charge target, and audit-log override.
+/// charge target, audit-log override, and flight-recorder override.
 pub fn capture() -> ObsContext {
     ObsContext {
         rec: LOCAL.with(|l| l.borrow().clone()),
         path: PATH.with(|p| p.borrow().clone()),
         mem: prof::current_arc(),
         audit: audit::capture_local(),
+        flight: ring::capture_local(),
     }
 }
 
 /// Runs `f` under a captured context (recorder override + span path +
-/// memory charge target + audit-log override), restoring the thread's
-/// previous context afterwards, even on panic.
+/// memory charge target + audit-log and flight overrides), restoring the
+/// thread's previous context afterwards, even on panic.
 pub fn in_context<R>(ctx: &ObsContext, f: impl FnOnce() -> R) -> R {
     let _restore_rec = install(ctx.rec.clone());
     let prev_path = PATH.with(|p| std::mem::replace(&mut *p.borrow_mut(), ctx.path.clone()));
     let _restore_path = PathRestore(prev_path);
     let _restore_mem = prof::CellScope::install(ctx.mem.clone());
     let _restore_audit = audit::install_local(ctx.audit.clone());
+    let _restore_flight = ring::install_local(ctx.flight.clone());
     f()
 }
 
@@ -179,6 +186,10 @@ pub struct SpanGuard {
     /// before the cell's totals are read, so the recorder's own bookkeeping
     /// allocations charge the parent, not the closing span.
     mem: Option<(Arc<prof::MemCell>, prof::CellScope)>,
+    /// The flight-recorder lane this span's enter event landed in, if a
+    /// flight is enabled; drop records the matching exit event. Independent
+    /// of `rec`: the black box keeps recording when tracing is off.
+    flight: Option<Arc<ring::ThreadRing>>,
     _thread_bound: std::marker::PhantomData<*const ()>,
 }
 
@@ -186,12 +197,14 @@ pub struct SpanGuard {
 /// thread. Spans must be closed (dropped) in LIFO order — the natural order
 /// of scope-bound guards.
 pub fn span(name: &str) -> SpanGuard {
+    let flight = ring::span_enter(name);
     let Some(rec) = active() else {
         return SpanGuard {
             rec: None,
             start: None,
             path: String::new(),
             mem: None,
+            flight,
             _thread_bound: std::marker::PhantomData,
         };
     };
@@ -210,12 +223,16 @@ pub fn span(name: &str) -> SpanGuard {
         start: Some(Instant::now()),
         path,
         mem,
+        flight,
         _thread_bound: std::marker::PhantomData,
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if let Some(ring) = self.flight.take() {
+            ring.exit_span();
+        }
         if let Some(rec) = self.rec.take() {
             let ns = self.start.map_or(0, |s| s.elapsed().as_nanos() as u64);
             let mem = self.mem.take().map(|(cell, scope)| {
@@ -230,8 +247,10 @@ impl Drop for SpanGuard {
     }
 }
 
-/// Adds `n` to the counter `name`. No-op when recording is disabled.
+/// Adds `n` to the counter `name`. No-op when recording is disabled
+/// (though an enabled flight recorder still logs the delta as an event).
 pub fn counter_add(name: &str, n: u64) {
+    ring::counter_event(name, n);
     if let Some(rec) = active() {
         rec.counter_add(name, n);
     }
@@ -317,6 +336,163 @@ pub fn window_advance() {
     LOCAL.with(|l| {
         l.borrow().as_ref().unwrap_or_else(|| global()).advance_window();
     });
+}
+
+// ── Flight recorder installation (panic hook + stall watchdog) ──────────
+
+/// Configuration for [`flight_install`]. [`FlightOptions::default`] reads
+/// the environment: `WYM_FLIGHT_CAPACITY` (events per lane),
+/// `WYM_STALL_MS` (watchdog threshold; `0` disables the watchdog), and
+/// names dumps after the binary (`argv[0]` stem).
+#[derive(Debug, Clone)]
+pub struct FlightOptions {
+    /// Per-lane ring capacity in events.
+    pub capacity: usize,
+    /// Watchdog stall threshold in milliseconds; `0` disables the
+    /// watchdog thread entirely.
+    pub stall_ms: u64,
+    /// Directory dump files are written into.
+    pub dump_dir: String,
+    /// Dump file stem: `FLIGHT_<stem>_<tag>.{txt,trace.json}`.
+    pub stem: String,
+}
+
+impl Default for FlightOptions {
+    fn default() -> FlightOptions {
+        let capacity = std::env::var("WYM_FLIGHT_CAPACITY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c: &usize| c > 0)
+            .unwrap_or(ring::DEFAULT_CAPACITY);
+        let stall_ms = std::env::var("WYM_STALL_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30_000);
+        let stem = std::env::args()
+            .next()
+            .as_deref()
+            .and_then(|a| {
+                std::path::Path::new(a).file_stem().map(|s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "run".to_string());
+        FlightOptions { capacity, stall_ms, dump_dir: "results".to_string(), stem }
+    }
+}
+
+/// One-shot process-wide flight install guard.
+static FLIGHT_INIT: Once = Once::new();
+/// Dump-once latches: the first panic (a re-raised worker panic fires the
+/// hook twice) and the first stall each produce exactly one dump pair.
+static PANIC_DUMPED: AtomicBool = AtomicBool::new(false);
+static STALL_DUMPED: AtomicBool = AtomicBool::new(false);
+/// Where the hook and watchdog write dumps: `(dir, stem)`.
+static DUMP_TARGET: Mutex<Option<(String, String)>> = Mutex::new(None);
+
+/// Installs the process-wide flight recorder: an always-on event ring per
+/// thread (see [`ring`]), a chained panic hook that dumps the recent-event
+/// tail before the default backtrace, and (unless `opts.stall_ms` is 0) a
+/// watchdog thread that warns — and dumps once — when a thread's innermost
+/// open span exceeds the stall threshold.
+///
+/// Binaries call this once at startup; later calls are no-ops. Setting
+/// `WYM_FLIGHT=off` (or `0`) skips installation entirely, restoring the
+/// one-relaxed-load disabled fast path everywhere.
+pub fn flight_install(opts: FlightOptions) {
+    if std::env::var("WYM_FLIGHT").is_ok_and(|v| v == "off" || v == "0") {
+        return;
+    }
+    FLIGHT_INIT.call_once(|| {
+        *DUMP_TARGET.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some((opts.dump_dir.clone(), opts.stem.clone()));
+        let flight = Arc::new(ring::Flight::new_enabled(opts.capacity));
+        ring::install_global(Arc::clone(&flight));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !PANIC_DUMPED.swap(true, Ordering::SeqCst) {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let loc = info
+                    .location()
+                    .map(|l| format!(" at {}:{}", l.file(), l.line()))
+                    .unwrap_or_default();
+                if let Some((txt, json)) =
+                    write_flight_dump("panic", &format!("panic: {msg}{loc}"))
+                {
+                    eprintln!("flight: panic dump written to {txt} and {json}");
+                }
+            }
+            prev(info);
+        }));
+        if opts.stall_ms > 0 {
+            let stall_ms = opts.stall_ms;
+            let _ = std::thread::Builder::new()
+                .name("wym-flight-watchdog".to_string())
+                .spawn(move || watchdog_loop(&flight, stall_ms));
+        }
+    });
+}
+
+/// Scans for stalled innermost spans every quarter threshold (clamped to
+/// 25–250 ms), warning once per stalled span instance and dumping on the
+/// first stall seen. Long-lived *outer* spans (a whole `fit`) never trip
+/// this — only a leaf making no progress does.
+fn watchdog_loop(flight: &ring::Flight, stall_ms: u64) {
+    let poll = Duration::from_millis((stall_ms / 4).clamp(25, 250));
+    let mut warned: Vec<(u64, u64)> = Vec::new();
+    loop {
+        std::thread::sleep(poll);
+        for s in flight.stalled_spans(stall_ms) {
+            if warned.contains(&(s.tid, s.enter_ts_ns)) {
+                continue;
+            }
+            warned.push((s.tid, s.enter_ts_ns));
+            eprintln!(
+                "flight: stall watchdog: span \"{}\" open {} ms on lane {} [{}] \
+                 (threshold {} ms)",
+                s.name, s.open_ms, s.tid, s.label, stall_ms
+            );
+            if !STALL_DUMPED.swap(true, Ordering::SeqCst) {
+                let reason = format!(
+                    "stall: span \"{}\" open {} ms (threshold {} ms)",
+                    s.name, s.open_ms, stall_ms
+                );
+                if let Some((txt, json)) = write_flight_dump("stall", &reason) {
+                    eprintln!("flight: stall dump written to {txt} and {json}");
+                }
+            }
+        }
+    }
+}
+
+/// Dumps the installed global flight to the configured target. `None`
+/// when no flight or target is installed; write errors are reported to
+/// stderr rather than propagated (the panic hook cannot recover anyway).
+fn write_flight_dump(tag: &str, reason: &str) -> Option<(String, String)> {
+    let flight = ring::global_flight()?;
+    let (dir, stem) = DUMP_TARGET.lock().unwrap_or_else(|e| e.into_inner()).clone()?;
+    let dump = flight.dump(reason);
+    match chrome::write_dump_files(&dir, &stem, tag, &dump) {
+        Ok(paths) => Some(paths),
+        Err(e) => {
+            eprintln!("flight: failed to write {tag} dump: {e}");
+            None
+        }
+    }
+}
+
+/// Exports the installed global flight's current contents as a Chrome
+/// trace-event JSON file at `path` (the `--chrome-trace` flag). Returns
+/// the number of trace events written.
+pub fn flight_write_chrome(path: &str) -> Result<usize, String> {
+    let flight = ring::global_flight()
+        .ok_or_else(|| "no flight recorder installed in this process".to_string())?;
+    let dump = flight.dump("full-run export");
+    chrome::write_chrome_file(std::path::Path::new(path), &dump)
+        .map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 #[cfg(test)]

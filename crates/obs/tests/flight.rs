@@ -1,0 +1,114 @@
+//! Integration tests for the flight recorder through the public API:
+//! span/counter/audit instrumentation feeding per-thread rings, context
+//! propagation across threads, and the Chrome trace round trip.
+
+use std::sync::Arc;
+use wym_obs::ring::{self, EventKind, Flight};
+use wym_obs::{AuditLog, AuditOptions, Recorder};
+
+#[test]
+fn spans_and_counters_feed_the_flight_even_untraced() {
+    // Recorder disabled — the aggregate side records nothing, but the
+    // black box still sees every event.
+    let rec = Arc::new(Recorder::new());
+    let flight = Arc::new(Flight::new_enabled(256));
+    wym_obs::with_recorder(Arc::clone(&rec), || {
+        ring::with_flight(Arc::clone(&flight), || {
+            let _outer = wym_obs::span("untraced_outer");
+            wym_obs::counter_add("untraced.counter", 2);
+        });
+    });
+    assert!(rec.snapshot().spans.is_empty(), "recorder stays empty when disabled");
+    let dump = flight.dump("test");
+    let t = &dump.threads[0];
+    assert!(t.events.iter().any(|e| e.kind == EventKind::Enter && e.name == "untraced_outer"));
+    assert!(t
+        .events
+        .iter()
+        .any(|e| e.kind == EventKind::Counter && e.name == "untraced.counter" && e.value == 2.0));
+    assert!(t.events.iter().any(|e| e.kind == EventKind::Exit && e.name == "untraced_outer"));
+}
+
+#[test]
+fn obs_context_carries_the_flight_into_worker_threads() {
+    let flight = Arc::new(Flight::new_enabled(256));
+    ring::with_flight(Arc::clone(&flight), || {
+        let ctx = wym_obs::capture();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                wym_obs::in_context(&ctx, || {
+                    let _w = wym_obs::span("ctx_worker_span");
+                });
+            })
+            .join()
+            .unwrap();
+        });
+    });
+    let dump = flight.dump("test");
+    let with_span: Vec<_> = dump
+        .threads
+        .iter()
+        .filter(|t| t.events.iter().any(|e| e.name == "ctx_worker_span"))
+        .collect();
+    assert_eq!(with_span.len(), 1, "worker events land in the propagated flight");
+}
+
+#[test]
+fn audit_decisions_mirror_into_the_decision_tail() {
+    let flight = Arc::new(Flight::new_enabled(256));
+    let log = Arc::new(AuditLog::new(AuditOptions { sample_every: 2, ..AuditOptions::default() }));
+    ring::with_flight(Arc::clone(&flight), || {
+        wym_obs::audit::with_audit(Arc::clone(&log), || {
+            for seq in 0..4u64 {
+                let _pin = wym_obs::audit::scope_seq(seq);
+                let l = wym_obs::audit::active().unwrap();
+                l.emit("classify", seq, seq % 2 == 0, 0.5 + seq as f32 / 10.0, 4, 2, Vec::new(), None);
+            }
+        });
+    });
+    // sample_every=2 keeps seq 0 and 2; the flight mirrors exactly those.
+    assert_eq!(log.len(), 2);
+    let dump = flight.dump("test");
+    let decisions: Vec<&str> = dump.threads[0]
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Decision)
+        .map(|e| e.name.as_str())
+        .collect();
+    assert_eq!(decisions, vec!["decision.classify.match", "decision.classify.match"]);
+}
+
+#[test]
+fn full_trace_round_trip_via_files_and_summarize() {
+    let flight = Arc::new(Flight::new_enabled(256));
+    ring::with_flight(Arc::clone(&flight), || {
+        let _fit = wym_obs::span("it_fit");
+        {
+            let _inner = wym_obs::span("it_score");
+            wym_obs::counter_add("it.pairs", 12);
+        }
+    });
+    let dump = flight.dump("test: integration");
+    let dir = std::env::temp_dir().join(format!("wym_flight_it_{}", std::process::id()));
+    let (_txt, json_path) =
+        wym_obs::chrome::write_dump_files(dir.to_str().unwrap(), "it", "roundtrip", &dump)
+            .expect("dump files written");
+    let summary =
+        wym_obs::chrome::summarize_file(std::path::Path::new(&json_path)).expect("parseable");
+    for needle in ["it_fit", "it_score", "reason:    test: integration"] {
+        assert!(summary.contains(needle), "missing {needle:?} in:\n{summary}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disabled_path_is_inert_without_any_install() {
+    // No global flight, no override: instrumentation must not create state.
+    let before = ring::global_flight().is_none();
+    let _s = wym_obs::span("no_flight_span");
+    wym_obs::counter_add("no_flight.counter", 1);
+    ring::mark("no_flight.mark");
+    if before {
+        assert!(ring::global_flight().is_none(), "instrumentation must not install a flight");
+    }
+}

@@ -18,7 +18,12 @@
 //! and is re-raised on the calling thread with the index of the failing
 //! item, so a poisoned record is identifiable instead of surfacing as an
 //! anonymous `worker thread panicked`. Panics are also counted on the
-//! `par.worker_panics` obs counter.
+//! `par.worker_panics` obs counter and stamped into the flight recorder
+//! (`wym_obs::ring`) as a `par.worker_panic item {i}` mark before the
+//! worker's ring is last touched, so a post-mortem dump names the failing
+//! item even when the enriched panic message is lost. The flight override
+//! itself rides in the captured `ObsContext`, so worker events land in the
+//! caller's rings for any thread count.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -66,6 +71,7 @@ where
             .map(|(i, t)| match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
                 Ok(r) => r,
                 Err(payload) => {
+                    wym_obs::ring::mark(&format!("par.worker_panic item {i}"));
                     wym_obs::counter_add("par.worker_panics", 1);
                     panic_with_index(i, payload);
                 }
@@ -98,6 +104,7 @@ where
                                 Ok(r) => local.push((i, r)),
                                 Err(payload) => {
                                     abort.store(true, Ordering::Relaxed);
+                                    wym_obs::ring::mark(&format!("par.worker_panic item {i}"));
                                     wym_obs::counter_add("par.worker_panics", 1);
                                     let mut slot =
                                         first_panic.lock().unwrap_or_else(|e| e.into_inner());

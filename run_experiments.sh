@@ -31,8 +31,15 @@
 # avx512, neon) produces a different score checksum than the scalar
 # reference — unsupported backends are reported as "SKIP (unsupported)",
 # never failed — or (k) the criterion benches no longer compile
-# (`cargo bench --no-run`). The `bench_diff` timing sentinel also runs,
-# report-only: timings are machine-dependent, so it never fails the smoke.
+# (`cargo bench --no-run`), or (l) the flight recorder (DESIGN.md §15)
+# fails its post-mortem drill: a run with an injected panic must leave a
+# parseable Chrome-trace dump naming the panicking span, a run with an
+# injected stall must trip the watchdog's stall warning and dump, and
+# `--chrome-trace` plus `wym obs flight` must round-trip a healthy run's
+# event tail. The `bench_diff` timing sentinel also runs, in warn mode:
+# flagged stages print WARNING lines against their ledger-learned
+# per-stage thresholds, but timings are machine-dependent so it never
+# fails the smoke.
 set -u
 cd "$(dirname "$0")"
 mkdir -p results
@@ -132,11 +139,13 @@ if [ "${1:-}" = "--smoke" ]; then
       exit 1
     fi
   done
-  # Timing sentinel, report-only: compare this run's per-stage wall times
-  # against the previous BENCH_history.jsonl entry. Never fatal — timings
-  # depend on the machine and its load; the table is evidence, not a gate.
-  echo "=== smoke: bench_diff timing sentinel (report-only) ==="
-  ./target/release/bench_diff || echo "SMOKE WARNING: bench_diff could not compare (non-fatal)" >&2
+  # Timing sentinel, warn mode: compare this run's per-stage wall times
+  # against the BENCH_history.jsonl ledger, flagging stages over their
+  # ledger-learned thresholds with prominent WARNING lines. Never fatal —
+  # timings depend on the machine and its load (gate mode exists for
+  # boxes stable enough to enforce; see the bench_diff docs).
+  echo "=== smoke: bench_diff timing sentinel (warn mode) ==="
+  ./target/release/bench_diff --mode warn || echo "SMOKE WARNING: bench_diff could not compare (non-fatal)" >&2
   # Regression sentinel. A snapshot diffed against itself must always pass
   # (sentinel sanity), then both kernel variants diff against their
   # committed baselines. Wall times are machine-dependent, so --ignore-wall;
@@ -344,8 +353,77 @@ if [ "${1:-}" = "--smoke" ]; then
   else
     echo "SMOKE WARNING: no committed baseline results/OBS_baseline_decisions.json; skipping diff" >&2
   fi
+  # Flight-recorder gate (DESIGN.md §15). Three drills: (1) a run with an
+  # injected panic in score_train must die nonzero AND leave a post-mortem
+  # dump pair whose Chrome trace parses via `wym obs flight` and names the
+  # panicking span; (2) a run with an injected stall must trip the
+  # watchdog's stall warning, dump, and still finish cleanly; (3) a
+  # healthy run must export its full event tail with --chrome-trace.
+  # Injected runs never append to the BENCH history ledger (the harness
+  # checks the injection latch), so these drills cannot pollute the
+  # thresholds bench_diff learns from.
+  FLIGHT_PANIC=results/FLIGHT_timing_panic.trace.json
+  FLIGHT_STALL=results/FLIGHT_timing_stall.trace.json
+  FLIGHT_EXPORT=results/smoke_flight.trace.json
+  rm -f "$FLIGHT_PANIC" results/FLIGHT_timing_panic.txt \
+        "$FLIGHT_STALL" results/FLIGHT_timing_stall.txt "$FLIGHT_EXPORT"
+  echo "=== smoke: flight recorder — injected panic in score_train ==="
+  WYM_STALL_MS=0 ./target/release/timing --quick --cap 40 --datasets S-FZ \
+    --threads 1 --inject-panic score_train 2>&1 | tee results/smoke_flight_panic.log
+  if [ "${PIPESTATUS[0]}" -eq 0 ]; then
+    echo "SMOKE FAILED: injected-panic run exited zero" >&2
+    exit 1
+  fi
+  if [ ! -f "$FLIGHT_PANIC" ]; then
+    echo "SMOKE FAILED: injected panic left no dump at $FLIGHT_PANIC" >&2
+    exit 1
+  fi
+  ./target/release/wym obs flight "$FLIGHT_PANIC" | tee results/smoke_flight_panic_summary.log
+  if [ "${PIPESTATUS[0]}" -ne 0 ]; then
+    echo "SMOKE FAILED: wym obs flight could not summarize $FLIGHT_PANIC" >&2
+    exit 1
+  fi
+  if ! grep -q "score_train" results/smoke_flight_panic_summary.log; then
+    echo "SMOKE FAILED: panic dump summary does not name the panicking span score_train" >&2
+    exit 1
+  fi
+  echo "=== smoke: flight recorder — injected stall in score_train ==="
+  WYM_STALL_MS=500 ./target/release/timing --quick --cap 40 --datasets S-FZ \
+    --threads 1 --inject-stall score_train,2000 2>&1 | tee results/smoke_flight_stall.log
+  if [ "${PIPESTATUS[0]}" -ne 0 ]; then
+    echo "SMOKE FAILED: injected-stall run did not finish cleanly" >&2
+    exit 1
+  fi
+  if ! grep -q "stall watchdog" results/smoke_flight_stall.log; then
+    echo "SMOKE FAILED: watchdog printed no stall warning for the injected stall" >&2
+    exit 1
+  fi
+  if [ ! -f "$FLIGHT_STALL" ]; then
+    echo "SMOKE FAILED: stall watchdog left no dump at $FLIGHT_STALL" >&2
+    exit 1
+  fi
+  ./target/release/wym obs flight "$FLIGHT_STALL" | tee results/smoke_flight_stall_summary.log
+  if [ "${PIPESTATUS[0]}" -ne 0 ] || \
+     ! grep -q "score_train" results/smoke_flight_stall_summary.log; then
+    echo "SMOKE FAILED: stall dump does not summarize or misses score_train" >&2
+    exit 1
+  fi
+  echo "=== smoke: flight recorder — full-run --chrome-trace export ==="
+  ./target/release/wym classify --load-model "$SMOKE_MODEL" --data "$SMOKE_DATA" \
+    --threads 1 --chrome-trace "$FLIGHT_EXPORT" > /dev/null 2> results/smoke_flight_export.log
+  if [ ! -f "$FLIGHT_EXPORT" ]; then
+    echo "SMOKE FAILED: --chrome-trace wrote no $FLIGHT_EXPORT" >&2
+    cat results/smoke_flight_export.log >&2
+    exit 1
+  fi
+  ./target/release/wym obs flight "$FLIGHT_EXPORT" | tee results/smoke_flight_export_summary.log
+  if [ "${PIPESTATUS[0]}" -ne 0 ] || \
+     ! grep -q "score" results/smoke_flight_export_summary.log; then
+    echo "SMOKE FAILED: --chrome-trace export does not summarize or holds no scoring spans" >&2
+    exit 1
+  fi
   DISPATCHED=$(grep -oE '"kernel\.dispatch\.[a-z0-9_]+"' "$OBS_AUTO" | head -1)
-  echo "SMOKE OK: all stages traced, $DISPATCHED == scalar checksum $CK_AUTO, blocking checksum $BCK_AUTO, artifact fnv $AFNV_AUTO, audit cksum $AUDIT_REF_CK, obs_diff clean ($OBS_AUTO, $OBS_SCALAR, $BLOCK_SCALAR, $OBS_DECISIONS)"
+  echo "SMOKE OK: all stages traced, $DISPATCHED == scalar checksum $CK_AUTO, blocking checksum $BCK_AUTO, artifact fnv $AFNV_AUTO, audit cksum $AUDIT_REF_CK, obs_diff clean ($OBS_AUTO, $OBS_SCALAR, $BLOCK_SCALAR, $OBS_DECISIONS), flight drills clean (panic, stall, chrome export)"
   exit 0
 fi
 

@@ -31,6 +31,15 @@
 //! `manifest` provenance header (schema version, git sha, config hash,
 //! kernel dispatch, seed).
 //!
+//! Independent of tracing, every run carries the always-on flight
+//! recorder (DESIGN.md §15): per-thread event rings, a stall watchdog,
+//! and a panic hook that dumps the recent event tail to
+//! `results/FLIGHT_wym_*.{txt,trace.json}`. `--chrome-trace FILE` exports
+//! the full-run event tail as Chrome trace-event JSON (load in
+//! `chrome://tracing` or Perfetto); `wym obs flight <DUMP.trace.json>`
+//! summarizes any dump from the terminal. `WYM_FLIGHT=off` disables the
+//! recorder, `WYM_STALL_MS` tunes the watchdog threshold.
+//!
 //! CSV layout: `id,label,left_<attr>…,right_<attr>…` (see `wym::data::csv`).
 
 use std::path::Path;
@@ -122,8 +131,10 @@ fn usage() -> &'static str {
      wym model    diff <A.wym> <B.wym>\n  \
      wym obs      report --audit <FILE.jsonl>\n  \
      wym obs      export --metrics <OBS.json>\n  \
+     wym obs      flight <DUMP.trace.json>\n  \
      wym datasets\n\
-     every command also accepts: --trace [--metrics-out <FILE>] --flame --profile-mem"
+     every command also accepts: --trace [--metrics-out <FILE>] --flame --profile-mem\n\
+     \x20                          --chrome-trace <FILE>  (flight-recorder trace export)"
 }
 
 /// Turns recording on when `--trace`, `--metrics-out`, or `--flame` is
@@ -132,6 +143,10 @@ fn usage() -> &'static str {
 /// are visible in the export.
 fn obs_setup(args: &Args) -> bool {
     wym_obs::register_stages(PIPELINE_STAGES);
+    // The flight recorder is always on (WYM_FLIGHT=off opts out): event
+    // rings cost nanoseconds per span and buy a post-mortem trail for
+    // every panic or stall, traced or not.
+    wym_obs::flight_install(wym_obs::FlightOptions::default());
     let on = args.get("trace").is_some()
         || args.get("metrics-out").is_some()
         || args.get("flame").is_some();
@@ -644,6 +659,15 @@ fn run(args: &Args) -> Result<(), String> {
             let sub = args.positional.get(1).map(String::as_str).unwrap_or("");
             match sub {
                 "report" => obs_report(args),
+                "flight" => {
+                    let path = args
+                        .positional
+                        .get(2)
+                        .ok_or("usage: wym obs flight <DUMP.trace.json>")?;
+                    let summary = wym_obs::chrome::summarize_file(Path::new(path))?;
+                    print!("{summary}");
+                    Ok(())
+                }
                 "export" => {
                     let path = args.require("metrics")?;
                     let text = std::fs::read_to_string(path)
@@ -674,6 +698,14 @@ fn main() -> ExitCode {
         // Flush even on failure: a partial trace is exactly what you want
         // when diagnosing where a run died.
         obs_flush(&args);
+    }
+    // Chrome trace export is flight-recorder state, independent of the
+    // aggregate tracing above — it works on plain untraced runs too.
+    if let Some(path) = args.get("chrome-trace").filter(|p| !p.is_empty()) {
+        match wym_obs::flight_write_chrome(path) {
+            Ok(n) => eprintln!("chrome trace ({n} events) written to {path}"),
+            Err(e) => eprintln!("warning: cannot write chrome trace to {path}: {e}"),
+        }
     }
     match result {
         Ok(()) => ExitCode::SUCCESS,
